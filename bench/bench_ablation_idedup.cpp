@@ -1,0 +1,38 @@
+// Ablation: iDedup's two knobs — the small-request bypass size and the
+// sequential-run threshold (the FAST'12 paper sweeps similar parameters).
+#include <cstdio>
+
+#include "util/bench_util.hpp"
+
+int main() {
+  using namespace pod;
+  using namespace pod::bench;
+
+  const double scale = scale_from_env();
+  print_header("Ablation — iDedup parameter sweep (mail trace)",
+               "bypass size x sequential threshold; scale=" +
+                   std::to_string(scale));
+
+  const WorkloadProfile profile = mail_profile(scale);
+  const Trace& trace = trace_for(profile);
+
+  std::printf("%-18s %14s %14s %14s %16s\n", "bypass/threshold", "Removed %",
+              "Overall (ms)", "Write (ms)", "Capacity blocks");
+  for (std::uint32_t bypass : {0u, 2u, 4u}) {
+    for (std::size_t threshold : {2u, 4u, 8u}) {
+      RunSpec spec = paper_spec(EngineKind::kIDedup, profile, scale);
+      spec.engine_cfg.idedup_bypass_blocks = bypass;
+      spec.engine_cfg.idedup_seq_threshold = threshold;
+      const ReplayResult r = run_replay(spec, trace);
+      std::printf("<=%2ublk / run>=%zu %14.1f%% %14.2f %14.2f %16llu\n",
+                  bypass, threshold, r.measured.removed_write_pct(),
+                  r.mean_ms(), r.write_mean_ms(),
+                  static_cast<unsigned long long>(r.physical_blocks_used));
+    }
+  }
+  std::printf("\nexpected: lower thresholds and smaller bypasses remove more "
+              "writes and save more capacity — at bypass 0 / threshold ~2 "
+              "iDedup approaches Select-Dedupe's behaviour on sequential "
+              "dups\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 2: I/O redundancy vs capacity redundancy.
+//
+// Write data splits into (a) blocks rewritten to the same location with the
+// same content (pure I/O redundancy — invisible to capacity-oriented
+// dedup) and (b) blocks whose content already exists at other locations
+// (capacity redundancy). I/O redundancy = (a) + (b). The paper reports I/O
+// redundancy exceeding capacity redundancy by an average of 21.9 points.
+#include <cstdio>
+
+#include "trace/trace_stats.hpp"
+#include "util/bench_util.hpp"
+
+int main() {
+  using namespace pod;
+  using namespace pod::bench;
+
+  const double scale = scale_from_env();
+  print_header("Figure 2 — I/O redundancy vs capacity redundancy",
+               "percentage of write data (blocks); scale=" +
+                   std::to_string(scale));
+
+  std::printf("%-10s %18s %22s %22s %10s\n", "Trace", "I/O redundancy",
+              "Capacity redundancy", "Same-location part", "Gap (pp)");
+  double gap_sum = 0.0;
+  int count = 0;
+  for (const auto& profile : selected_profiles(scale)) {
+    const RedundancyBreakdown b = redundancy_breakdown(trace_for(profile));
+    const double same_pct =
+        b.write_blocks ? 100.0 * static_cast<double>(b.same_lba_redundant_blocks) /
+                             static_cast<double>(b.write_blocks)
+                       : 0.0;
+    const double gap = b.io_redundancy_pct() - b.capacity_redundancy_pct();
+    gap_sum += gap;
+    ++count;
+    std::printf("%-10s %17.1f%% %21.1f%% %21.1f%% %9.1f\n",
+                profile.name.c_str(), b.io_redundancy_pct(),
+                b.capacity_redundancy_pct(), same_pct, gap);
+  }
+  if (count > 0)
+    std::printf("\naverage gap: %.1f pp  (paper: I/O redundancy is higher by "
+                "an average of 21.9 pp)\n", gap_sum / count);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 3: read and write performance as a function of the share of
+// memory allocated to the index cache, in a deduplication-based storage
+// system driven by the mail trace (fixed partitions).
+//
+// Shape to reproduce: a larger index cache improves write response times
+// (fewer in-disk index lookups, more detected dups) and degrades read
+// response times (smaller read cache), and vice versa — the §II-B
+// motivation for iCache.
+#include <cstdio>
+
+#include "util/bench_util.hpp"
+
+int main() {
+  using namespace pod;
+  using namespace pod::bench;
+
+  const double scale = scale_from_env();
+  print_header("Figure 3 — response time vs index-cache share (Full-Dedupe, "
+               "mail trace)",
+               "fixed index/read cache partitions; scale=" +
+                   std::to_string(scale));
+
+  const WorkloadProfile profile = mail_profile(scale);
+  const Trace& trace = trace_for(profile);
+
+  // The sweep is only informative when the index working set exceeds the
+  // smallest index share, so it runs at a quarter of the paper budget
+  // (the paper's real traces carry 15 days of fingerprint history; our
+  // synthetic ones carry ~3 — see DESIGN.md).
+  const std::uint64_t memory = paper_memory_bytes(profile.name, scale) / 4;
+
+  std::printf("%-14s %16s %16s %16s %14s %14s\n", "Index share",
+              "Write mean (ms)", "Read mean (ms)", "Overall (ms)",
+              "Idx hit rate", "Rd hit rate");
+  for (double share : {0.2, 0.35, 0.5, 0.65, 0.8}) {
+    RunSpec spec = paper_spec(EngineKind::kFullDedupe, profile, scale);
+    spec.engine_cfg.memory_bytes = memory;
+    spec.engine_cfg.index_fraction = share;
+    const ReplayResult r = run_replay(spec, trace);
+    std::printf("%13.0f%% %16.2f %16.2f %16.2f %13.3f %13.3f\n", 100.0 * share,
+                r.write_mean_ms(), r.read_mean_ms(), r.mean_ms(),
+                r.index_cache_hit_rate, r.read_cache_hit_rate);
+  }
+  std::printf("\npaper shape: write response improves and read response "
+              "degrades as the index share grows (Fig. 3)\n");
+  return 0;
+}

@@ -1,0 +1,198 @@
+// Microbenchmarks (google-benchmark) for the hot substrate paths: hashing,
+// cache operations, the disk service model, RAID mapping, categorisation
+// and trace generation.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "cache/arc_cache.hpp"
+#include "cache/index_cache.hpp"
+#include "cache/lru_cache.hpp"
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+#include "dedup/categorizer.hpp"
+#include "dedup/chunker.hpp"
+#include "dedup/rabin_chunker.hpp"
+#include "disk/hdd_model.hpp"
+#include "hash/sha1.hpp"
+#include "hash/xx64.hpp"
+#include "raid/raid5.hpp"
+#include "sim/simulator.hpp"
+#include "synth/generator.hpp"
+
+namespace pod {
+namespace {
+
+void BM_Sha1_4K(benchmark::State& state) {
+  std::vector<std::uint8_t> data(kBlockSize, 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBlockSize));
+}
+BENCHMARK(BM_Sha1_4K);
+
+void BM_Xx64_4K(benchmark::State& state) {
+  std::vector<std::uint8_t> data(kBlockSize, 0xCD);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xx64(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBlockSize));
+}
+BENCHMARK(BM_Xx64_4K);
+
+void BM_FingerprintOfContentId(benchmark::State& state) {
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Fingerprint::of_content_id(id++));
+  }
+}
+BENCHMARK(BM_FingerprintOfContentId);
+
+void BM_LruMapPutGet(benchmark::State& state) {
+  LruMap<std::uint64_t, std::uint64_t> map(
+      static_cast<std::size_t>(state.range(0)));
+  Rng rng(1);
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    map.put(k, k);
+    benchmark::DoNotOptimize(map.get(rng.uniform(0, k)));
+    ++k;
+  }
+}
+BENCHMARK(BM_LruMapPutGet)->Arg(1024)->Arg(65536);
+
+void BM_IndexCacheLookup(benchmark::State& state) {
+  IndexCache cache(static_cast<std::uint64_t>(state.range(0)) *
+                       IndexCache::kEntryBytes,
+                   1024 * IndexCache::kEntryBytes);
+  for (std::uint64_t i = 0; i < static_cast<std::uint64_t>(state.range(0)); ++i)
+    cache.insert(Fingerprint::of_content_id(i), i);
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(Fingerprint::of_content_id(
+        rng.uniform(0, static_cast<std::uint64_t>(state.range(0)) * 2))));
+  }
+}
+BENCHMARK(BM_IndexCacheLookup)->Arg(65536);
+
+void BM_ArcCacheZipf(benchmark::State& state) {
+  ArcCache cache(static_cast<std::size_t>(state.range(0)));
+  Rng rng(9);
+  ZipfSampler zipf(1 << 16, 0.9);
+  for (auto _ : state) {
+    const Pba b = zipf.sample(rng);
+    if (!cache.lookup(b)) cache.insert(b);
+  }
+  state.counters["hit_rate"] = cache.hit_rate();
+}
+BENCHMARK(BM_ArcCacheZipf)->Arg(1024)->Arg(8192);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler zipf(static_cast<std::uint64_t>(state.range(0)), 0.9);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(1 << 10)->Arg(1 << 24);
+
+void BM_HddServiceModel(benchmark::State& state) {
+  HddModel model;
+  Rng rng(4);
+  std::uint64_t head = 0;
+  for (auto _ : state) {
+    const std::uint64_t block = rng.uniform(0, model.total_blocks() - 9);
+    const auto svc = model.service(head, block, 8, 12345678, false);
+    benchmark::DoNotOptimize(svc.total());
+    head = model.cylinder_of(block);
+  }
+}
+BENCHMARK(BM_HddServiceModel);
+
+void BM_Raid5PlanSmallWrite(benchmark::State& state) {
+  Simulator sim;
+  ArrayConfig cfg;
+  cfg.num_disks = 4;
+  cfg.stripe_unit_blocks = 16;
+  cfg.disk_geometry.total_blocks = 1 << 20;
+  Raid5 raid(sim, cfg);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        raid.plan_write(rng.uniform(0, raid.capacity_blocks() - 4), 2));
+  }
+}
+BENCHMARK(BM_Raid5PlanSmallWrite);
+
+void BM_Categorize(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<ChunkDup> chunks(16);
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    chunks[i].redundant = rng.chance(0.5);
+    chunks[i].pba = 1000 + i;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(categorize(chunks, 3));
+  }
+}
+BENCHMARK(BM_Categorize);
+
+void BM_FixedChunk64K(benchmark::State& state) {
+  HashEngine engine;
+  FixedChunker chunker;
+  std::vector<std::uint8_t> data(64 * 1024);
+  Rng rng(7);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chunker.chunk(data, engine));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_FixedChunk64K);
+
+void BM_RabinChunk64K(benchmark::State& state) {
+  HashEngine engine;
+  RabinChunker chunker;
+  std::vector<std::uint8_t> data(64 * 1024);
+  Rng rng(8);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chunker.chunk(data, engine));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_RabinChunk64K);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    WorkloadProfile p = tiny_test_profile();
+    p.measured_requests = 2000;
+    p.warmup_requests = 0;
+    benchmark::DoNotOptimize(TraceGenerator(p).generate());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2000);
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    int counter = 0;
+    for (int i = 0; i < 10000; ++i)
+      sim.schedule_at(i, [&counter] { ++counter; });
+    sim.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+}  // namespace
+}  // namespace pod
+
+BENCHMARK_MAIN();

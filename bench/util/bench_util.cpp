@@ -1,0 +1,91 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pod::bench {
+
+double scale_from_env() {
+  const char* env = std::getenv("POD_SCALE");
+  if (env == nullptr) return 0.25;
+  const double v = std::atof(env);
+  return v > 0.0 && v <= 1.0 ? v : 0.25;
+}
+
+std::vector<WorkloadProfile> selected_profiles(double scale) {
+  const char* only = std::getenv("POD_TRACE");
+  std::vector<WorkloadProfile> all = paper_profiles(scale);
+  if (only == nullptr) return all;
+  std::vector<WorkloadProfile> out;
+  for (auto& p : all)
+    if (p.name == only) out.push_back(std::move(p));
+  return out.empty() ? all : out;
+}
+
+const Trace& trace_for(const WorkloadProfile& profile) {
+  static std::map<std::string, Trace> cache;
+  auto it = cache.find(profile.name);
+  if (it == cache.end()) {
+    std::fprintf(stderr, "[bench] generating trace %s (%llu requests)...\n",
+                 profile.name.c_str(),
+                 static_cast<unsigned long long>(profile.warmup_requests +
+                                                 profile.measured_requests));
+    it = cache.emplace(profile.name, TraceGenerator(profile).generate()).first;
+  }
+  return it->second;
+}
+
+std::vector<EngineKind> figure8_engines() {
+  return {EngineKind::kNative, EngineKind::kFullDedupe, EngineKind::kIDedup,
+          EngineKind::kSelectDedupe};
+}
+
+std::vector<EngineKind> figure11_engines() {
+  return {EngineKind::kNative, EngineKind::kFullDedupe, EngineKind::kIDedup,
+          EngineKind::kSelectDedupe, EngineKind::kPod};
+}
+
+RunSpec paper_spec(EngineKind engine, const WorkloadProfile& profile,
+                   double scale) {
+  RunSpec spec;
+  spec.engine = engine;
+  spec.raid = RaidLevel::kRaid5;
+  spec.array_cfg.num_disks = 4;              // 4-disk RAID5 (§IV-B)
+  spec.array_cfg.stripe_unit_blocks = 16;    // 64 KB stripe unit
+  spec.engine_cfg.logical_blocks = profile.volume_blocks;
+  spec.engine_cfg.memory_bytes = paper_memory_bytes(profile.name, scale);
+  return spec;
+}
+
+std::map<EngineKind, ReplayResult> run_engine_set(
+    const std::vector<EngineKind>& engines, const WorkloadProfile& profile,
+    double scale) {
+  std::map<EngineKind, ReplayResult> results;
+  const Trace& trace = trace_for(profile);
+  for (EngineKind kind : engines) {
+    std::fprintf(stderr, "[bench] %-9s x %s...\n", profile.name.c_str(),
+                 to_string(kind));
+    results.emplace(kind, run_replay(paper_spec(kind, profile, scale), trace));
+  }
+  return results;
+}
+
+void print_header(const std::string& title, const std::string& what) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("%s\n", what.c_str());
+  std::printf("================================================================\n");
+}
+
+void print_row(const std::string& label, const std::vector<double>& values,
+               const std::vector<std::string>& columns, const char* unit) {
+  std::printf("%-16s", label.c_str());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::printf("  %10.2f%s", values[i], unit);
+    (void)columns;
+  }
+  std::printf("\n");
+}
+
+}  // namespace pod::bench

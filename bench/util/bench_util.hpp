@@ -1,0 +1,51 @@
+// Shared machinery for the experiment benches (one binary per paper
+// table/figure; see DESIGN.md's experiment index).
+//
+// Environment knobs:
+//   POD_SCALE  — trace scale factor in (0,1]; default 0.25. Scale 1.0
+//                reproduces the paper's full day-15 request counts.
+//   POD_TRACE  — restrict to one workload ("web-vm", "homes", "mail").
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "replay/replayer.hpp"
+#include "synth/generator.hpp"
+#include "synth/profile.hpp"
+
+namespace pod::bench {
+
+/// Scale factor from POD_SCALE (default 0.25).
+double scale_from_env();
+
+/// Paper workloads honouring POD_TRACE.
+std::vector<WorkloadProfile> selected_profiles(double scale);
+
+/// Generates (and memoises per process) the trace for a profile.
+const Trace& trace_for(const WorkloadProfile& profile);
+
+/// The evaluation engine set of Figures 8-10 (no POD: the paper's §IV-B
+/// compares the fixed-partition schemes first).
+std::vector<EngineKind> figure8_engines();
+
+/// Figure 11's engine set (adds POD).
+std::vector<EngineKind> figure11_engines();
+
+/// Builds the standard 4-disk RAID5 / 64 KB stripe run spec of §IV-B with
+/// the paper's per-trace memory budget.
+RunSpec paper_spec(EngineKind engine, const WorkloadProfile& profile,
+                   double scale);
+
+/// Runs every engine over one trace; results keyed by engine.
+std::map<EngineKind, ReplayResult> run_engine_set(
+    const std::vector<EngineKind>& engines, const WorkloadProfile& profile,
+    double scale);
+
+/// Table formatting helpers.
+void print_header(const std::string& title, const std::string& what);
+void print_row(const std::string& label, const std::vector<double>& values,
+               const std::vector<std::string>& columns, const char* unit);
+
+}  // namespace pod::bench

@@ -1,0 +1,127 @@
+#include "cache/arc_cache.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace pod {
+
+namespace {
+// Lists are sized generously; actual bounds are enforced explicitly so the
+// LruMap never silently drops entries on its own.
+constexpr std::size_t kListSlack = 2;
+}  // namespace
+
+ArcCache::ArcCache(std::size_t capacity_blocks)
+    : capacity_(capacity_blocks),
+      t1_(capacity_blocks * kListSlack + 1),
+      t2_(capacity_blocks * kListSlack + 1),
+      b1_(capacity_blocks * kListSlack + 1),
+      b2_(capacity_blocks * kListSlack + 1) {}
+
+void ArcCache::replace(bool hit_in_b2) {
+  if (!t1_.empty() &&
+      (t1_.size() > p_ || (hit_in_b2 && t1_.size() == p_))) {
+    const auto [key, _] = t1_.pop_lru();
+    b1_.put(key, Unit{});
+  } else if (!t2_.empty()) {
+    const auto [key, _] = t2_.pop_lru();
+    b2_.put(key, Unit{});
+  } else if (!t1_.empty()) {
+    const auto [key, _] = t1_.pop_lru();
+    b1_.put(key, Unit{});
+  }
+  bound_ghosts();
+}
+
+void ArcCache::bound_ghosts() {
+  while (t1_.size() + b1_.size() > capacity_ && !b1_.empty()) (void)b1_.pop_lru();
+  while (t1_.size() + t2_.size() + b1_.size() + b2_.size() > 2 * capacity_ &&
+         !b2_.empty())
+    (void)b2_.pop_lru();
+}
+
+bool ArcCache::lookup(Pba block) {
+  if (capacity_ == 0) {
+    ++misses_;
+    return false;
+  }
+  if (t1_.contains(block)) {
+    // Second access: promote from recency to frequency.
+    t1_.erase(block);
+    t2_.put(block, Unit{});
+    ++hits_;
+    return true;
+  }
+  if (t2_.get(block) != nullptr) {  // get() refreshes MRU position
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  return false;
+}
+
+void ArcCache::insert(Pba block) {
+  if (capacity_ == 0) return;
+  if (t1_.contains(block) || t2_.contains(block)) return;
+
+  if (b1_.contains(block)) {
+    // Recency ghost hit: grow T1's target.
+    const std::size_t delta =
+        std::max<std::size_t>(1, b2_.size() / std::max<std::size_t>(1, b1_.size()));
+    p_ = std::min(capacity_, p_ + delta);
+    replace(false);
+    b1_.erase(block);
+    t2_.put(block, Unit{});
+    return;
+  }
+  if (b2_.contains(block)) {
+    // Frequency ghost hit: shrink T1's target.
+    const std::size_t delta =
+        std::max<std::size_t>(1, b1_.size() / std::max<std::size_t>(1, b2_.size()));
+    p_ = p_ > delta ? p_ - delta : 0;
+    replace(true);
+    b2_.erase(block);
+    t2_.put(block, Unit{});
+    return;
+  }
+
+  // Brand-new block.
+  if (t1_.size() + b1_.size() == capacity_) {
+    if (t1_.size() < capacity_) {
+      (void)b1_.pop_lru();
+      replace(false);
+    } else {
+      (void)t1_.pop_lru();
+    }
+  } else if (t1_.size() + t2_.size() + b1_.size() + b2_.size() >= capacity_) {
+    if (t1_.size() + t2_.size() + b1_.size() + b2_.size() >= 2 * capacity_ &&
+        !b2_.empty())
+      (void)b2_.pop_lru();
+    if (t1_.size() + t2_.size() >= capacity_) replace(false);
+  }
+  t1_.put(block, Unit{});
+  bound_ghosts();
+}
+
+void ArcCache::invalidate(Pba block) {
+  t1_.erase(block);
+  t2_.erase(block);
+  b1_.erase(block);
+  b2_.erase(block);
+}
+
+void ArcCache::resize(std::size_t capacity_blocks) {
+  capacity_ = capacity_blocks;
+  p_ = std::min(p_, capacity_);
+  while (t1_.size() + t2_.size() > capacity_) replace(false);
+  bound_ghosts();
+  if (capacity_ == 0) {
+    t1_.clear();
+    t2_.clear();
+    b1_.clear();
+    b2_.clear();
+  }
+}
+
+}  // namespace pod

@@ -1,0 +1,70 @@
+// ARC — Adaptive Replacement Cache (Megiddo & Modha, FAST'03), which the
+// paper cites as prior art for ghost-list-driven adaptation ([19]) and
+// which inspired iCache's design. Provided as an alternative block-cache
+// policy: it self-tunes between recency (LRU) and frequency (LFU-ish)
+// within a single budget, the intra-cache analogue of iCache's
+// inter-cache partitioning.
+//
+// Classic four-list structure over a capacity of c blocks:
+//   T1: pages seen once recently        B1: ghosts evicted from T1
+//   T2: pages seen at least twice       B2: ghosts evicted from T2
+// |T1|+|T2| <= c, |T1|+|B1| <= c, total <= 2c. The target size p of T1
+// adapts: hits in B1 grow p (recency is winning), hits in B2 shrink it.
+#pragma once
+
+#include <cstdint>
+
+#include "cache/lru_cache.hpp"
+#include "common/types.hpp"
+
+namespace pod {
+
+class ArcCache {
+ public:
+  explicit ArcCache(std::size_t capacity_blocks);
+
+  /// True (and a hit) when cached; promotes within the ARC lists.
+  bool lookup(Pba block);
+
+  /// Admits a block after a miss (the caller fetched it from disk).
+  void insert(Pba block);
+
+  /// Removes a block entirely (content invalidated).
+  void invalidate(Pba block);
+
+  void resize(std::size_t capacity_blocks);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return t1_.size() + t2_.size(); }
+  /// Current adaptive target for the recency list T1, in blocks.
+  std::size_t recency_target() const { return p_; }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  double hit_rate() const {
+    const std::uint64_t n = hits_ + misses_;
+    return n ? static_cast<double>(hits_) / static_cast<double>(n) : 0.0;
+  }
+
+  // Introspection for tests.
+  bool in_t1(Pba b) const { return t1_.contains(b); }
+  bool in_t2(Pba b) const { return t2_.contains(b); }
+  bool in_b1(Pba b) const { return b1_.contains(b); }
+  bool in_b2(Pba b) const { return b2_.contains(b); }
+
+ private:
+  struct Unit {};
+  using List = LruMap<Pba, Unit>;
+
+  /// REPLACE(p): evicts from T1 or T2 into the matching ghost list.
+  void replace(bool hit_in_b2);
+  void bound_ghosts();
+
+  std::size_t capacity_;
+  std::size_t p_ = 0;  // adaptive target for |T1|
+  List t1_, t2_, b1_, b2_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace pod

@@ -1,0 +1,48 @@
+#include "cache/index_cache.hpp"
+
+namespace pod {
+
+IndexCache::IndexCache(std::uint64_t capacity_bytes,
+                       std::uint64_t ghost_capacity_bytes)
+    : entries_(entries_for(capacity_bytes)),
+      ghost_(entries_for(ghost_capacity_bytes)) {}
+
+const IndexEntry* IndexCache::lookup(const Fingerprint& fp) {
+  IndexEntry* e = entries_.get(fp);
+  if (e != nullptr) {
+    ++hits_;
+    ++e->count;
+    return e;
+  }
+  ++misses_;
+  return nullptr;
+}
+
+const IndexEntry* IndexCache::peek(const Fingerprint& fp) const {
+  return entries_.peek(fp);
+}
+
+void IndexCache::insert(const Fingerprint& fp, Pba pba) {
+  entries_.put(fp, IndexEntry{pba, 0},
+               [this](const Fingerprint& evicted, IndexEntry&& entry) {
+                 ghost_.remember(evicted);
+                 if (evict_hook) evict_hook(evicted, entry);
+               });
+}
+
+void IndexCache::invalidate(const Fingerprint& fp) { entries_.erase(fp); }
+
+void IndexCache::rebind(const Fingerprint& fp, Pba pba) {
+  IndexEntry* e = entries_.get(fp);
+  if (e != nullptr) e->pba = pba;
+}
+
+void IndexCache::resize(std::uint64_t capacity_bytes) {
+  entries_.set_capacity(entries_for(capacity_bytes),
+                        [this](const Fingerprint& evicted, IndexEntry&& entry) {
+                          ghost_.remember(evicted);
+                          if (evict_hook) evict_hook(evicted, entry);
+                        });
+}
+
+}  // namespace pod

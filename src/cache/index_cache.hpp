@@ -1,0 +1,86 @@
+// Fingerprint index cache: the in-memory "Index table" of §III-B.
+//
+// Maps hot chunk fingerprints to the physical block that stores the chunk,
+// in LRU order, with a per-entry Count that records write popularity
+// (paper Figure 6). Entries evicted from the actual cache leave their key
+// in a ghost list for iCache's cost-benefit estimation.
+//
+// Memory accounting: each entry is charged kEntryBytes of the cache's byte
+// budget (fingerprint + PBA + count + list/table overhead ~= 32 B, matching
+// the paper's 8 GB-per-TB estimate: 1 TB / 4 KB * 32 B = 8 GB).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "cache/ghost_cache.hpp"
+#include "cache/lru_cache.hpp"
+#include "common/types.hpp"
+#include "hash/fingerprint.hpp"
+
+namespace pod {
+
+struct IndexEntry {
+  Pba pba = kInvalidPba;
+  std::uint32_t count = 0;
+};
+
+class IndexCache {
+ public:
+  static constexpr std::uint64_t kEntryBytes = 32;
+
+  IndexCache(std::uint64_t capacity_bytes, std::uint64_t ghost_capacity_bytes);
+
+  /// Looks up a fingerprint; on hit increments Count and promotes to MRU.
+  /// Returns nullptr on miss.
+  const IndexEntry* lookup(const Fingerprint& fp);
+
+  /// Looks up without counting a request hit (administrative reads).
+  const IndexEntry* peek(const Fingerprint& fp) const;
+
+  /// Probes the ghost list (consuming the entry on hit).
+  bool ghost_probe(const Fingerprint& fp) { return ghost_.probe_and_consume(fp); }
+
+  /// Inserts a fresh entry with Count = 0 (paper: Count initialised to 0 on
+  /// insert, incremented on each subsequent write hit).
+  void insert(const Fingerprint& fp, Pba pba);
+
+  /// Drops an entry whose physical block was freed.
+  void invalidate(const Fingerprint& fp);
+
+  /// Rebinds a fingerprint to a new physical location.
+  void rebind(const Fingerprint& fp, Pba pba);
+
+  void resize(std::uint64_t capacity_bytes);
+
+  std::uint64_t capacity_bytes() const { return entries_.capacity() * kEntryBytes; }
+  std::size_t size_entries() const { return entries_.size(); }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t ghost_hits() const { return ghost_.hits(); }
+  double hit_rate() const {
+    const std::uint64_t total = hits_ + misses_;
+    return total ? static_cast<double>(hits_) / static_cast<double>(total) : 0.0;
+  }
+
+  GhostCache<Fingerprint, FingerprintHash>& ghost() { return ghost_; }
+  const GhostCache<Fingerprint, FingerprintHash>& ghost() const { return ghost_; }
+
+  /// Observer invoked for every eviction (capacity pressure or resize);
+  /// iCache uses it to spill evicted entries to the swap area so they can
+  /// be re-admitted when the index cache grows again.
+  std::function<void(const Fingerprint&, const IndexEntry&)> evict_hook;
+
+ private:
+  static std::size_t entries_for(std::uint64_t bytes) {
+    return static_cast<std::size_t>(bytes / kEntryBytes);
+  }
+
+  LruMap<Fingerprint, IndexEntry, FingerprintHash> entries_;
+  GhostCache<Fingerprint, FingerprintHash> ghost_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace pod

@@ -1,0 +1,15 @@
+// LruMap is a header-only template; this TU exists to give the build a
+// place to catch template compile errors eagerly via an explicit
+// instantiation with representative key/value types.
+#include "cache/lru_cache.hpp"
+
+#include <cstdint>
+
+#include "hash/fingerprint.hpp"
+
+namespace pod {
+
+template class LruMap<std::uint64_t, std::uint64_t>;
+template class LruMap<Fingerprint, std::uint64_t, FingerprintHash>;
+
+}  // namespace pod

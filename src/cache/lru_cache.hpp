@@ -1,0 +1,129 @@
+// Generic LRU map: O(1) lookup, insert, touch, and LRU eviction.
+//
+// Backs the read cache, the fingerprint index cache and the ghost caches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace pod {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class LruMap {
+ public:
+  explicit LruMap(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+
+  /// Looks up `key`; promotes to MRU on hit.
+  V* get(const K& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  /// Looks up without promoting.
+  const V* peek(const K& key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second->second;
+  }
+
+  bool contains(const K& key) const { return map_.count(key) > 0; }
+
+  /// Inserts or overwrites; promotes to MRU. Evictions (if over capacity)
+  /// are reported through `on_evict`. A capacity of 0 means nothing is
+  /// retained: the insert is dropped (and reported as evicted).
+  template <typename EvictFn>
+  void put(const K& key, V value, EvictFn&& on_evict) {
+    if (capacity_ == 0) {
+      on_evict(key, std::move(value));
+      return;
+    }
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    map_[key] = order_.begin();
+    while (map_.size() > capacity_) evict_lru(on_evict);
+  }
+
+  void put(const K& key, V value) {
+    put(key, std::move(value), [](const K&, V&&) {});
+  }
+
+  /// Removes a specific key; returns true if it was present.
+  bool erase(const K& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    order_.erase(it->second);
+    map_.erase(it);
+    return true;
+  }
+
+  /// Pops the LRU entry (requires non-empty).
+  std::pair<K, V> pop_lru() {
+    POD_CHECK(!order_.empty());
+    auto& back = order_.back();
+    std::pair<K, V> out{back.first, std::move(back.second)};
+    map_.erase(back.first);
+    order_.pop_back();
+    return out;
+  }
+
+  /// Shrinks/extends the capacity; evicts LRU entries as needed.
+  template <typename EvictFn>
+  void set_capacity(std::size_t capacity, EvictFn&& on_evict) {
+    capacity_ = capacity;
+    while (map_.size() > capacity_) evict_lru(on_evict);
+  }
+
+  void set_capacity(std::size_t capacity) {
+    set_capacity(capacity, [](const K&, V&&) {});
+  }
+
+  /// Iterates entries from MRU to LRU.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [k, v] : order_) fn(k, v);
+  }
+
+  void clear() {
+    map_.clear();
+    order_.clear();
+  }
+
+  /// Key of the LRU entry (requires non-empty).
+  const K& lru_key() const {
+    POD_CHECK(!order_.empty());
+    return order_.back().first;
+  }
+
+ private:
+  template <typename EvictFn>
+  void evict_lru(EvictFn&& on_evict) {
+    auto& back = order_.back();
+    K key = back.first;
+    V value = std::move(back.second);
+    map_.erase(back.first);
+    order_.pop_back();
+    on_evict(key, std::move(value));
+  }
+
+  std::size_t capacity_;
+  std::list<std::pair<K, V>> order_;  // front = MRU
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator, Hash> map_;
+};
+
+}  // namespace pod

@@ -1,0 +1,38 @@
+#include "cache/read_cache.hpp"
+
+namespace pod {
+
+namespace {
+std::size_t blocks_for(std::uint64_t bytes) {
+  return static_cast<std::size_t>(bytes / kBlockSize);
+}
+}  // namespace
+
+ReadCache::ReadCache(std::uint64_t capacity_bytes, std::uint64_t ghost_capacity_bytes)
+    : entries_(blocks_for(capacity_bytes)), ghost_(blocks_for(ghost_capacity_bytes)) {}
+
+bool ReadCache::lookup(Pba block) {
+  if (entries_.get(block) != nullptr) {
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  return false;
+}
+
+void ReadCache::insert(Pba block) {
+  entries_.put(block, Unit{}, [this](const Pba& evicted, Unit&&) {
+    ghost_.remember(evicted);
+  });
+}
+
+void ReadCache::invalidate(Pba block) { entries_.erase(block); }
+
+void ReadCache::resize(std::uint64_t capacity_bytes) {
+  entries_.set_capacity(blocks_for(capacity_bytes),
+                        [this](const Pba& evicted, Unit&&) {
+                          ghost_.remember(evicted);
+                        });
+}
+
+}  // namespace pod

@@ -1,0 +1,30 @@
+// Lightweight invariant checking used across the library.
+//
+// POD_CHECK is always on (simulation correctness beats raw speed here);
+// POD_DCHECK compiles out in NDEBUG builds for hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pod::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "POD_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace pod::detail
+
+#define POD_CHECK(expr)                                            \
+  do {                                                             \
+    if (!(expr)) ::pod::detail::check_failed(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+#ifdef NDEBUG
+#define POD_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define POD_DCHECK(expr) POD_CHECK(expr)
+#endif

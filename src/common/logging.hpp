@@ -1,0 +1,29 @@
+// Minimal leveled logging to stderr.
+//
+// The simulator itself is silent by default; benches and examples raise the
+// level for progress reporting.
+#pragma once
+
+#include <cstdarg>
+
+namespace pod {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging; drops the message when `level` is above the
+/// configured threshold.
+void log(LogLevel level, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+#define POD_LOG_ERROR(...) ::pod::log(::pod::LogLevel::kError, __VA_ARGS__)
+#define POD_LOG_WARN(...) ::pod::log(::pod::LogLevel::kWarn, __VA_ARGS__)
+#define POD_LOG_INFO(...) ::pod::log(::pod::LogLevel::kInfo, __VA_ARGS__)
+#define POD_LOG_DEBUG(...) ::pod::log(::pod::LogLevel::kDebug, __VA_ARGS__)
+
+}  // namespace pod

@@ -1,0 +1,49 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// The standard <random> engines are not guaranteed to produce identical
+// streams across library implementations; the synthetic trace generator
+// must be bit-reproducible, so we carry our own engine.
+#pragma once
+
+#include <cstdint>
+
+namespace pod {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm),
+/// reimplemented here. Passes BigCrush; 2^256-1 period.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  std::uint64_t next();
+  result_type operator()() { return next(); }
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p);
+
+  /// Exponentially distributed double with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Approximately normal via sum of uniforms (Irwin-Hall, 12 terms).
+  double normal(double mean, double stddev);
+
+  /// Jump function: advances the state by 2^128 steps (for independent
+  /// parallel streams derived from one seed).
+  void jump();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace pod

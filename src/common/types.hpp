@@ -1,0 +1,67 @@
+// Fundamental value types shared by every POD module.
+//
+// The simulator is fully deterministic: simulated time is an integer count
+// of nanoseconds, block addresses are 64-bit indices of fixed-size blocks.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace pod {
+
+/// Simulated time in nanoseconds since the start of the simulation.
+using SimTime = std::int64_t;
+
+/// Duration in nanoseconds.
+using Duration = std::int64_t;
+
+constexpr Duration kNanosecond = 1;
+constexpr Duration kMicrosecond = 1'000;
+constexpr Duration kMillisecond = 1'000'000;
+constexpr Duration kSecond = 1'000'000'000;
+
+constexpr Duration us(double v) { return static_cast<Duration>(v * kMicrosecond); }
+constexpr Duration ms(double v) { return static_cast<Duration>(v * kMillisecond); }
+constexpr Duration sec(double v) { return static_cast<Duration>(v * kSecond); }
+
+constexpr double to_us(Duration d) { return static_cast<double>(d) / kMicrosecond; }
+constexpr double to_ms(Duration d) { return static_cast<double>(d) / kMillisecond; }
+constexpr double to_sec(Duration d) { return static_cast<double>(d) / kSecond; }
+
+/// Logical block address as seen by the host (index of a 4 KB block).
+using Lba = std::uint64_t;
+
+/// Physical block address on the backing volume (index of a 4 KB block).
+using Pba = std::uint64_t;
+
+/// Sentinel for "no physical block".
+constexpr Pba kInvalidPba = ~std::uint64_t{0};
+
+/// Sentinel for "no logical block".
+constexpr Lba kInvalidLba = ~std::uint64_t{0};
+
+/// The deduplication chunk / block size. POD uses sub-file, fixed-size 4 KB
+/// chunks at the block-device level (paper §III-A).
+constexpr std::size_t kBlockSize = 4096;
+
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * kKiB;
+constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+/// Converts a byte count to a number of 4 KB blocks, rounding up.
+constexpr std::uint64_t bytes_to_blocks(std::uint64_t bytes) {
+  return (bytes + kBlockSize - 1) / kBlockSize;
+}
+
+constexpr std::uint64_t blocks_to_bytes(std::uint64_t blocks) {
+  return blocks * kBlockSize;
+}
+
+/// I/O direction.
+enum class OpType : std::uint8_t { kRead = 0, kWrite = 1 };
+
+constexpr const char* to_string(OpType t) {
+  return t == OpType::kRead ? "read" : "write";
+}
+
+}  // namespace pod

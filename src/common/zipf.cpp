@@ -1,0 +1,78 @@
+#include "common/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace pod {
+
+namespace {
+
+double zeta(std::uint64_t n, double theta) {
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double theta) : n_(n), theta_(theta) {
+  POD_CHECK(n >= 1);
+  POD_CHECK(theta >= 0.0);
+  if (n_ <= kExactLimit) {
+    cdf_.reserve(n_);
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n_; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta_);
+      cdf_.push_back(sum);
+    }
+    for (auto& v : cdf_) v /= sum;
+  } else {
+    // Gray et al. approximation: zeta(n) estimated from zeta(2^16) by
+    // integrating the tail (exact enough for sampling purposes).
+    const std::uint64_t head = kExactLimit;
+    double z = zeta(head, theta_);
+    if (theta_ != 1.0) {
+      const double a = 1.0 - theta_;
+      z += (std::pow(static_cast<double>(n_), a) - std::pow(static_cast<double>(head), a)) / a;
+    } else {
+      z += std::log(static_cast<double>(n_)) - std::log(static_cast<double>(head));
+    }
+    zetan_ = z;
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta(2, theta_) / zetan_);
+  }
+}
+
+std::uint64_t ZipfSampler::sample(Rng& rng) const {
+  return n_ <= kExactLimit ? sample_exact(rng) : sample_approx(rng);
+}
+
+std::uint64_t ZipfSampler::sample_exact(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+std::uint64_t ZipfSampler::sample_approx(Rng& rng) const {
+  // theta == 1 makes alpha_ infinite; fall back to CDF-free inversion of the
+  // harmonic distribution via exponentiation of a uniform draw.
+  if (theta_ == 1.0) {
+    const double u = rng.next_double();
+    const double r = std::pow(static_cast<double>(n_), u);
+    std::uint64_t v = static_cast<std::uint64_t>(r);
+    return std::min(v, n_ - 1);
+  }
+  const double u = rng.next_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const double v = static_cast<double>(n_) *
+                   std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  std::uint64_t r = static_cast<std::uint64_t>(v);
+  return std::min(r, n_ - 1);
+}
+
+}  // namespace pod

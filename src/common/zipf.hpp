@@ -1,0 +1,47 @@
+// Zipf-distributed sampling over {0, ..., n-1}.
+//
+// Popular-content reuse in primary-storage workloads is heavily skewed;
+// the synthetic trace generator draws content ids and hot LBAs from Zipf
+// distributions (see src/synth).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace pod {
+
+/// Samples rank r (0-based) with probability proportional to 1/(r+1)^theta.
+///
+/// Uses an exact inverted-CDF table for small n and Gray et al.'s
+/// approximate inversion for large n (O(1) per sample, no table).
+class ZipfSampler {
+ public:
+  /// @param n      number of distinct items, n >= 1
+  /// @param theta  skew parameter, theta >= 0 (0 == uniform)
+  ZipfSampler(std::uint64_t n, double theta);
+
+  std::uint64_t sample(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  std::uint64_t sample_exact(Rng& rng) const;
+  std::uint64_t sample_approx(Rng& rng) const;
+
+  std::uint64_t n_;
+  double theta_;
+  // Exact path: cumulative probabilities, size n (used when n <= kExactLimit).
+  std::vector<double> cdf_;
+  // Approximate path (Gray et al., "Quickly generating billion-record
+  // synthetic databases"): zeta constants.
+  double zetan_ = 0.0;
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+
+  static constexpr std::uint64_t kExactLimit = 1 << 16;
+};
+
+}  // namespace pod

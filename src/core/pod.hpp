@@ -1,0 +1,89 @@
+// pod::Pod — the public embedding API.
+//
+// A Pod instance is a complete performance-oriented deduplication layer:
+// Select-Dedupe + iCache over a simulated RAID volume. Downstream users
+// submit block reads and writes (with raw data, which Pod chunks and
+// fingerprints, or with precomputed per-chunk fingerprints) and receive
+// completion callbacks carrying the simulated response time.
+//
+// Quickstart:
+//   pod::PodConfig cfg;
+//   cfg.logical_blocks = 1 << 20;          // 4 GiB volume
+//   cfg.memory_bytes = 64 * pod::kMiB;     // DRAM budget
+//   pod::Pod store(cfg);
+//   store.write(0, data, [](pod::Duration latency) { ... });
+//   store.run();                            // drain simulated I/O
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "engines/pod_engine.hpp"
+#include "replay/replayer.hpp"
+
+namespace pod {
+
+struct PodConfig {
+  std::uint64_t logical_blocks = 1 << 20;
+  std::uint64_t memory_bytes = 64 * kMiB;
+  /// Select-Dedupe category threshold (paper default 3).
+  std::size_t select_threshold = 3;
+  RaidLevel raid = RaidLevel::kRaid5;
+  /// Member-disk count / stripe unit / disk model / scheduler.
+  ArrayConfig array;
+  ICacheConfig icache;
+  HashEngineConfig hash;
+  double pool_fraction = 0.25;
+};
+
+class Pod {
+ public:
+  /// Completion callback carrying the simulated response time.
+  using Completion = std::function<void(Duration latency)>;
+
+  explicit Pod(const PodConfig& cfg);
+  ~Pod();
+
+  Pod(const Pod&) = delete;
+  Pod& operator=(const Pod&) = delete;
+
+  /// Writes raw bytes at `lba` (length must be a whole number of 4 KB
+  /// blocks). Pod chunks and fingerprints the data itself.
+  void write(Lba lba, std::span<const std::uint8_t> data, Completion done = {});
+
+  /// Writes with precomputed per-chunk fingerprints (trace replay path).
+  void write_fingerprinted(Lba lba, std::span<const Fingerprint> chunks,
+                           Completion done = {});
+
+  void read(Lba lba, std::uint32_t nblocks, Completion done = {});
+
+  /// Submits a prebuilt request (advanced use).
+  void submit(const IoRequest& req, Completion done = {});
+
+  /// Runs the simulation until all submitted I/O completes.
+  void run();
+
+  /// Current simulated time.
+  SimTime now() const;
+
+  const EngineStats& stats() const;
+  const ICacheStats& icache_stats() const;
+  std::uint64_t physical_blocks_used() const;
+  std::uint64_t map_table_bytes() const;
+  std::uint64_t logical_blocks() const;
+  /// Current index-cache share of the memory budget (iCache-managed).
+  double index_fraction() const;
+
+ private:
+  PodConfig cfg_;
+  std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<Volume> volume_;
+  std::unique_ptr<PodEngine> engine_;
+  std::uint64_t next_id_ = 0;
+  // Requests must stay alive until their completion fires.
+  std::vector<std::unique_ptr<IoRequest>> inflight_;
+};
+
+}  // namespace pod

@@ -1,0 +1,167 @@
+#include "dedup/allocator.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace pod {
+
+PoolAllocator::PoolAllocator(Pba pool_start, std::uint64_t pool_blocks)
+    : pool_start_(pool_start), pool_blocks_(pool_blocks), bump_(pool_start) {
+  POD_CHECK(pool_blocks_ > 0);
+  free_mask_.assign(static_cast<std::size_t>(pool_blocks_), false);
+}
+
+Pba PoolAllocator::allocate(Pba hint) {
+  // Contiguity first: honour the hint when it names a block sitting in the
+  // free list (a recycled run) or the current bump position.
+  if (hint != kInvalidPba && in_pool(hint)) {
+    const std::size_t rel = static_cast<std::size_t>(hint - pool_start_);
+    if (hint == bump_) {
+      ++bump_;
+      ++allocated_;
+      return hint;
+    }
+    if (free_mask_[rel]) {
+      free_mask_[rel] = false;
+      // Lazy deletion: the stale free_list_ entry is skipped when popped.
+      ++allocated_;
+      return hint;
+    }
+  }
+  if (bump_ < pool_start_ + pool_blocks_) {
+    ++allocated_;
+    return bump_++;
+  }
+  // Pool exhausted: recycle freed blocks (scattered — models aged storage).
+  while (!free_list_.empty()) {
+    const Pba pba = free_list_.back();
+    free_list_.pop_back();
+    const std::size_t rel = static_cast<std::size_t>(pba - pool_start_);
+    if (!free_mask_[rel]) continue;  // consumed via hint already
+    free_mask_[rel] = false;
+    ++allocated_;
+    return pba;
+  }
+  POD_CHECK(false && "pool exhausted: raise pool_fraction for this workload");
+}
+
+void PoolAllocator::free_block(Pba pba) {
+  POD_CHECK(in_pool(pba));
+  const std::size_t rel = static_cast<std::size_t>(pba - pool_start_);
+  POD_CHECK(!free_mask_[rel]);
+  free_mask_[rel] = true;
+  free_list_.push_back(pba);
+  POD_CHECK(allocated_ > 0);
+  --allocated_;
+}
+
+BlockStore::BlockStore(const Config& cfg)
+    : logical_blocks_(cfg.logical_blocks),
+      pool_(cfg.logical_blocks,
+            std::max<std::uint64_t>(
+                1024, static_cast<std::uint64_t>(
+                          static_cast<double>(cfg.logical_blocks) *
+                          cfg.pool_fraction))) {
+  POD_CHECK(logical_blocks_ > 0);
+}
+
+bool BlockStore::is_live(Lba lba) const {
+  return identity_live_.count(lba) > 0 || map_.is_redirected(lba);
+}
+
+Pba BlockStore::resolve(Lba lba) const {
+  const Pba redirected = map_.lookup(lba);
+  if (redirected != kInvalidPba) return redirected;
+  return identity_live_.count(lba) > 0 ? static_cast<Pba>(lba) : kInvalidPba;
+}
+
+std::uint32_t BlockStore::refcount(Pba pba) const {
+  const auto it = pba_state_.find(pba);
+  return it == pba_state_.end() ? 0 : it->second.refs;
+}
+
+const Fingerprint* BlockStore::fingerprint_of(Pba pba) const {
+  const auto it = pba_state_.find(pba);
+  return it == pba_state_.end() ? nullptr : &it->second.fp;
+}
+
+void BlockStore::unref(Pba pba) {
+  const auto it = pba_state_.find(pba);
+  POD_CHECK(it != pba_state_.end());
+  POD_CHECK(it->second.refs > 0);
+  if (--it->second.refs == 0) {
+    if (on_content_gone) on_content_gone(pba, it->second.fp);
+    pba_state_.erase(it);
+    if (pool_.in_pool(pba)) pool_.free_block(pba);
+  }
+}
+
+void BlockStore::bind(Lba lba, Pba pba) {
+  if (pba == static_cast<Pba>(lba)) {
+    map_.clear(lba);
+    identity_live_.insert(lba);
+  } else {
+    identity_live_.erase(lba);
+    map_.set(lba, pba);
+  }
+}
+
+Pba BlockStore::place_write(Lba lba, const Fingerprint& fp, Pba prev_pba) {
+  POD_CHECK(lba < logical_blocks_);
+  const Pba old = resolve(lba);
+  if (old != kInvalidPba) {
+    unref(old);
+  } else {
+    ++live_count_;
+  }
+
+  const Pba home = static_cast<Pba>(lba);
+  Pba target;
+  if (refcount(home) == 0) {
+    // Home block free (or just released by the unref above): in-place.
+    target = home;
+  } else {
+    // Home still referenced by other LBAs: redirect into the pool,
+    // preferring contiguity with the previous chunk of this request.
+    const Pba hint = prev_pba != kInvalidPba ? prev_pba + 1 : kInvalidPba;
+    target = pool_.allocate(hint);
+  }
+
+  // The target block may hold stale content from a previous life (refcount
+  // zero but a cached fingerprint association elsewhere); announce the
+  // overwrite so index/read caches can invalidate.
+  auto& state = pba_state_[target];
+  POD_CHECK(state.refs == 0);
+  state.refs = 1;
+  state.fp = fp;
+  bind(lba, target);
+  return target;
+}
+
+void BlockStore::dedup_to(Lba lba, Pba pba) {
+  POD_CHECK(lba < logical_blocks_);
+  const auto it = pba_state_.find(pba);
+  POD_CHECK(it != pba_state_.end() && it->second.refs > 0);
+  const Pba old = resolve(lba);
+  if (old == pba) return;  // already mapped there (same-content overwrite)
+  ++it->second.refs;
+  if (old != kInvalidPba) {
+    unref(old);
+  } else {
+    ++live_count_;
+  }
+  bind(lba, pba);
+}
+
+void BlockStore::discard(Lba lba) {
+  const Pba old = resolve(lba);
+  if (old == kInvalidPba) return;
+  unref(old);
+  identity_live_.erase(lba);
+  map_.clear(lba);
+  POD_CHECK(live_count_ > 0);
+  --live_count_;
+}
+
+}  // namespace pod

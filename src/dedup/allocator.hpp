@@ -1,0 +1,120 @@
+// Physical block management shared by every engine.
+//
+// The data region is split into the *home* area (identity-mapped: LBA i's
+// natural location is PBA i, as on a plain block device) and an
+// over-provision *pool* used when a write cannot go to its home block —
+// which happens exactly when the home block still holds content that other
+// LBAs reference (the paper's Request Redirector "maintains data
+// consistency to prevent the referenced data from being overwritten").
+//
+// BlockStore tracks, per physical block, a reference count (how many LBAs
+// map to it) and the fingerprint of its current content, and owns the Map
+// table. It performs no I/O itself; engines turn its placement decisions
+// into volume operations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dedup/map_table.hpp"
+#include "hash/fingerprint.hpp"
+
+namespace pod {
+
+/// Bump-pointer + free-list allocator over the pool region
+/// [pool_start, pool_start + pool_blocks). Prefers contiguous allocation
+/// (fresh bump range per request run) and falls back to recycled frees.
+class PoolAllocator {
+ public:
+  PoolAllocator(Pba pool_start, std::uint64_t pool_blocks);
+
+  /// Allocates one block, preferring `hint` (typically prev+1) if free.
+  Pba allocate(Pba hint = kInvalidPba);
+  void free_block(Pba pba);
+
+  bool in_pool(Pba pba) const {
+    return pba >= pool_start_ && pba < pool_start_ + pool_blocks_;
+  }
+  std::uint64_t allocated() const { return allocated_; }
+  std::uint64_t pool_blocks() const { return pool_blocks_; }
+
+ private:
+  Pba pool_start_;
+  std::uint64_t pool_blocks_;
+  Pba bump_;
+  std::vector<Pba> free_list_;
+  std::vector<bool> free_mask_;  // pool-relative: block currently in free list
+  std::uint64_t allocated_ = 0;
+};
+
+class BlockStore {
+ public:
+  struct Config {
+    std::uint64_t logical_blocks = 0;
+    /// Pool sizing as a fraction of the logical space.
+    double pool_fraction = 0.25;
+  };
+
+  explicit BlockStore(const Config& cfg);
+
+  std::uint64_t logical_blocks() const { return logical_blocks_; }
+  /// Home area + pool (what the data region of the volume must hold).
+  std::uint64_t data_region_blocks() const {
+    return logical_blocks_ + pool_.pool_blocks();
+  }
+
+  bool is_live(Lba lba) const;
+  /// Physical location of a live LBA (kInvalidPba when never written).
+  Pba resolve(Lba lba) const;
+
+  /// Places new unique content for `lba`: releases the old mapping, picks
+  /// the home block when legal, otherwise redirects into the pool
+  /// (contiguous with `prev_pba` when possible). Returns the target PBA the
+  /// caller must write.
+  Pba place_write(Lba lba, const Fingerprint& fp, Pba prev_pba = kInvalidPba);
+
+  /// Deduplicates `lba` against existing content at `pba` (no disk write).
+  void dedup_to(Lba lba, Pba pba);
+
+  /// Invalidates an LBA (e.g. TRIM); releases its physical reference.
+  void discard(Lba lba);
+
+  std::uint32_t refcount(Pba pba) const;
+  /// Fingerprint of the live content at `pba`, or nullptr.
+  const Fingerprint* fingerprint_of(Pba pba) const;
+
+  /// Number of distinct physical blocks holding live data (Figure 10's
+  /// "storage capacity used").
+  std::uint64_t live_physical_blocks() const { return pba_state_.size(); }
+  std::uint64_t live_logical_blocks() const { return live_count_; }
+
+  MapTable& map_table() { return map_; }
+  const MapTable& map_table() const { return map_; }
+
+  /// Fired when a physical block's content is replaced or released; engines
+  /// use it to invalidate stale fingerprint-index entries and cached reads.
+  std::function<void(Pba, const Fingerprint&)> on_content_gone;
+
+ private:
+  struct PbaState {
+    std::uint32_t refs = 0;
+    Fingerprint fp;
+  };
+
+  void unref(Pba pba);
+  void bind(Lba lba, Pba pba);
+
+  std::uint64_t logical_blocks_;
+  PoolAllocator pool_;
+  MapTable map_;
+  // Live LBAs that map to their identity home (no MapTable entry).
+  std::unordered_set<Lba> identity_live_;
+  std::unordered_map<Pba, PbaState> pba_state_;
+  std::uint64_t live_count_ = 0;
+};
+
+}  // namespace pod

@@ -1,0 +1,72 @@
+#include "dedup/categorizer.hpp"
+
+namespace pod {
+
+const char* to_string(WriteCategory c) {
+  switch (c) {
+    case WriteCategory::kUnique: return "unique";
+    case WriteCategory::kFullSequential: return "full-sequential";
+    case WriteCategory::kPartialBelow: return "partial-below-threshold";
+    case WriteCategory::kPartialAbove: return "partial-above-threshold";
+  }
+  return "?";
+}
+
+std::vector<DupRun> find_dup_runs(std::span<const ChunkDup> chunks) {
+  std::vector<DupRun> runs;
+  std::size_t i = 0;
+  while (i < chunks.size()) {
+    if (!chunks[i].redundant) {
+      ++i;
+      continue;
+    }
+    DupRun run{i, 1, chunks[i].pba};
+    while (i + run.length < chunks.size()) {
+      const ChunkDup& next = chunks[i + run.length];
+      if (!next.redundant || next.pba != run.pba_start + run.length) break;
+      ++run.length;
+    }
+    i += run.length;
+    runs.push_back(run);
+  }
+  return runs;
+}
+
+Categorization categorize(std::span<const ChunkDup> chunks, std::size_t threshold) {
+  Categorization out;
+  for (const ChunkDup& c : chunks)
+    if (c.redundant) ++out.redundant_chunks;
+
+  if (out.redundant_chunks == 0) {
+    out.category = WriteCategory::kUnique;
+    return out;
+  }
+
+  std::vector<DupRun> runs = find_dup_runs(chunks);
+
+  // Category 1: every chunk redundant and one run spans the whole request
+  // (the duplicate data already sits sequentially on disk). Note this has
+  // no minimum length — eliminating *small* fully redundant writes is the
+  // heart of POD's performance advantage over iDedup.
+  if (out.redundant_chunks == chunks.size() && runs.size() == 1 &&
+      runs.front().length == chunks.size()) {
+    out.category = WriteCategory::kFullSequential;
+    out.dedup_runs = std::move(runs);
+    return out;
+  }
+
+  // Category 3: keep only sequential runs of at least `threshold` chunks.
+  std::vector<DupRun> selected;
+  for (const DupRun& r : runs)
+    if (r.length >= threshold) selected.push_back(r);
+
+  if (selected.empty()) {
+    out.category = WriteCategory::kPartialBelow;
+    return out;
+  }
+  out.category = WriteCategory::kPartialAbove;
+  out.dedup_runs = std::move(selected);
+  return out;
+}
+
+}  // namespace pod

@@ -1,0 +1,59 @@
+// Write-request categorisation (paper Figure 5).
+//
+// Select-Dedupe classifies each write by the shape of its redundancy:
+//   category 1: fully redundant and the duplicate copies sit sequentially
+//               on disk -> deduplicate the whole request (eliminated);
+//   category 2: partially redundant but no sequential redundant run of at
+//               least `threshold` chunks -> no deduplication at all (a
+//               deduplicated scatter would fragment later reads);
+//   category 3: partially redundant with at least one sequential redundant
+//               run of `threshold`+ chunks -> deduplicate those runs only.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pod {
+
+/// Per-chunk dedup candidate produced by the index lookup phase.
+struct ChunkDup {
+  bool redundant = false;
+  Pba pba = kInvalidPba;  // where the duplicate lives (valid iff redundant)
+};
+
+/// A run of chunks [begin, begin+length) whose duplicates are sequential
+/// on disk starting at `pba_start`.
+struct DupRun {
+  std::size_t begin = 0;
+  std::size_t length = 0;
+  Pba pba_start = kInvalidPba;
+};
+
+enum class WriteCategory : std::uint8_t {
+  kUnique,          // no redundant chunk at all
+  kFullSequential,  // category 1
+  kPartialBelow,    // category 2
+  kPartialAbove,    // category 3
+};
+
+const char* to_string(WriteCategory c);
+
+struct Categorization {
+  WriteCategory category = WriteCategory::kUnique;
+  /// Runs Select-Dedupe will deduplicate (whole request for category 1;
+  /// the qualifying runs for category 3; empty otherwise).
+  std::vector<DupRun> dedup_runs;
+  std::size_t redundant_chunks = 0;
+};
+
+/// Finds maximal sequential duplicate runs in `chunks`.
+std::vector<DupRun> find_dup_runs(std::span<const ChunkDup> chunks);
+
+/// Select-Dedupe's policy: categorise and pick the runs to deduplicate.
+/// `threshold` is the paper's category threshold (default 3).
+Categorization categorize(std::span<const ChunkDup> chunks, std::size_t threshold);
+
+}  // namespace pod

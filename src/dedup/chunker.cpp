@@ -1,0 +1,28 @@
+#include "dedup/chunker.hpp"
+
+#include "common/check.hpp"
+
+namespace pod {
+
+FixedChunker::FixedChunker(std::size_t chunk_size) : chunk_size_(chunk_size) {
+  POD_CHECK(chunk_size_ > 0);
+}
+
+std::vector<DataChunk> FixedChunker::chunk(std::span<const std::uint8_t> data,
+                                           const HashEngine& engine) const {
+  std::vector<DataChunk> chunks;
+  chunks.reserve(data.size() / chunk_size_ + 1);
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const std::size_t size = std::min(chunk_size_, data.size() - offset);
+    DataChunk c;
+    c.offset = offset;
+    c.size = size;
+    c.fp = engine.fingerprint(data.subspan(offset, size));
+    chunks.push_back(c);
+    offset += size;
+  }
+  return chunks;
+}
+
+}  // namespace pod

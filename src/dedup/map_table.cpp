@@ -1,0 +1,19 @@
+#include "dedup/map_table.hpp"
+
+#include <algorithm>
+
+namespace pod {
+
+Pba MapTable::lookup(Lba lba) const {
+  const auto it = entries_.find(lba);
+  return it == entries_.end() ? kInvalidPba : it->second;
+}
+
+void MapTable::set(Lba lba, Pba pba) {
+  entries_[lba] = pba;
+  max_entries_ = std::max(max_entries_, entries_.size());
+}
+
+void MapTable::clear(Lba lba) { entries_.erase(lba); }
+
+}  // namespace pod

@@ -1,0 +1,83 @@
+#include "dedup/ondisk_index.hpp"
+
+#include "common/check.hpp"
+
+namespace pod {
+
+namespace {
+
+/// Four derived hash positions from the 128-bit fingerprint.
+inline std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 33)) * 0xFF51AFD7ED558CCDULL;
+  z = (z ^ (z >> 33)) * 0xC4CEB9FE1A85EC53ULL;
+  return z ^ (z >> 33);
+}
+
+}  // namespace
+
+OnDiskIndex::OnDiskIndex(const Config& cfg) : cfg_(cfg) {
+  POD_CHECK(cfg_.region_blocks > 0);
+  POD_CHECK(cfg_.insert_batch > 0);
+  POD_CHECK(cfg_.bloom_bits >= 64);
+  bloom_.assign(static_cast<std::size_t>((cfg_.bloom_bits + 63) / 64), 0);
+}
+
+Pba OnDiskIndex::bucket_of(const Fingerprint& fp) const {
+  return cfg_.region_start + fp.prefix64() % cfg_.region_blocks;
+}
+
+bool OnDiskIndex::bloom_maybe(const Fingerprint& fp) const {
+  const std::uint64_t base = fp.prefix64();
+  const std::uint64_t bits = bloom_.size() * 64;
+  for (int k = 0; k < 4; ++k) {
+    const std::uint64_t pos = mix(base + 0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(k + 1)) % bits;
+    if ((bloom_[pos >> 6] & (1ULL << (pos & 63))) == 0) return false;
+  }
+  return true;
+}
+
+void OnDiskIndex::bloom_set(const Fingerprint& fp) {
+  const std::uint64_t base = fp.prefix64();
+  const std::uint64_t bits = bloom_.size() * 64;
+  for (int k = 0; k < 4; ++k) {
+    const std::uint64_t pos = mix(base + 0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(k + 1)) % bits;
+    bloom_[pos >> 6] |= 1ULL << (pos & 63);
+  }
+}
+
+OnDiskIndex::Lookup OnDiskIndex::lookup(const Fingerprint& fp) const {
+  Lookup out;
+  if (cfg_.bloom_enabled && !bloom_maybe(fp)) {
+    ++bloom_negatives_;
+    return out;  // definitely absent; no disk traffic
+  }
+  ++disk_lookups_;
+  out.needs_disk_read = true;
+  out.bucket = bucket_of(fp);
+  const auto it = table_.find(fp);
+  if (it != table_.end()) {
+    out.found = true;
+    out.pba = it->second;
+  }
+  return out;
+}
+
+std::optional<Pba> OnDiskIndex::insert(const Fingerprint& fp, Pba pba) {
+  table_[fp] = pba;
+  bloom_set(fp);
+  if (++pending_inserts_ >= cfg_.insert_batch) {
+    pending_inserts_ = 0;
+    ++bucket_writes_;
+    return bucket_of(fp);
+  }
+  return std::nullopt;
+}
+
+const Pba* OnDiskIndex::peek(const Fingerprint& fp) const {
+  const auto it = table_.find(fp);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+void OnDiskIndex::erase(const Fingerprint& fp) { table_.erase(fp); }
+
+}  // namespace pod

@@ -1,0 +1,42 @@
+// Content-defined chunking with a Rabin-style rolling hash (extension).
+//
+// Not used by the block-level POD prototype (which is fixed-size, like the
+// paper), but provided for file-level deduplication experiments: boundaries
+// are set where the rolling hash of the last `window` bytes matches a mask,
+// so insertions shift boundaries only locally.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dedup/chunker.hpp"
+
+namespace pod {
+
+struct RabinConfig {
+  std::size_t window = 48;
+  std::size_t min_chunk = 2 * 1024;
+  std::size_t max_chunk = 16 * 1024;
+  /// Expected average chunk = min_chunk + 2^mask_bits (roughly).
+  std::uint32_t mask_bits = 12;  // ~4 KB average beyond the minimum
+};
+
+class RabinChunker {
+ public:
+  explicit RabinChunker(const RabinConfig& cfg = {});
+
+  std::vector<DataChunk> chunk(std::span<const std::uint8_t> data,
+                               const HashEngine& engine) const;
+
+  const RabinConfig& config() const { return cfg_; }
+
+ private:
+  RabinConfig cfg_;
+  std::uint64_t mask_;
+  // Precomputed byte-in/byte-out tables for the rolling polynomial hash.
+  std::uint64_t push_table_[256];
+  std::uint64_t pop_table_[256];
+};
+
+}  // namespace pod

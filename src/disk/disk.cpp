@@ -1,0 +1,78 @@
+#include "disk/disk.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace pod {
+
+Disk::Disk(Simulator& sim, const HddModel& model, SchedulerKind scheduler,
+           std::string name)
+    : sim_(sim),
+      model_(model),
+      queue_(make_scheduler(scheduler,
+                            [this](std::uint64_t b) { return model_.cylinder_of(b); })),
+      name_(std::move(name)) {}
+
+void Disk::submit(DiskOp op) {
+  POD_CHECK(op.nblocks > 0);
+  POD_CHECK(op.block + op.nblocks <= model_.total_blocks());
+  op.enqueue_time = sim_.now();
+  stats_.queue_depth.add(static_cast<double>(queue_->size() + (busy_ ? 1 : 0)));
+  queue_->push(std::move(op));
+  if (!busy_) dispatch_next();
+}
+
+void Disk::dispatch_next() {
+  POD_CHECK(!busy_);
+  if (queue_->empty()) return;
+  busy_ = true;
+  DiskOp op = queue_->pop(head_cylinder_);
+
+  // Sequential streaming: the op continues exactly where the previous one
+  // ended and the disk has not sat idle long enough for the platter
+  // position to matter (within one rotation, the on-drive buffer and
+  // read-ahead hide the gap).
+  const bool sequential =
+      op.block == next_sequential_block_ &&
+      sim_.now() - last_completion_ <= model_.rotation_period();
+
+  const HddModel::Service svc =
+      model_.service(head_cylinder_, op.block, op.nblocks, sim_.now(), sequential);
+  if (sequential) ++stats_.sequential_hits;
+
+  const Duration service = svc.total();
+  stats_.busy_time += service;
+
+  // Move into the event to keep the op alive until completion.
+  auto op_ptr = std::make_shared<DiskOp>(std::move(op));
+  sim_.schedule_after(service, [this, op_ptr, svc]() {
+    complete(std::move(*op_ptr), svc);
+  });
+}
+
+void Disk::complete(DiskOp op, const HddModel::Service& /*svc*/) {
+  head_cylinder_ = model_.cylinder_of(op.block + op.nblocks - 1);
+  next_sequential_block_ = op.block + op.nblocks;
+  if (next_sequential_block_ >= model_.total_blocks())
+    next_sequential_block_ = ~std::uint64_t{0};
+  last_completion_ = sim_.now();
+
+  if (op.type == OpType::kRead) {
+    ++stats_.reads;
+    stats_.blocks_read += op.nblocks;
+  } else {
+    ++stats_.writes;
+    stats_.blocks_written += op.nblocks;
+  }
+  stats_.op_latency.add(sim_.now() - op.enqueue_time);
+
+  busy_ = false;
+  if (op.done) op.done();
+  // The completion callback may have submitted more work already (in which
+  // case submit() found busy_ == false and dispatched); only dispatch here
+  // if still idle.
+  if (!busy_) dispatch_next();
+}
+
+}  // namespace pod

@@ -1,0 +1,62 @@
+// A single simulated disk: mechanical model + request queue + dispatcher.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "disk/hdd_model.hpp"
+#include "disk/io_scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace pod {
+
+struct DiskStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t blocks_read = 0;
+  std::uint64_t blocks_written = 0;
+  std::uint64_t sequential_hits = 0;
+  Duration busy_time = 0;
+  /// Queue depth observed at each enqueue (excluding the new op).
+  OnlineStats queue_depth;
+  /// Per-op total latency (wait + service).
+  LatencyRecorder op_latency;
+};
+
+/// One disk services one op at a time; waiting ops sit in the scheduler
+/// queue. Completion callbacks fire in simulated time.
+class Disk {
+ public:
+  Disk(Simulator& sim, const HddModel& model,
+       SchedulerKind scheduler = SchedulerKind::kFcfs, std::string name = "disk");
+
+  /// Enqueues an op. The op's `done` callback fires at completion.
+  void submit(DiskOp op);
+
+  std::uint64_t total_blocks() const { return model_.total_blocks(); }
+  std::size_t queue_length() const { return queue_->size() + (busy_ ? 1 : 0); }
+  const DiskStats& stats() const { return stats_; }
+  const HddModel& model() const { return model_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  void dispatch_next();
+  void complete(DiskOp op, const HddModel::Service& svc);
+
+  Simulator& sim_;
+  HddModel model_;
+  std::unique_ptr<IoScheduler> queue_;
+  std::string name_;
+
+  bool busy_ = false;
+  std::uint64_t head_cylinder_ = 0;
+  std::uint64_t next_sequential_block_ = ~std::uint64_t{0};
+  SimTime last_completion_ = 0;
+
+  DiskStats stats_;
+};
+
+}  // namespace pod

@@ -1,0 +1,50 @@
+// Per-disk I/O queue scheduling policies.
+//
+// FCFS is the default (and what Linux MD + CFQ approximately gave the
+// paper's testbed once requests reach a single SATA disk's NCQ-less queue);
+// SSTF and SCAN (elevator) are provided for the scheduling ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pod {
+
+/// One operation addressed to a single disk (disk-local block address).
+struct DiskOp {
+  OpType type = OpType::kRead;
+  std::uint64_t block = 0;
+  std::uint64_t nblocks = 1;
+  /// Invoked at the simulated completion time.
+  std::function<void()> done;
+  /// Set by the disk when the op is accepted.
+  SimTime enqueue_time = 0;
+};
+
+enum class SchedulerKind { kFcfs, kSstf, kScan };
+
+const char* to_string(SchedulerKind k);
+
+/// Queue policy. pop() may consult the current head cylinder.
+class IoScheduler {
+ public:
+  virtual ~IoScheduler() = default;
+
+  virtual void push(DiskOp op) = 0;
+  virtual DiskOp pop(std::uint64_t head_cylinder) = 0;
+  virtual bool empty() const = 0;
+  virtual std::size_t size() const = 0;
+};
+
+/// `cylinder_of` maps a disk-local block to its cylinder (supplied by the
+/// disk so the scheduler needs no geometry knowledge of its own).
+std::unique_ptr<IoScheduler> make_scheduler(
+    SchedulerKind kind,
+    std::function<std::uint64_t(std::uint64_t block)> cylinder_of);
+
+}  // namespace pod

@@ -1,0 +1,233 @@
+#include "engines/engine.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace pod {
+
+std::uint64_t required_volume_blocks(const EngineConfig& cfg) {
+  const std::uint64_t pool = std::max<std::uint64_t>(
+      1024, static_cast<std::uint64_t>(static_cast<double>(cfg.logical_blocks) *
+                                       cfg.pool_fraction));
+  return cfg.logical_blocks + pool + cfg.index_region_blocks +
+         cfg.swap_region_blocks;
+}
+
+EngineStats EngineStats::delta(const EngineStats& after, const EngineStats& before) {
+  EngineStats d;
+  d.write_requests = after.write_requests - before.write_requests;
+  d.read_requests = after.read_requests - before.read_requests;
+  d.write_blocks = after.write_blocks - before.write_blocks;
+  d.read_blocks = after.read_blocks - before.read_blocks;
+  d.writes_eliminated = after.writes_eliminated - before.writes_eliminated;
+  d.chunks_deduped = after.chunks_deduped - before.chunks_deduped;
+  d.chunks_written = after.chunks_written - before.chunks_written;
+  for (int i = 0; i < 4; ++i)
+    d.category_counts[i] = after.category_counts[i] - before.category_counts[i];
+  d.index_disk_reads = after.index_disk_reads - before.index_disk_reads;
+  d.index_disk_writes = after.index_disk_writes - before.index_disk_writes;
+  d.read_ops_issued = after.read_ops_issued - before.read_ops_issued;
+  return d;
+}
+
+DedupEngine::DedupEngine(Simulator& sim, Volume& volume, const EngineConfig& cfg)
+    : sim_(sim),
+      volume_(volume),
+      cfg_(cfg),
+      hash_(cfg.hash),
+      store_(BlockStore::Config{cfg.logical_blocks, cfg.pool_fraction}),
+      read_cache_(static_cast<std::uint64_t>(
+                      static_cast<double>(cfg.memory_bytes) *
+                      (1.0 - cfg.index_fraction)),
+                  /*ghost_capacity_bytes=*/cfg.memory_bytes) {
+  POD_CHECK(cfg_.index_fraction >= 0.0 && cfg_.index_fraction <= 1.0);
+  POD_CHECK(volume_.capacity_blocks() >= required_volume_blocks(cfg_));
+  if (cfg_.index_fraction > 0.0) {
+    index_cache_ = std::make_unique<IndexCache>(
+        static_cast<std::uint64_t>(static_cast<double>(cfg_.memory_bytes) *
+                                   cfg_.index_fraction),
+        /*ghost_capacity_bytes=*/cfg_.memory_bytes);
+  }
+  store_.on_content_gone = [this](Pba pba, const Fingerprint& fp) {
+    on_content_gone(pba, fp);
+  };
+}
+
+void DedupEngine::on_content_gone(Pba pba, const Fingerprint& fp) {
+  read_cache_.invalidate(pba);
+  if (index_cache_) {
+    const IndexEntry* e = index_cache_->peek(fp);
+    if (e != nullptr && e->pba == pba) index_cache_->invalidate(fp);
+  }
+}
+
+bool DedupEngine::candidate_valid(const Fingerprint& fp, Pba pba) const {
+  const Fingerprint* live = store_.fingerprint_of(pba);
+  return live != nullptr && *live == fp;
+}
+
+void DedupEngine::coalesce_into(std::vector<std::pair<Pba, std::uint64_t>> runs,
+                                OpType type, std::vector<OpSpec>& out) {
+  std::sort(runs.begin(), runs.end());
+  for (const auto& [pba, n] : runs) {
+    if (!out.empty() && out.back().type == type &&
+        out.back().block + out.back().nblocks == pba) {
+      out.back().nblocks += n;
+    } else {
+      out.push_back(OpSpec{type, pba, n});
+    }
+  }
+}
+
+DedupEngine::IoPlan DedupEngine::build_read_plan(const IoRequest& req) {
+  IoPlan plan;
+  std::vector<std::pair<Pba, std::uint64_t>> miss_runs;
+  for (std::uint32_t i = 0; i < req.nblocks; ++i) {
+    const Lba lba = req.lba + i;
+    Pba pba = store_.resolve(lba);
+    if (pba == kInvalidPba) {
+      // Read of never-written data: served from the home location (the
+      // device returns whatever is there), no cache involvement skew.
+      pba = static_cast<Pba>(lba);
+    }
+    if (read_cache_.lookup(pba)) continue;
+    read_cache_.ghost_probe(pba);
+    read_cache_.insert(pba);
+    miss_runs.emplace_back(pba, 1);
+  }
+  coalesce_into(std::move(miss_runs), OpType::kRead, plan.stage1);
+  return plan;
+}
+
+DedupEngine::IoPlan DedupEngine::process_read(const IoRequest& req) {
+  return build_read_plan(req);
+}
+
+void DedupEngine::apply_dedup(const IoRequest& req,
+                              const std::vector<ChunkDup>& dups,
+                              std::vector<bool>& dedup_mask) {
+  for (std::uint32_t i = 0; i < req.nblocks; ++i) {
+    if (!dedup_mask[i]) continue;
+    POD_DCHECK(dups[i].redundant);
+    if (!candidate_valid(req.chunks[i], dups[i].pba)) {
+      dedup_mask[i] = false;  // released by an earlier chunk of this request
+      continue;
+    }
+    store_.dedup_to(req.lba + i, dups[i].pba);
+    ++stats_.chunks_deduped;
+  }
+}
+
+void DedupEngine::write_remaining_chunks(const IoRequest& req,
+                                         const std::vector<ChunkDup>& dups,
+                                         const std::vector<bool>& dedup_mask,
+                                         IoPlan& plan,
+                                         std::vector<Pba>* written_pbas) {
+  (void)dups;
+  std::vector<std::pair<Pba, std::uint64_t>> write_runs;
+  Pba prev = kInvalidPba;
+  for (std::uint32_t i = 0; i < req.nblocks; ++i) {
+    if (dedup_mask[i]) {
+      prev = kInvalidPba;  // break contiguity hint across dedup gaps
+      continue;
+    }
+    const Pba pba = store_.place_write(req.lba + i, req.chunks[i], prev);
+    prev = pba;
+    ++stats_.chunks_written;
+    write_runs.emplace_back(pba, 1);
+    if (written_pbas != nullptr) written_pbas->push_back(pba);
+  }
+  coalesce_into(std::move(write_runs), OpType::kWrite, plan.stage2);
+}
+
+void DedupEngine::issue_background(OpType type, Pba block, std::uint64_t nblocks) {
+  if (warming_) return;
+  POD_CHECK(block + nblocks <= volume_.capacity_blocks());
+  volume_.submit(VolumeIo{type, block, nblocks, /*done=*/nullptr});
+}
+
+void DedupEngine::execute_plan(IoPlan plan, std::function<void()> done) {
+  struct State {
+    std::size_t outstanding = 0;
+    std::vector<OpSpec> stage2;
+    std::function<void()> done;
+    DedupEngine* self = nullptr;
+  };
+  auto state = std::make_shared<State>();
+  state->stage2 = std::move(plan.stage2);
+  state->done = std::move(done);
+  state->self = this;
+
+  auto finish = [state]() {
+    if (state->done) state->done();
+  };
+
+  auto issue_stage2 = [state, finish]() {
+    if (state->stage2.empty()) {
+      finish();
+      return;
+    }
+    state->outstanding = state->stage2.size();
+    for (const OpSpec& op : state->stage2) {
+      state->self->volume_.submit(VolumeIo{
+          op.type, op.block, op.nblocks, [state, finish]() {
+            POD_CHECK(state->outstanding > 0);
+            if (--state->outstanding == 0) finish();
+          }});
+    }
+  };
+
+  // CPU delay (hashing) precedes all disk activity for this request.
+  auto start_io = [this, state, issue_stage2,
+                   stage1 = std::move(plan.stage1)]() mutable {
+    if (stage1.empty()) {
+      issue_stage2();
+      return;
+    }
+    state->outstanding = stage1.size();
+    for (const OpSpec& op : stage1) {
+      volume_.submit(VolumeIo{op.type, op.block, op.nblocks,
+                              [state, issue_stage2]() {
+                                POD_CHECK(state->outstanding > 0);
+                                if (--state->outstanding == 0) issue_stage2();
+                              }});
+    }
+  };
+
+  if (plan.cpu > 0) {
+    sim_.schedule_after(plan.cpu, std::move(start_io));
+  } else {
+    start_io();
+  }
+}
+
+void DedupEngine::submit(const IoRequest& req, std::function<void()> done) {
+  IoPlan plan;
+  if (req.is_write()) {
+    ++stats_.write_requests;
+    stats_.write_blocks += req.nblocks;
+    plan = process_write(req);
+    // A write counts as eliminated when no *data* write reaches the disks
+    // (stage2); index-lookup reads in stage1 do not resurrect it.
+    if (plan.stage2.empty()) ++stats_.writes_eliminated;
+  } else {
+    ++stats_.read_requests;
+    stats_.read_blocks += req.nblocks;
+    plan = process_read(req);
+    stats_.read_ops_issued += plan.stage1.size() + plan.stage2.size();
+  }
+  execute_plan(std::move(plan), std::move(done));
+}
+
+void DedupEngine::warm(const IoRequest& req) {
+  warming_ = true;
+  if (req.is_write()) {
+    (void)process_write(req);
+  } else {
+    (void)process_read(req);
+  }
+  warming_ = false;
+}
+
+}  // namespace pod

@@ -1,0 +1,234 @@
+// The common deduplication-engine framework.
+//
+// An engine owns the policy half of the system: caches, fingerprint index,
+// Map table / block store, and the per-request decision logic. The timing
+// half (disks, RAID) is the Volume it drives. Engines support two
+// processing modes:
+//   * submit(): full discrete-event execution — the request's CPU delay and
+//     disk operations play out on the simulator and the completion callback
+//     fires at the simulated finish time;
+//   * warm(): functional execution — identical state updates (caches,
+//     index, map table, allocation) with all timing dropped. Used for the
+//     paper's 14-day warm-up phase at a fraction of the cost.
+//
+// Volume layout (physical block addresses):
+//   [0, data_blocks)                      data region (home area + pool)
+//   [data_blocks, +index_blocks)          reserved on-disk fingerprint index
+//   [.., +swap_blocks)                    reserved iCache swap area
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/index_cache.hpp"
+#include "cache/read_cache.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "dedup/allocator.hpp"
+#include "dedup/categorizer.hpp"
+#include "dedup/ondisk_index.hpp"
+#include "hash/hash_engine.hpp"
+#include "raid/volume.hpp"
+#include "sim/simulator.hpp"
+#include "trace/request.hpp"
+
+namespace pod {
+
+struct EngineConfig {
+  /// Total DRAM budget split between index cache and read cache.
+  std::uint64_t memory_bytes = 64 * kMiB;
+  /// Fixed-partition engines: share of memory given to the index cache.
+  /// (Native ignores this and uses everything as read cache; POD adapts.)
+  double index_fraction = 0.5;
+
+  /// Select-Dedupe's category threshold (paper default: 3 chunks).
+  std::size_t select_threshold = 3;
+
+  /// iDedup: requests of at most this many blocks are bypassed entirely
+  /// ("small requests, e.g. 4KB, 8KB or less").
+  std::uint32_t idedup_bypass_blocks = 2;
+  /// iDedup: minimum sequential duplicate run worth deduplicating.
+  std::size_t idedup_seq_threshold = 4;
+
+  /// Logical volume size exposed to the workload, in blocks.
+  std::uint64_t logical_blocks = 512 * 1024;
+  /// Over-provision pool for redirected writes, as a fraction of logical.
+  double pool_fraction = 0.25;
+
+  /// Reserved on-disk index region, in blocks (buckets).
+  std::uint64_t index_region_blocks = 1 << 16;
+  /// Give Full-Dedupe a DDFS-style Bloom filter that short-circuits in-disk
+  /// lookups for definitely-new fingerprints (on by default — production
+  /// full-dedupe systems of the paper's era all have one, and the paper's
+  /// own Full-Dedupe homes numbers are consistent with fragmentation, not
+  /// raw lookup traffic, dominating). Disable for the in-disk index-lookup
+  /// bottleneck ablation (§II-B).
+  bool full_dedupe_bloom = true;
+  /// Reserved swap region for iCache, in blocks.
+  std::uint64_t swap_region_blocks = 1 << 15;
+
+  HashEngineConfig hash;
+};
+
+/// Total volume capacity an EngineConfig requires (data + index + swap).
+std::uint64_t required_volume_blocks(const EngineConfig& cfg);
+
+struct EngineStats {
+  std::uint64_t write_requests = 0;
+  std::uint64_t read_requests = 0;
+  std::uint64_t write_blocks = 0;
+  std::uint64_t read_blocks = 0;
+  /// Write requests whose data writes were entirely eliminated.
+  std::uint64_t writes_eliminated = 0;
+  /// Individual chunks deduplicated (no disk write, map update only).
+  std::uint64_t chunks_deduped = 0;
+  /// Chunks physically written.
+  std::uint64_t chunks_written = 0;
+  /// Requests per Select-Dedupe category (indexed by WriteCategory).
+  std::uint64_t category_counts[4] = {0, 0, 0, 0};
+  /// Disk reads charged to on-disk index lookups.
+  std::uint64_t index_disk_reads = 0;
+  /// Disk writes charged to on-disk index maintenance.
+  std::uint64_t index_disk_writes = 0;
+  /// Number of distinct volume ops issued for read requests (read
+  /// amplification = this / read_requests).
+  std::uint64_t read_ops_issued = 0;
+
+  double removed_write_pct() const {
+    return write_requests == 0 ? 0.0
+                               : 100.0 * static_cast<double>(writes_eliminated) /
+                                     static_cast<double>(write_requests);
+  }
+  double dedup_ratio() const {
+    const std::uint64_t total = chunks_deduped + chunks_written;
+    return total == 0 ? 0.0
+                      : static_cast<double>(chunks_deduped) /
+                            static_cast<double>(total);
+  }
+
+  /// Counter-wise difference (for measured-phase-only reporting: snapshot
+  /// at measurement start, delta at the end).
+  static EngineStats delta(const EngineStats& after, const EngineStats& before);
+};
+
+class DedupEngine {
+ public:
+  DedupEngine(Simulator& sim, Volume& volume, const EngineConfig& cfg);
+  virtual ~DedupEngine() = default;
+
+  DedupEngine(const DedupEngine&) = delete;
+  DedupEngine& operator=(const DedupEngine&) = delete;
+
+  virtual const char* name() const = 0;
+
+  /// Timed processing: `done` fires at the simulated completion time.
+  void submit(const IoRequest& req, std::function<void()> done);
+
+  /// Functional processing (state only, no simulated time).
+  void warm(const IoRequest& req);
+
+  /// Called by the replayer when the measured phase begins.
+  virtual void begin_measured() {}
+
+  const EngineStats& stats() const { return stats_; }
+  const BlockStore& store() const { return store_; }
+  const HashEngine& hash_engine() const { return hash_; }
+  ReadCache& read_cache() { return read_cache_; }
+  const ReadCache& read_cache() const { return read_cache_; }
+  /// Null for engines without a fingerprint index (Native).
+  IndexCache* index_cache() { return index_cache_.get(); }
+  const IndexCache* index_cache() const { return index_cache_.get(); }
+  const EngineConfig& config() const { return cfg_; }
+
+  /// Physical capacity in use (Figure 10).
+  std::uint64_t physical_blocks_used() const { return store_.live_physical_blocks(); }
+  /// Map-table NVRAM requirement (§IV-D2).
+  std::uint64_t map_table_bytes() const { return store_.map_table().bytes(); }
+  std::uint64_t map_table_max_bytes() const { return store_.map_table().max_bytes(); }
+
+ protected:
+  /// One volume operation an engine wants executed.
+  struct OpSpec {
+    OpType type = OpType::kRead;
+    Pba block = 0;
+    std::uint64_t nblocks = 1;
+  };
+
+  /// The timing plan for a request: a CPU delay, then stage1 ops (all in
+  /// parallel), then — once stage1 completes — stage2 ops.
+  struct IoPlan {
+    Duration cpu = 0;
+    std::vector<OpSpec> stage1;
+    std::vector<OpSpec> stage2;
+    bool empty() const { return stage1.empty() && stage2.empty(); }
+  };
+
+  /// Engine policy: updates all state and returns the plan.
+  virtual IoPlan process_write(const IoRequest& req) = 0;
+  virtual IoPlan process_read(const IoRequest& req);
+
+  // ---- shared helpers -------------------------------------------------
+
+  /// Default read path: resolve each block through the store, consult the
+  /// read cache, and coalesce misses into contiguous volume reads.
+  IoPlan build_read_plan(const IoRequest& req);
+
+  /// Writes the non-deduplicated chunks of a request: places each chunk
+  /// through the BlockStore (home or redirected, contiguity-aware), updates
+  /// `written_pbas`, and appends coalesced write ops to `plan.stage2`.
+  /// `dedup_mask[i]` true means chunk i was deduplicated by the caller.
+  void write_remaining_chunks(const IoRequest& req,
+                              const std::vector<ChunkDup>& dups,
+                              const std::vector<bool>& dedup_mask, IoPlan& plan,
+                              std::vector<Pba>* written_pbas = nullptr);
+
+  /// Applies dedup decisions: for every chunk with dedup_mask[i], points
+  /// LBA i at dups[i].pba. Each candidate is revalidated immediately before
+  /// use — deduplicating an earlier chunk of the same request can release
+  /// the physical block a later chunk targeted (e.g. an overlapping
+  /// overwrite); such chunks have their mask cleared and are written
+  /// normally by write_remaining_chunks.
+  void apply_dedup(const IoRequest& req, const std::vector<ChunkDup>& dups,
+                   std::vector<bool>& dedup_mask);
+
+  /// Verifies a dedup candidate still holds the expected content.
+  bool candidate_valid(const Fingerprint& fp, Pba pba) const;
+
+  /// Coalesces (type-homogeneous) block ops into contiguous OpSpecs.
+  static void coalesce_into(std::vector<std::pair<Pba, std::uint64_t>> runs,
+                            OpType type, std::vector<OpSpec>& out);
+
+  Pba index_region_start() const { return store_.data_region_blocks(); }
+  Pba swap_region_start() const {
+    return store_.data_region_blocks() + cfg_.index_region_blocks;
+  }
+
+  /// Fire-and-forget background op (index maintenance, iCache swaps).
+  void issue_background(OpType type, Pba block, std::uint64_t nblocks);
+
+  /// Invoked when a physical block's content is replaced or freed. The
+  /// base invalidates read-cache and index-cache entries; subclasses extend
+  /// (e.g. Full-Dedupe erases the on-disk index entry).
+  virtual void on_content_gone(Pba pba, const Fingerprint& fp);
+
+  Simulator& sim_;
+  Volume& volume_;
+  EngineConfig cfg_;
+  HashEngine hash_;
+  BlockStore store_;
+  ReadCache read_cache_;
+  /// Present when cfg_.index_fraction > 0 (every engine except Native).
+  std::unique_ptr<IndexCache> index_cache_;
+  EngineStats stats_;
+  /// True while processing a warm() call: plans are built but not executed,
+  /// and background I/O is suppressed.
+  bool warming_ = false;
+
+ private:
+  void execute_plan(IoPlan plan, std::function<void()> done);
+};
+
+}  // namespace pod

@@ -1,0 +1,98 @@
+#include "engines/full_dedupe.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace pod {
+
+namespace {
+OnDiskIndex::Config ondisk_config(const DedupEngine* engine,
+                                  const EngineConfig& cfg) {
+  OnDiskIndex::Config c;
+  // Region begins right after the data region (home area + pool).
+  const std::uint64_t pool = std::max<std::uint64_t>(
+      1024, static_cast<std::uint64_t>(static_cast<double>(cfg.logical_blocks) *
+                                       cfg.pool_fraction));
+  c.region_start = cfg.logical_blocks + pool;
+  c.region_blocks = cfg.index_region_blocks;
+  c.bloom_enabled = cfg.full_dedupe_bloom;
+  (void)engine;
+  return c;
+}
+}  // namespace
+
+FullDedupeEngine::FullDedupeEngine(Simulator& sim, Volume& volume,
+                                   const EngineConfig& cfg)
+    : DedupEngine(sim, volume, cfg), ondisk_(ondisk_config(this, cfg)) {
+  POD_CHECK(index_cache_ != nullptr);
+}
+
+void FullDedupeEngine::on_content_gone(Pba pba, const Fingerprint& fp) {
+  DedupEngine::on_content_gone(pba, fp);
+  // Drop the authoritative entry only if it still points at this block
+  // (metadata maintenance piggybacks on the data path; no disk charge).
+  const Pba* stored = ondisk_.peek(fp);
+  if (stored != nullptr && *stored == pba) ondisk_.erase(fp);
+}
+
+DedupEngine::IoPlan FullDedupeEngine::process_write(const IoRequest& req) {
+  IoPlan plan;
+  plan.cpu = hash_.latency_for_chunks(req.nblocks);
+  hash_.note_chunks_hashed(req.nblocks);
+
+  std::vector<ChunkDup> dups(req.nblocks);
+  std::vector<bool> mask(req.nblocks, false);
+  std::vector<std::pair<Pba, std::uint64_t>> bucket_reads;
+
+  for (std::uint32_t i = 0; i < req.nblocks; ++i) {
+    const Fingerprint& fp = req.chunks[i];
+    // Hot path: in-memory index cache.
+    if (const IndexEntry* e = index_cache_->lookup(fp)) {
+      if (candidate_valid(fp, e->pba)) {
+        dups[i] = ChunkDup{true, e->pba};
+        mask[i] = true;
+      }
+      continue;
+    }
+    index_cache_->ghost_probe(fp);
+    // Cold path: the on-disk full index (Bloom-guarded).
+    const OnDiskIndex::Lookup l = ondisk_.lookup(fp);
+    if (l.needs_disk_read) {
+      bucket_reads.emplace_back(l.bucket, 1);
+      ++stats_.index_disk_reads;
+    }
+    if (l.found && candidate_valid(fp, l.pba)) {
+      dups[i] = ChunkDup{true, l.pba};
+      mask[i] = true;
+      index_cache_->insert(fp, l.pba);  // promote to hot
+    }
+  }
+
+  // Full-Dedupe deduplicates every redundant chunk, scattered or not.
+  apply_dedup(req, dups, mask);
+
+  std::vector<Pba> written;
+  write_remaining_chunks(req, dups, mask, plan, &written);
+
+  // Index maintenance for freshly written chunks.
+  std::size_t w = 0;
+  for (std::uint32_t i = 0; i < req.nblocks; ++i) {
+    if (mask[i]) continue;
+    const Pba pba = written[w++];
+    index_cache_->insert(req.chunks[i], pba);
+    if (const auto flush = ondisk_.insert(req.chunks[i], pba)) {
+      ++stats_.index_disk_writes;
+      issue_background(OpType::kWrite, *flush, 1);
+    }
+  }
+
+  // Charge the index-bucket reads as stage-1 (they gate the decision).
+  std::sort(bucket_reads.begin(), bucket_reads.end());
+  bucket_reads.erase(std::unique(bucket_reads.begin(), bucket_reads.end()),
+                     bucket_reads.end());
+  coalesce_into(std::move(bucket_reads), OpType::kRead, plan.stage1);
+  return plan;
+}
+
+}  // namespace pod

@@ -1,0 +1,32 @@
+// Full-Dedupe: traditional complete inline deduplication.
+//
+// Every redundant chunk is deduplicated, wherever its duplicate lives.
+// The authoritative fingerprint index is on disk; lookups that miss the
+// in-memory index cache (and pass the Bloom filter) cost a random read in
+// the reserved index region — the §II-B "in-disk index-lookup" bottleneck.
+// Scattered dedup hits fragment logical ranges, producing the read
+// amplification that degrades web-vm and homes in Figure 9(b).
+#pragma once
+
+#include "dedup/ondisk_index.hpp"
+#include "engines/engine.hpp"
+
+namespace pod {
+
+class FullDedupeEngine : public DedupEngine {
+ public:
+  FullDedupeEngine(Simulator& sim, Volume& volume, const EngineConfig& cfg);
+
+  const char* name() const override { return "full-dedupe"; }
+
+  const OnDiskIndex& ondisk_index() const { return ondisk_; }
+
+ protected:
+  IoPlan process_write(const IoRequest& req) override;
+  void on_content_gone(Pba pba, const Fingerprint& fp) override;
+
+ private:
+  OnDiskIndex ondisk_;
+};
+
+}  // namespace pod

@@ -1,0 +1,63 @@
+#include "engines/idedup.hpp"
+
+#include "common/check.hpp"
+
+namespace pod {
+
+IDedupEngine::IDedupEngine(Simulator& sim, Volume& volume, const EngineConfig& cfg)
+    : DedupEngine(sim, volume, cfg) {
+  POD_CHECK(index_cache_ != nullptr);
+}
+
+DedupEngine::IoPlan IDedupEngine::process_write(const IoRequest& req) {
+  IoPlan plan;
+
+  // Small requests contribute little capacity; iDedup skips them outright
+  // (no fingerprinting cost, but also no chance of eliminating them —
+  // exactly what POD criticises).
+  if (req.nblocks <= cfg_.idedup_bypass_blocks) {
+    ++bypassed_;
+    const std::vector<ChunkDup> dups(req.nblocks);
+    const std::vector<bool> mask(req.nblocks, false);
+    write_remaining_chunks(req, dups, mask, plan);
+    return plan;
+  }
+
+  plan.cpu = hash_.latency_for_chunks(req.nblocks);
+  hash_.note_chunks_hashed(req.nblocks);
+
+  std::vector<ChunkDup> dups(req.nblocks);
+  for (std::uint32_t i = 0; i < req.nblocks; ++i) {
+    if (const IndexEntry* e = index_cache_->lookup(req.chunks[i])) {
+      if (candidate_valid(req.chunks[i], e->pba))
+        dups[i] = ChunkDup{true, e->pba};
+    } else {
+      index_cache_->ghost_probe(req.chunks[i]);
+    }
+  }
+
+  // Deduplicate only sequential duplicate runs long enough to keep later
+  // reads sequential AND pay for themselves in capacity.
+  std::vector<bool> mask(req.nblocks, false);
+  for (const DupRun& run : find_dup_runs(dups)) {
+    if (run.length < cfg_.idedup_seq_threshold) continue;
+    for (std::size_t i = 0; i < run.length; ++i) mask[run.begin + i] = true;
+  }
+
+  apply_dedup(req, dups, mask);
+  std::vector<Pba> written;
+  write_remaining_chunks(req, dups, mask, plan, &written);
+
+  // Index only the genuinely new chunks (redundant-but-unselected chunks
+  // keep their canonical entry; see select_dedupe.cpp for the rationale).
+  std::size_t w = 0;
+  for (std::uint32_t i = 0; i < req.nblocks; ++i) {
+    if (mask[i]) continue;
+    const Pba pba = written[w++];
+    if (dups[i].redundant) continue;
+    index_cache_->insert(req.chunks[i], pba);
+  }
+  return plan;
+}
+
+}  // namespace pod

@@ -1,0 +1,53 @@
+#include "engines/io_dedup.hpp"
+
+namespace pod {
+
+namespace {
+EngineConfig no_index_split(EngineConfig cfg) {
+  cfg.index_fraction = 0.0;  // no fingerprint-index cache
+  return cfg;
+}
+}  // namespace
+
+IoDedupEngine::IoDedupEngine(Simulator& sim, Volume& volume, EngineConfig cfg)
+    : DedupEngine(sim, volume, no_index_split(std::move(cfg))),
+      content_cache_(static_cast<std::size_t>(cfg_.memory_bytes / kBlockSize)) {
+  // The base read cache and the content cache would double-count memory;
+  // disable the base cache.
+  read_cache_.resize(0);
+}
+
+DedupEngine::IoPlan IoDedupEngine::process_write(const IoRequest& req) {
+  IoPlan plan;
+  // Koller & Rangaswami compute content signatures *out of band* (in the
+  // background, off the critical path), so unlike the inline dedup engines
+  // no fingerprint latency is charged to the write itself.
+  hash_.note_chunks_hashed(req.nblocks);
+  const std::vector<ChunkDup> dups(req.nblocks);
+  const std::vector<bool> mask(req.nblocks, false);
+  write_remaining_chunks(req, dups, mask, plan);
+  return plan;
+}
+
+DedupEngine::IoPlan IoDedupEngine::process_read(const IoRequest& req) {
+  IoPlan plan;
+  std::vector<std::pair<Pba, std::uint64_t>> miss_runs;
+  for (std::uint32_t i = 0; i < req.nblocks; ++i) {
+    const Lba lba = req.lba + i;
+    Pba pba = store_.resolve(lba);
+    if (pba == kInvalidPba) pba = static_cast<Pba>(lba);
+    const Fingerprint* fp = store_.fingerprint_of(pba);
+    const std::uint64_t key = fp != nullptr ? fp->prefix64() : pba;
+    if (content_cache_.get(key) != nullptr) {
+      ++content_hits_;
+      continue;
+    }
+    ++content_misses_;
+    content_cache_.put(key, Unit{});
+    miss_runs.emplace_back(pba, 1);
+  }
+  coalesce_into(std::move(miss_runs), OpType::kRead, plan.stage1);
+  return plan;
+}
+
+}  // namespace pod

@@ -1,0 +1,25 @@
+#include "engines/native.hpp"
+
+namespace pod {
+
+namespace {
+EngineConfig all_memory_to_read_cache(EngineConfig cfg) {
+  cfg.index_fraction = 0.0;  // no fingerprint index at all
+  return cfg;
+}
+}  // namespace
+
+NativeEngine::NativeEngine(Simulator& sim, Volume& volume, EngineConfig cfg)
+    : DedupEngine(sim, volume, all_memory_to_read_cache(std::move(cfg))) {}
+
+DedupEngine::IoPlan NativeEngine::process_write(const IoRequest& req) {
+  IoPlan plan;
+  // No hashing, no dedup decision: place every chunk (home locations are
+  // always available since nothing is ever shared) and write.
+  const std::vector<ChunkDup> dups(req.nblocks);
+  const std::vector<bool> mask(req.nblocks, false);
+  write_remaining_chunks(req, dups, mask, plan);
+  return plan;
+}
+
+}  // namespace pod

@@ -1,0 +1,44 @@
+#include "engines/pod_engine.hpp"
+
+#include "common/check.hpp"
+
+namespace pod {
+
+PodEngine::PodEngine(Simulator& sim, Volume& volume, const EngineConfig& cfg,
+                     const PodEngineOptions& opts)
+    : SelectDedupeEngine(sim, volume, cfg) {
+  ICacheConfig icfg = opts.icache;
+  icfg.total_bytes = cfg_.memory_bytes;
+  icfg.initial_index_fraction = cfg_.index_fraction;
+  // Never shrink the Index table far below its initial share: its entries
+  // carry the accumulated dedup knowledge Select-Dedupe depends on, and
+  // POD must detect at least as many redundant writes as fixed-partition
+  // Select-Dedupe (paper §IV-C / Figure 11).
+  icfg.min_fraction = std::max(icfg.min_fraction, 0.9 * cfg_.index_fraction);
+  icache_ = std::make_unique<ICache>(
+      icfg, *index_cache_, read_cache_,
+      [this](OpType type, std::uint64_t blocks) { swap_io(type, blocks); });
+}
+
+void PodEngine::swap_io(OpType type, std::uint64_t blocks) {
+  if (warming_) return;
+  // Sequential traffic in the reserved swap region, wrapping around.
+  const std::uint64_t region = cfg_.swap_region_blocks;
+  POD_CHECK(region > 0);
+  blocks = std::min<std::uint64_t>(blocks, region);
+  if (swap_cursor_ + blocks > region) swap_cursor_ = 0;
+  issue_background(type, swap_region_start() + swap_cursor_, blocks);
+  swap_cursor_ += blocks;
+}
+
+DedupEngine::IoPlan PodEngine::process_write(const IoRequest& req) {
+  icache_->maybe_adapt(sim_.now());
+  return select_dedupe_write(req);
+}
+
+DedupEngine::IoPlan PodEngine::process_read(const IoRequest& req) {
+  icache_->maybe_adapt(sim_.now());
+  return build_read_plan(req);
+}
+
+}  // namespace pod

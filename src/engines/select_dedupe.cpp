@@ -1,0 +1,61 @@
+#include "engines/select_dedupe.hpp"
+
+#include "common/check.hpp"
+
+namespace pod {
+
+SelectDedupeEngine::SelectDedupeEngine(Simulator& sim, Volume& volume,
+                                       const EngineConfig& cfg)
+    : DedupEngine(sim, volume, cfg) {
+  POD_CHECK(index_cache_ != nullptr);
+}
+
+DedupEngine::IoPlan SelectDedupeEngine::process_write(const IoRequest& req) {
+  return select_dedupe_write(req);
+}
+
+DedupEngine::IoPlan SelectDedupeEngine::select_dedupe_write(const IoRequest& req) {
+  IoPlan plan;
+  plan.cpu = hash_.latency_for_chunks(req.nblocks);
+  hash_.note_chunks_hashed(req.nblocks);
+
+  // Index-table lookups: hits bump the entry's Count (popularity /
+  // pin-against-modification signal); misses probe the ghost list so
+  // iCache can tell when a larger index cache would have found the dup.
+  std::vector<ChunkDup> dups(req.nblocks);
+  for (std::uint32_t i = 0; i < req.nblocks; ++i) {
+    if (const IndexEntry* e = index_cache_->lookup(req.chunks[i])) {
+      if (candidate_valid(req.chunks[i], e->pba))
+        dups[i] = ChunkDup{true, e->pba};
+    } else {
+      index_cache_->ghost_probe(req.chunks[i]);
+    }
+  }
+
+  const Categorization cat = categorize(dups, cfg_.select_threshold);
+  ++stats_.category_counts[static_cast<std::size_t>(cat.category)];
+
+  std::vector<bool> mask(req.nblocks, false);
+  for (const DupRun& run : cat.dedup_runs)
+    for (std::size_t i = 0; i < run.length; ++i) mask[run.begin + i] = true;
+
+  apply_dedup(req, dups, mask);
+  std::vector<Pba> written;
+  write_remaining_chunks(req, dups, mask, plan, &written);
+
+  // Freshly written chunks enter the hot Index table (Count = 0) so future
+  // duplicates of them can be detected. Chunks that were redundant but not
+  // deduplicated (category 2) keep their existing canonical entry — binding
+  // the fingerprint to the newly written scattered copy would destroy run
+  // detection for every later replay of the source extent.
+  std::size_t w = 0;
+  for (std::uint32_t i = 0; i < req.nblocks; ++i) {
+    if (mask[i]) continue;
+    const Pba pba = written[w++];
+    if (dups[i].redundant) continue;
+    index_cache_->insert(req.chunks[i], pba);
+  }
+  return plan;
+}
+
+}  // namespace pod

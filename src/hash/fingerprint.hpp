@@ -1,0 +1,63 @@
+// Chunk fingerprints.
+//
+// A Fingerprint identifies the content of one 4 KB chunk. Real data is
+// fingerprinted with SHA-1 (truncated to 128 bits); synthetic traces carry
+// abstract 64-bit content ids which are expanded into fingerprints through
+// a mixing function, so both paths produce the same value type.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+namespace pod {
+
+class Fingerprint {
+ public:
+  static constexpr std::size_t kSize = 16;
+
+  constexpr Fingerprint() : bytes_{} {}
+
+  /// Fingerprint of raw chunk data (truncated SHA-1).
+  static Fingerprint of_data(std::span<const std::uint8_t> data);
+
+  /// Fingerprint derived from an abstract content id (synthetic traces).
+  static Fingerprint of_content_id(std::uint64_t content_id);
+
+  /// Canonical fingerprint with the given 64-bit prefix (the high lane is
+  /// derived deterministically). Used when deserializing the CSV trace
+  /// format, which stores only prefix64().
+  static Fingerprint of_prefix(std::uint64_t prefix);
+
+  /// First 8 bytes as an integer — used as the hash-table key and as the
+  /// on-trace representation.
+  std::uint64_t prefix64() const;
+
+  std::string hex() const;
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+  friend auto operator<=>(const Fingerprint&, const Fingerprint&) = default;
+
+  const std::array<std::uint8_t, kSize>& bytes() const { return bytes_; }
+
+ private:
+  std::array<std::uint8_t, kSize> bytes_;
+};
+
+struct FingerprintHash {
+  std::size_t operator()(const Fingerprint& f) const {
+    return static_cast<std::size_t>(f.prefix64());
+  }
+};
+
+}  // namespace pod
+
+template <>
+struct std::hash<pod::Fingerprint> {
+  std::size_t operator()(const pod::Fingerprint& f) const {
+    return pod::FingerprintHash{}(f);
+  }
+};

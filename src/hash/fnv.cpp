@@ -1,0 +1,11 @@
+#include "hash/fnv.hpp"
+
+namespace pod {
+
+std::uint64_t fnv1a64_u64(std::uint64_t value, std::uint64_t seed) {
+  std::uint8_t bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  return fnv1a64(bytes, 8, seed);
+}
+
+}  // namespace pod

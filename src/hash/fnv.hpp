@@ -1,0 +1,31 @@
+// FNV-1a 64-bit hash: cheap non-cryptographic hashing for hash-table keys.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+
+namespace pod {
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+constexpr std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t len,
+                                std::uint64_t seed = kFnvOffset) {
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a64(std::span<const std::uint8_t> data,
+                             std::uint64_t seed = kFnvOffset) {
+  return fnv1a64(data.data(), data.size(), seed);
+}
+
+/// Mixes a 64-bit value (e.g. a content id) into a well-distributed hash.
+std::uint64_t fnv1a64_u64(std::uint64_t value, std::uint64_t seed = kFnvOffset);
+
+}  // namespace pod

@@ -1,0 +1,138 @@
+#include "hash/sha1.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace pod {
+
+namespace {
+
+inline std::uint32_t rotl32(std::uint32_t x, int k) {
+  return (x << k) | (x >> (32 - k));
+}
+
+}  // namespace
+
+Sha1::Sha1() { reset(); }
+
+void Sha1::reset() {
+  h_[0] = 0x67452301u;
+  h_[1] = 0xEFCDAB89u;
+  h_[2] = 0x98BADCFEu;
+  h_[3] = 0x10325476u;
+  h_[4] = 0xC3D2E1F0u;
+  total_bytes_ = 0;
+  buffer_len_ = 0;
+}
+
+void Sha1::update(const void* data, std::size_t len) {
+  update(std::span<const std::uint8_t>(static_cast<const std::uint8_t*>(data), len));
+}
+
+void Sha1::update(std::span<const std::uint8_t> data) {
+  total_bytes_ += data.size();
+  std::size_t offset = 0;
+  if (buffer_len_ > 0) {
+    const std::size_t take = std::min<std::size_t>(64 - buffer_len_, data.size());
+    std::memcpy(buffer_ + buffer_len_, data.data(), take);
+    buffer_len_ += take;
+    offset += take;
+    if (buffer_len_ == 64) {
+      process_block(buffer_);
+      buffer_len_ = 0;
+    }
+  }
+  while (offset + 64 <= data.size()) {
+    process_block(data.data() + offset);
+    offset += 64;
+  }
+  const std::size_t rest = data.size() - offset;
+  if (rest > 0) {
+    std::memcpy(buffer_, data.data() + offset, rest);
+    buffer_len_ = rest;
+  }
+}
+
+Sha1::Digest Sha1::finalize() {
+  const std::uint64_t bit_len = total_bytes_ * 8;
+  // Padding: 0x80 then zeros until 56 mod 64, then 64-bit big-endian length.
+  const std::uint8_t pad_byte = 0x80;
+  update(&pad_byte, 1);
+  const std::uint8_t zero = 0x00;
+  while (buffer_len_ != 56) update(&zero, 1);
+  std::uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i) len_be[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  update(len_be, 8);
+  POD_DCHECK(buffer_len_ == 0);
+
+  Digest d;
+  for (int i = 0; i < 5; ++i) {
+    d[4 * i + 0] = static_cast<std::uint8_t>(h_[i] >> 24);
+    d[4 * i + 1] = static_cast<std::uint8_t>(h_[i] >> 16);
+    d[4 * i + 2] = static_cast<std::uint8_t>(h_[i] >> 8);
+    d[4 * i + 3] = static_cast<std::uint8_t>(h_[i]);
+  }
+  return d;
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (std::uint32_t{block[4 * i]} << 24) |
+           (std::uint32_t{block[4 * i + 1]} << 16) |
+           (std::uint32_t{block[4 * i + 2]} << 8) |
+           std::uint32_t{block[4 * i + 3]};
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t tmp = rotl32(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = tmp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+Sha1::Digest Sha1::hash(std::span<const std::uint8_t> data) {
+  Sha1 s;
+  s.update(data);
+  return s.finalize();
+}
+
+std::string Sha1::hex(const Digest& d) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(2 * kDigestSize);
+  for (std::uint8_t b : d) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace pod

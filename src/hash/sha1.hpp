@@ -1,0 +1,45 @@
+// SHA-1 implemented from scratch (FIPS 180-1).
+//
+// Deduplication systems traditionally fingerprint chunks with SHA-1; POD's
+// prototype does the same. Collisions are not a practical concern for the
+// simulated workloads, and the trace format stores only the first 8 bytes
+// of the digest (like the FIU traces, which carry truncated MD5/SHA
+// signatures per block).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace pod {
+
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha1();
+
+  void update(std::span<const std::uint8_t> data);
+  void update(const void* data, std::size_t len);
+  /// Finalizes and returns the digest. The object must be reset() before
+  /// further use.
+  Digest finalize();
+  void reset();
+
+  /// One-shot convenience.
+  static Digest hash(std::span<const std::uint8_t> data);
+  static std::string hex(const Digest& d);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t h_[5];
+  std::uint64_t total_bytes_;
+  std::uint8_t buffer_[64];
+  std::size_t buffer_len_;
+};
+
+}  // namespace pod

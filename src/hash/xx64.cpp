@@ -1,0 +1,99 @@
+#include "hash/xx64.hpp"
+
+#include <cstring>
+
+namespace pod {
+
+namespace {
+
+constexpr std::uint64_t kPrime1 = 0x9E3779B185EBCA87ULL;
+constexpr std::uint64_t kPrime2 = 0xC2B2AE3D27D4EB4FULL;
+constexpr std::uint64_t kPrime3 = 0x165667B19E3779F9ULL;
+constexpr std::uint64_t kPrime4 = 0x85EBCA77C2B2AE63ULL;
+constexpr std::uint64_t kPrime5 = 0x27D4EB2F165667C5ULL;
+
+inline std::uint64_t rotl64(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+inline std::uint64_t read64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;  // little-endian host assumed (x86/ARM64)
+}
+
+inline std::uint32_t read32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline std::uint64_t round_step(std::uint64_t acc, std::uint64_t input) {
+  acc += input * kPrime2;
+  acc = rotl64(acc, 31);
+  acc *= kPrime1;
+  return acc;
+}
+
+inline std::uint64_t merge_round(std::uint64_t acc, std::uint64_t val) {
+  val = round_step(0, val);
+  acc ^= val;
+  acc = acc * kPrime1 + kPrime4;
+  return acc;
+}
+
+}  // namespace
+
+std::uint64_t xx64(const std::uint8_t* data, std::size_t len, std::uint64_t seed) {
+  const std::uint8_t* p = data;
+  const std::uint8_t* const end = data + len;
+  std::uint64_t h;
+
+  if (len >= 32) {
+    std::uint64_t v1 = seed + kPrime1 + kPrime2;
+    std::uint64_t v2 = seed + kPrime2;
+    std::uint64_t v3 = seed;
+    std::uint64_t v4 = seed - kPrime1;
+    do {
+      v1 = round_step(v1, read64(p));
+      v2 = round_step(v2, read64(p + 8));
+      v3 = round_step(v3, read64(p + 16));
+      v4 = round_step(v4, read64(p + 24));
+      p += 32;
+    } while (p + 32 <= end);
+    h = rotl64(v1, 1) + rotl64(v2, 7) + rotl64(v3, 12) + rotl64(v4, 18);
+    h = merge_round(h, v1);
+    h = merge_round(h, v2);
+    h = merge_round(h, v3);
+    h = merge_round(h, v4);
+  } else {
+    h = seed + kPrime5;
+  }
+
+  h += static_cast<std::uint64_t>(len);
+
+  while (p + 8 <= end) {
+    h ^= round_step(0, read64(p));
+    h = rotl64(h, 27) * kPrime1 + kPrime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= std::uint64_t{read32(p)} * kPrime1;
+    h = rotl64(h, 23) * kPrime2 + kPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= std::uint64_t{*p} * kPrime5;
+    h = rotl64(h, 11) * kPrime1;
+    ++p;
+  }
+
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace pod

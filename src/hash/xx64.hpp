@@ -1,0 +1,20 @@
+// xxHash64-style hash implemented from scratch: fast bulk fingerprinting
+// for the non-cryptographic fingerprint mode of the HashEngine.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+
+namespace pod {
+
+/// 64-bit xxHash (XXH64 algorithm, reimplemented).
+std::uint64_t xx64(const std::uint8_t* data, std::size_t len,
+                   std::uint64_t seed = 0);
+
+inline std::uint64_t xx64(std::span<const std::uint8_t> data,
+                          std::uint64_t seed = 0) {
+  return xx64(data.data(), data.size(), seed);
+}
+
+}  // namespace pod

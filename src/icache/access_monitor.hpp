@@ -1,0 +1,54 @@
+// iCache's Access Monitor (paper §III-C).
+//
+// Watches the intensity and hit behaviour of the read and write streams by
+// snapshotting the actual- and ghost-cache counters at each adaptation
+// epoch and reporting the per-epoch deltas.
+#pragma once
+
+#include <cstdint>
+
+#include "cache/index_cache.hpp"
+#include "cache/read_cache.hpp"
+
+namespace pod {
+
+struct EpochActivity {
+  std::uint64_t read_hits = 0;
+  std::uint64_t read_misses = 0;
+  std::uint64_t read_ghost_hits = 0;
+  /// Ghost hits close enough to the eviction boundary that one adaptation
+  /// step would have kept them cached (the actionable growth signal).
+  std::uint64_t read_ghost_near_hits = 0;
+  std::uint64_t index_hits = 0;
+  std::uint64_t index_misses = 0;
+  std::uint64_t index_ghost_hits = 0;
+  std::uint64_t index_ghost_near_hits = 0;
+
+  std::uint64_t read_lookups() const { return read_hits + read_misses; }
+  std::uint64_t index_lookups() const { return index_hits + index_misses; }
+};
+
+class AccessMonitor {
+ public:
+  AccessMonitor(const IndexCache& index, const ReadCache& read);
+
+  /// Returns activity since the previous epoch and starts a new epoch.
+  EpochActivity end_epoch();
+
+  /// Activity so far in the current epoch (non-destructive).
+  EpochActivity current() const;
+
+ private:
+  struct Snapshot {
+    std::uint64_t read_hits = 0, read_misses = 0, read_ghost = 0, read_near = 0;
+    std::uint64_t index_hits = 0, index_misses = 0, index_ghost = 0,
+                  index_near = 0;
+  };
+  Snapshot take() const;
+
+  const IndexCache& index_;
+  const ReadCache& read_;
+  Snapshot epoch_start_;
+};
+
+}  // namespace pod

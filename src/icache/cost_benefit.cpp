@@ -1,0 +1,28 @@
+#include "icache/cost_benefit.hpp"
+
+namespace pod {
+
+CostBenefit evaluate_cost_benefit(const EpochActivity& activity,
+                                  const CostBenefitConfig& cfg) {
+  CostBenefit cb;
+  // Read-side growth is argued only by *near* ghost hits: a block deep in
+  // the ghost list would need far more than one step of extra memory, and
+  // its value expires with recency anyway. Index-side growth counts every
+  // ghost hit: each is a redundant write that went undetected, and a
+  // re-admitted fingerprint keeps paying off for as long as its content
+  // stays popular (write working sets have much longer reuse distances).
+  cb.index_benefit_ns = static_cast<double>(activity.index_ghost_hits) *
+                        static_cast<double>(cfg.write_save_cost);
+  cb.read_benefit_ns = static_cast<double>(activity.read_ghost_near_hits) *
+                       static_cast<double>(cfg.read_miss_cost);
+  if (cb.index_benefit_ns > cb.read_benefit_ns * cfg.hysteresis &&
+      cb.index_benefit_ns > 0.0) {
+    cb.decision = PartitionDecision::kGrowIndex;
+  } else if (cb.read_benefit_ns > cb.index_benefit_ns * cfg.grow_read_hysteresis &&
+             cb.read_benefit_ns > 0.0) {
+    cb.decision = PartitionDecision::kGrowRead;
+  }
+  return cb;
+}
+
+}  // namespace pod

@@ -1,0 +1,44 @@
+#include "raid/raid0.hpp"
+
+#include "common/check.hpp"
+
+namespace pod {
+
+Raid0::Raid0(Simulator& sim, const ArrayConfig& cfg) : DiskArray(sim, cfg) {
+  capacity_ = cfg_.num_disks * disks_[0]->total_blocks();
+}
+
+DiskFragment Raid0::map_block(Pba block) const {
+  const std::uint64_t unit = cfg_.stripe_unit_blocks;
+  const std::uint64_t stripe = block / unit;
+  const std::uint64_t within = block % unit;
+  const std::size_t disk = static_cast<std::size_t>(stripe % cfg_.num_disks);
+  const std::uint64_t row = stripe / cfg_.num_disks;
+  return DiskFragment{disk, row * unit + within, 1};
+}
+
+std::vector<DiskFragment> Raid0::split(Pba block, std::uint64_t nblocks) const {
+  std::vector<DiskFragment> frags;
+  const std::uint64_t unit = cfg_.stripe_unit_blocks;
+  Pba cur = block;
+  std::uint64_t remaining = nblocks;
+  while (remaining > 0) {
+    const DiskFragment start = map_block(cur);
+    const std::uint64_t left_in_unit = unit - (cur % unit);
+    const std::uint64_t take = std::min(remaining, left_in_unit);
+    frags.push_back(DiskFragment{start.disk, start.block, take});
+    cur += take;
+    remaining -= take;
+  }
+  return merge_fragments(std::move(frags));
+}
+
+void Raid0::submit(VolumeIo io) {
+  POD_CHECK(io.nblocks > 0);
+  POD_CHECK(io.block + io.nblocks <= capacity_);
+  std::vector<DiskFragment> frags = split(io.block, io.nblocks);
+  run_two_phase(/*phase1=*/{}, OpType::kRead, std::move(frags), io.type,
+                std::move(io.done));
+}
+
+}  // namespace pod

@@ -1,0 +1,24 @@
+// RAID-0 striped volume (no redundancy).
+#pragma once
+
+#include "raid/volume.hpp"
+
+namespace pod {
+
+class Raid0 : public DiskArray {
+ public:
+  Raid0(Simulator& sim, const ArrayConfig& cfg);
+
+  void submit(VolumeIo io) override;
+  std::uint64_t capacity_blocks() const override { return capacity_; }
+
+  /// Maps a volume PBA to its disk fragment start (exposed for tests).
+  DiskFragment map_block(Pba block) const;
+
+ private:
+  std::vector<DiskFragment> split(Pba block, std::uint64_t nblocks) const;
+
+  std::uint64_t capacity_;
+};
+
+}  // namespace pod

@@ -1,0 +1,281 @@
+#include "raid/raid5.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace pod {
+
+Raid5::Raid5(Simulator& sim, const ArrayConfig& cfg) : DiskArray(sim, cfg) {
+  POD_CHECK(cfg_.num_disks >= 3);
+  row_data_blocks_ = cfg_.stripe_unit_blocks * (cfg_.num_disks - 1);
+  const std::uint64_t rows = disks_[0]->total_blocks() / cfg_.stripe_unit_blocks;
+  capacity_ = rows * row_data_blocks_;
+}
+
+std::size_t Raid5::parity_disk(std::uint64_t row) const {
+  // Left-symmetric: parity walks backwards from the last disk.
+  const std::size_t n = cfg_.num_disks;
+  return (n - 1) - static_cast<std::size_t>(row % n);
+}
+
+DiskFragment Raid5::map_block(Pba block) const {
+  const std::uint64_t unit = cfg_.stripe_unit_blocks;
+  const std::uint64_t row = block / row_data_blocks_;
+  const std::uint64_t offset = block % row_data_blocks_;
+  const std::uint64_t data_col = offset / unit;
+  const std::uint64_t within = offset % unit;
+  const std::size_t pd = parity_disk(row);
+  // Data columns fill the disks left-to-right, skipping the parity disk.
+  std::size_t disk = static_cast<std::size_t>(data_col);
+  if (disk >= pd) ++disk;
+  return DiskFragment{disk, row * unit + within, 1};
+}
+
+std::vector<DiskFragment> Raid5::split_read(Pba block, std::uint64_t nblocks) const {
+  std::vector<DiskFragment> frags;
+  const std::uint64_t unit = cfg_.stripe_unit_blocks;
+  Pba cur = block;
+  std::uint64_t remaining = nblocks;
+  while (remaining > 0) {
+    const DiskFragment start = map_block(cur);
+    const std::uint64_t left_in_unit = unit - (cur % unit);
+    const std::uint64_t take = std::min(remaining, left_in_unit);
+    frags.push_back(DiskFragment{start.disk, start.block, take});
+    cur += take;
+    remaining -= take;
+  }
+  return merge_fragments(std::move(frags));
+}
+
+Raid5::WritePlan Raid5::plan_write(Pba block, std::uint64_t nblocks) const {
+  WritePlan plan;
+  const std::uint64_t unit = cfg_.stripe_unit_blocks;
+  Pba cur = block;
+  std::uint64_t remaining = nblocks;
+
+  while (remaining > 0) {
+    const std::uint64_t row = cur / row_data_blocks_;
+    const std::uint64_t row_start = row * row_data_blocks_;
+    const std::uint64_t row_off = cur - row_start;
+    const std::uint64_t in_row = std::min(remaining, row_data_blocks_ - row_off);
+    const std::size_t pd = parity_disk(row);
+    const std::uint64_t disk_row_base = row * unit;
+
+    // Data fragments for this row.
+    std::vector<DiskFragment> data_frags;
+    // Parity positions (within-unit offsets) touched in this row.
+    std::uint64_t pmin = unit, pmax = 0;
+    {
+      Pba c = cur;
+      std::uint64_t rem = in_row;
+      while (rem > 0) {
+        const DiskFragment f = map_block(c);
+        const std::uint64_t left_in_unit = unit - (c % unit);
+        const std::uint64_t take = std::min(rem, left_in_unit);
+        data_frags.push_back(DiskFragment{f.disk, f.block, take});
+        const std::uint64_t w0 = c % unit;
+        pmin = std::min(pmin, w0);
+        pmax = std::max(pmax, w0 + take - 1);
+        c += take;
+        rem -= take;
+      }
+    }
+    const DiskFragment parity_frag{pd, disk_row_base + pmin, pmax - pmin + 1};
+
+    if (in_row == row_data_blocks_) {
+      // Full-stripe write: new parity computable from the new data alone.
+      ++plan.full_stripes;
+      for (auto& f : data_frags) plan.writes.push_back(f);
+      plan.writes.push_back(DiskFragment{pd, disk_row_base, unit});
+    } else {
+      // Read-modify-write: read old data (same fragments) + old parity.
+      ++plan.rmw_rows;
+      for (auto& f : data_frags) plan.pre_reads.push_back(f);
+      plan.pre_reads.push_back(parity_frag);
+      for (auto& f : data_frags) plan.writes.push_back(f);
+      plan.writes.push_back(parity_frag);
+    }
+
+    cur += in_row;
+    remaining -= in_row;
+  }
+
+  plan.pre_reads = merge_fragments(std::move(plan.pre_reads));
+  plan.writes = merge_fragments(std::move(plan.writes));
+  return plan;
+}
+
+void Raid5::submit(VolumeIo io) {
+  POD_CHECK(io.nblocks > 0);
+  POD_CHECK(io.block + io.nblocks <= capacity_);
+  if (io.type == OpType::kRead) {
+    std::vector<DiskFragment> frags =
+        degraded() ? split_read_degraded(io.block, io.nblocks)
+                   : split_read(io.block, io.nblocks);
+    run_two_phase({}, OpType::kRead, std::move(frags), OpType::kRead,
+                  std::move(io.done));
+    return;
+  }
+  WritePlan plan = degraded() ? plan_write_degraded(io.block, io.nblocks)
+                              : plan_write(io.block, io.nblocks);
+  full_stripe_writes_ += plan.full_stripes;
+  rmw_writes_ += plan.rmw_rows;
+  run_two_phase(std::move(plan.pre_reads), OpType::kRead,
+                std::move(plan.writes), OpType::kWrite, std::move(io.done));
+}
+
+void Raid5::fail_disk(std::size_t disk) {
+  POD_CHECK(disk < cfg_.num_disks);
+  POD_CHECK(!failed_disk_.has_value() && "only a single failure is tolerated");
+  failed_disk_ = disk;
+}
+
+std::size_t Raid5::failed_disk() const {
+  POD_CHECK(failed_disk_.has_value());
+  return *failed_disk_;
+}
+
+std::uint64_t Raid5::total_rows() const {
+  return disks_[0]->total_blocks() / cfg_.stripe_unit_blocks;
+}
+
+std::vector<DiskFragment> Raid5::split_read_degraded(
+    Pba block, std::uint64_t nblocks) const {
+  const std::size_t fd = *failed_disk_;
+  const std::uint64_t unit = cfg_.stripe_unit_blocks;
+  std::vector<DiskFragment> frags;
+  Pba cur = block;
+  std::uint64_t remaining = nblocks;
+  while (remaining > 0) {
+    const DiskFragment f = map_block(cur);
+    const std::uint64_t left_in_unit = unit - (cur % unit);
+    const std::uint64_t take = std::min(remaining, left_in_unit);
+    if (f.disk != fd) {
+      frags.push_back(DiskFragment{f.disk, f.block, take});
+    } else {
+      // Reconstruction: the lost range is recomputed from the same
+      // disk-local range on every surviving member (data + parity).
+      ++reconstruction_reads_;
+      for (std::size_t d = 0; d < cfg_.num_disks; ++d) {
+        if (d == fd) continue;
+        frags.push_back(DiskFragment{d, f.block, take});
+      }
+    }
+    cur += take;
+    remaining -= take;
+  }
+  return merge_fragments(std::move(frags));
+}
+
+Raid5::WritePlan Raid5::plan_write_degraded(Pba block,
+                                            std::uint64_t nblocks) const {
+  const std::size_t fd = *failed_disk_;
+  WritePlan plan;
+  const std::uint64_t unit = cfg_.stripe_unit_blocks;
+  Pba cur = block;
+  std::uint64_t remaining = nblocks;
+
+  while (remaining > 0) {
+    const std::uint64_t row = cur / row_data_blocks_;
+    const std::uint64_t row_start = row * row_data_blocks_;
+    const std::uint64_t row_off = cur - row_start;
+    const std::uint64_t in_row = std::min(remaining, row_data_blocks_ - row_off);
+    const std::size_t pd = parity_disk(row);
+    const std::uint64_t disk_row_base = row * unit;
+
+    std::vector<DiskFragment> data_frags;
+    bool writes_failed_disk = false;
+    std::uint64_t pmin = unit, pmax = 0;
+    {
+      Pba c = cur;
+      std::uint64_t rem = in_row;
+      while (rem > 0) {
+        const DiskFragment f = map_block(c);
+        const std::uint64_t left_in_unit = unit - (c % unit);
+        const std::uint64_t take = std::min(rem, left_in_unit);
+        if (f.disk == fd) writes_failed_disk = true;
+        else data_frags.push_back(DiskFragment{f.disk, f.block, take});
+        const std::uint64_t w0 = c % unit;
+        pmin = std::min(pmin, w0);
+        pmax = std::max(pmax, w0 + take - 1);
+        c += take;
+        rem -= take;
+      }
+    }
+    const DiskFragment parity_frag{pd, disk_row_base + pmin, pmax - pmin + 1};
+    const std::uint64_t prange = pmax - pmin + 1;
+
+    if (in_row == row_data_blocks_) {
+      // Degraded full-stripe: write every surviving member (the failed
+      // column's data lives on in the parity).
+      ++plan.full_stripes;
+      for (auto& f : data_frags) plan.writes.push_back(f);
+      if (pd != fd)
+        plan.writes.push_back(DiskFragment{pd, disk_row_base, unit});
+    } else if (pd == fd) {
+      // Parity column lost: data writes proceed without parity maintenance.
+      ++plan.rmw_rows;
+      for (auto& f : data_frags) plan.writes.push_back(f);
+    } else if (writes_failed_disk) {
+      // Writing to the lost column: reconstruct-write. The new parity must
+      // absorb the lost block's new data, which requires the *entire*
+      // surviving row range [pmin, pmax] as input.
+      ++plan.rmw_rows;
+      for (std::size_t d = 0; d < cfg_.num_disks; ++d) {
+        if (d == fd || d == pd) continue;
+        plan.pre_reads.push_back(
+            DiskFragment{d, disk_row_base + pmin, prange});
+      }
+      for (auto& f : data_frags) plan.writes.push_back(f);
+      plan.writes.push_back(parity_frag);
+    } else {
+      // Failed column untouched by this write: normal read-modify-write on
+      // the surviving members.
+      ++plan.rmw_rows;
+      for (auto& f : data_frags) plan.pre_reads.push_back(f);
+      plan.pre_reads.push_back(parity_frag);
+      for (auto& f : data_frags) plan.writes.push_back(f);
+      plan.writes.push_back(parity_frag);
+    }
+
+    cur += in_row;
+    remaining -= in_row;
+  }
+
+  plan.pre_reads = merge_fragments(std::move(plan.pre_reads));
+  plan.writes = merge_fragments(std::move(plan.writes));
+  return plan;
+}
+
+std::uint64_t Raid5::rebuild_rows(std::uint64_t first_row, std::uint64_t nrows,
+                                  std::function<void()> done) {
+  POD_CHECK(failed_disk_.has_value());
+  const std::size_t fd = *failed_disk_;
+  const std::uint64_t unit = cfg_.stripe_unit_blocks;
+  const std::uint64_t end_row = std::min(total_rows(), first_row + nrows);
+  if (first_row >= end_row) {
+    if (done) done();
+    return 0;
+  }
+  std::vector<DiskFragment> reads;
+  std::vector<DiskFragment> writes;
+  for (std::uint64_t row = first_row; row < end_row; ++row) {
+    for (std::size_t d = 0; d < cfg_.num_disks; ++d) {
+      if (d == fd) continue;
+      reads.push_back(DiskFragment{d, row * unit, unit});
+    }
+    writes.push_back(DiskFragment{fd, row * unit, unit});
+  }
+  run_two_phase(merge_fragments(std::move(reads)), OpType::kRead,
+                merge_fragments(std::move(writes)), OpType::kWrite,
+                std::move(done));
+  return end_row - first_row;
+}
+
+void Raid5::complete_rebuild() {
+  POD_CHECK(failed_disk_.has_value());
+  failed_disk_.reset();
+}
+
+}  // namespace pod

@@ -1,0 +1,81 @@
+// RAID-5 volume with left-symmetric parity rotation.
+//
+// Small writes pay the classic read-modify-write penalty (read old data +
+// old parity, write new data + new parity); writes that cover a full
+// stripe's data are turned into full-stripe writes with no pre-reads.
+// This amplification is central to the paper's result: every small write
+// POD's Select-Dedupe eliminates would otherwise cost up to four disk ops.
+#pragma once
+
+#include <optional>
+
+#include "raid/volume.hpp"
+
+namespace pod {
+
+class Raid5 : public DiskArray {
+ public:
+  Raid5(Simulator& sim, const ArrayConfig& cfg);
+
+  void submit(VolumeIo io) override;
+  std::uint64_t capacity_blocks() const override { return capacity_; }
+
+  /// Parity disk for a stripe row (left-symmetric rotation).
+  std::size_t parity_disk(std::uint64_t row) const;
+
+  /// Maps a data PBA to (disk, disk-local block); exposed for tests.
+  DiskFragment map_block(Pba block) const;
+
+  struct WritePlan {
+    std::vector<DiskFragment> pre_reads;
+    std::vector<DiskFragment> writes;
+    std::uint64_t full_stripes = 0;
+    std::uint64_t rmw_rows = 0;
+  };
+  /// Computes the pre-read / write fragment sets for a write (exposed for
+  /// tests and for the bench that reports write amplification).
+  WritePlan plan_write(Pba block, std::uint64_t nblocks) const;
+
+  std::uint64_t full_stripe_writes() const { return full_stripe_writes_; }
+  std::uint64_t rmw_writes() const { return rmw_writes_; }
+
+  // ---- degraded operation & rebuild (extension) -----------------------
+
+  /// Marks a member disk as failed. Subsequent reads touching it are
+  /// served by reconstruction (parity + surviving data); writes fall back
+  /// to degraded write paths. Only a single failure is tolerated.
+  void fail_disk(std::size_t disk);
+
+  /// True while operating with a failed member.
+  bool degraded() const { return failed_disk_.has_value(); }
+  std::size_t failed_disk() const;
+
+  /// Rebuilds `nrows` stripe rows of the (replaced) failed disk starting at
+  /// `first_row`: reads the row from every surviving disk and rewrites the
+  /// reconstructed unit onto the failed member. `done` fires when the
+  /// sweep's I/O completes. Returns the number of rows actually issued.
+  std::uint64_t rebuild_rows(std::uint64_t first_row, std::uint64_t nrows,
+                             std::function<void()> done);
+
+  /// Completes recovery: clears the failed state (call after rebuilding all
+  /// rows).
+  void complete_rebuild();
+
+  std::uint64_t total_rows() const;
+  std::uint64_t reconstruction_reads() const { return reconstruction_reads_; }
+
+ private:
+  std::vector<DiskFragment> split_read(Pba block, std::uint64_t nblocks) const;
+  std::vector<DiskFragment> split_read_degraded(Pba block,
+                                                std::uint64_t nblocks) const;
+  WritePlan plan_write_degraded(Pba block, std::uint64_t nblocks) const;
+
+  std::uint64_t capacity_;
+  std::uint64_t row_data_blocks_;  // stripe_unit * (N-1)
+  std::uint64_t full_stripe_writes_ = 0;
+  std::uint64_t rmw_writes_ = 0;
+  std::optional<std::size_t> failed_disk_;
+  mutable std::uint64_t reconstruction_reads_ = 0;
+};
+
+}  // namespace pod

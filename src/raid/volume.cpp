@@ -1,0 +1,106 @@
+#include "raid/volume.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace pod {
+
+std::size_t Volume::total_queue_length() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < num_disks(); ++i) total += disk(i).queue_length();
+  return total;
+}
+
+void Volume::read(Pba block, std::uint64_t nblocks, std::function<void()> done) {
+  submit(VolumeIo{OpType::kRead, block, nblocks, std::move(done)});
+}
+
+void Volume::write(Pba block, std::uint64_t nblocks, std::function<void()> done) {
+  submit(VolumeIo{OpType::kWrite, block, nblocks, std::move(done)});
+}
+
+std::vector<DiskFragment> merge_fragments(std::vector<DiskFragment> frags) {
+  std::sort(frags.begin(), frags.end(), [](const DiskFragment& a, const DiskFragment& b) {
+    if (a.disk != b.disk) return a.disk < b.disk;
+    return a.block < b.block;
+  });
+  std::vector<DiskFragment> out;
+  for (const DiskFragment& f : frags) {
+    if (!out.empty() && out.back().disk == f.disk &&
+        out.back().block + out.back().nblocks == f.block) {
+      out.back().nblocks += f.nblocks;
+    } else {
+      out.push_back(f);
+    }
+  }
+  return out;
+}
+
+DiskArray::DiskArray(Simulator& sim, const ArrayConfig& cfg) : sim_(sim), cfg_(cfg) {
+  POD_CHECK(cfg_.num_disks >= 1);
+  POD_CHECK(cfg_.stripe_unit_blocks >= 1);
+  HddModel model(cfg_.disk_geometry, cfg_.disk_timing);
+  disks_.reserve(cfg_.num_disks);
+  for (std::size_t i = 0; i < cfg_.num_disks; ++i) {
+    disks_.push_back(std::make_unique<Disk>(sim_, model, cfg_.scheduler,
+                                            "disk" + std::to_string(i)));
+  }
+}
+
+void DiskArray::run_two_phase(std::vector<DiskFragment> phase1, OpType phase1_type,
+                              std::vector<DiskFragment> phase2, OpType phase2_type,
+                              std::function<void()> done) {
+  struct State {
+    std::size_t outstanding = 0;
+    std::vector<DiskFragment> phase2;
+    OpType phase2_type;
+    std::function<void()> done;
+  };
+  auto state = std::make_shared<State>();
+  state->phase2 = std::move(phase2);
+  state->phase2_type = phase2_type;
+  state->done = std::move(done);
+
+  auto issue = [this](const std::vector<DiskFragment>& frags, OpType type,
+                      std::function<void()> on_each) {
+    for (const DiskFragment& f : frags) {
+      POD_CHECK(f.disk < disks_.size());
+      DiskOp op;
+      op.type = type;
+      op.block = f.block;
+      op.nblocks = f.nblocks;
+      op.done = on_each;
+      disks_[f.disk]->submit(std::move(op));
+    }
+  };
+
+  // Completion handler for phase 2.
+  auto phase2_step = std::make_shared<std::function<void()>>();
+  *phase2_step = [state]() {
+    POD_CHECK(state->outstanding > 0);
+    if (--state->outstanding == 0 && state->done) state->done();
+  };
+
+  auto start_phase2 = [this, state, issue, phase2_step]() {
+    if (state->phase2.empty()) {
+      if (state->done) state->done();
+      return;
+    }
+    state->outstanding = state->phase2.size();
+    issue(state->phase2, state->phase2_type, *phase2_step);
+  };
+
+  if (phase1.empty()) {
+    start_phase2();
+    return;
+  }
+  state->outstanding = phase1.size();
+  auto phase1_step = [state, start_phase2]() {
+    POD_CHECK(state->outstanding > 0);
+    if (--state->outstanding == 0) start_phase2();
+  };
+  issue(phase1, phase1_type, phase1_step);
+}
+
+}  // namespace pod

@@ -1,0 +1,88 @@
+// Block-volume abstraction over an array of simulated disks.
+//
+// Engines address the volume with physical block addresses (PBAs); the
+// volume maps PBAs onto member disks (striping, parity) and reports
+// completion in simulated time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "disk/disk.hpp"
+#include "sim/simulator.hpp"
+
+namespace pod {
+
+/// One volume-level operation (contiguous PBA range).
+struct VolumeIo {
+  OpType type = OpType::kRead;
+  Pba block = 0;
+  std::uint64_t nblocks = 1;
+  std::function<void()> done;
+};
+
+class Volume {
+ public:
+  virtual ~Volume() = default;
+
+  virtual void submit(VolumeIo io) = 0;
+  /// Usable (data) capacity in blocks.
+  virtual std::uint64_t capacity_blocks() const = 0;
+  virtual std::size_t num_disks() const = 0;
+  virtual const Disk& disk(std::size_t i) const = 0;
+
+  /// Sum of member-disk queue lengths (in-flight + waiting).
+  std::size_t total_queue_length() const;
+
+  /// Convenience wrappers.
+  void read(Pba block, std::uint64_t nblocks, std::function<void()> done);
+  void write(Pba block, std::uint64_t nblocks, std::function<void()> done);
+};
+
+struct ArrayConfig {
+  std::size_t num_disks = 4;
+  /// Stripe unit in blocks (paper: 64 KB = 16 x 4 KB blocks).
+  std::uint64_t stripe_unit_blocks = 16;
+  HddGeometry disk_geometry;
+  HddTiming disk_timing;
+  SchedulerKind scheduler = SchedulerKind::kFcfs;
+};
+
+/// A contiguous fragment of a volume I/O on one member disk.
+struct DiskFragment {
+  std::size_t disk = 0;
+  std::uint64_t block = 0;
+  std::uint64_t nblocks = 0;
+};
+
+/// Merges fragments that are adjacent on the same disk (sorted input).
+std::vector<DiskFragment> merge_fragments(std::vector<DiskFragment> frags);
+
+/// Shared machinery: owns the member disks.
+class DiskArray : public Volume {
+ public:
+  DiskArray(Simulator& sim, const ArrayConfig& cfg);
+
+  std::size_t num_disks() const override { return disks_.size(); }
+  const Disk& disk(std::size_t i) const override { return *disks_[i]; }
+  Disk& mutable_disk(std::size_t i) { return *disks_[i]; }
+
+  const ArrayConfig& config() const { return cfg_; }
+  Simulator& sim() { return sim_; }
+
+ protected:
+  /// Issues `phase1` then, once all complete, `phase2`, then `done`.
+  /// Either phase may be empty.
+  void run_two_phase(std::vector<DiskFragment> phase1, OpType phase1_type,
+                     std::vector<DiskFragment> phase2, OpType phase2_type,
+                     std::function<void()> done);
+
+  Simulator& sim_;
+  ArrayConfig cfg_;
+  std::vector<std::unique_ptr<Disk>> disks_;
+};
+
+}  // namespace pod

@@ -1,0 +1,13 @@
+#include "replay/metrics.hpp"
+
+namespace pod {
+
+double normalized_pct(double value, double baseline) {
+  return baseline > 0.0 ? 100.0 * value / baseline : 0.0;
+}
+
+double improvement_pct(double value, double baseline) {
+  return baseline > 0.0 ? 100.0 * (baseline - value) / baseline : 0.0;
+}
+
+}  // namespace pod

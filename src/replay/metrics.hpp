@@ -1,0 +1,55 @@
+// Replay results: per-class latency plus engine/disk counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "engines/engine.hpp"
+
+namespace pod {
+
+struct ReplayResult {
+  std::string engine_name;
+  std::string trace_name;
+
+  /// User response times over the measured phase.
+  LatencyRecorder all;
+  LatencyRecorder reads;
+  LatencyRecorder writes;
+
+  /// Engine counters accumulated during the measured phase only.
+  EngineStats measured;
+
+  /// End-of-run state.
+  std::uint64_t physical_blocks_used = 0;
+  std::uint64_t map_table_bytes = 0;
+  std::uint64_t map_table_max_bytes = 0;
+  std::uint64_t chunks_hashed = 0;
+  std::uint64_t index_cache_bytes = 0;
+  std::uint64_t read_cache_bytes = 0;
+  double read_cache_hit_rate = 0.0;
+  double index_cache_hit_rate = 0.0;
+
+  /// Aggregate member-disk activity during the measured phase.
+  std::uint64_t disk_reads = 0;
+  std::uint64_t disk_writes = 0;
+  double mean_disk_queue_depth = 0.0;
+
+  /// Simulated completion time of the last request.
+  SimTime makespan = 0;
+
+  double mean_ms() const { return all.mean_ms(); }
+  double read_mean_ms() const { return reads.mean_ms(); }
+  double write_mean_ms() const { return writes.mean_ms(); }
+};
+
+/// "x relative to baseline" as the percentage the paper uses (normalized
+/// response time: 100 = Native).
+double normalized_pct(double value, double baseline);
+
+/// Improvement of `value` over `baseline` in percent (positive = faster).
+double improvement_pct(double value, double baseline);
+
+}  // namespace pod

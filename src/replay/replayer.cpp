@@ -1,0 +1,136 @@
+#include "replay/replayer.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "engines/full_dedupe.hpp"
+#include "engines/idedup.hpp"
+#include "engines/io_dedup.hpp"
+#include "engines/native.hpp"
+#include "engines/select_dedupe.hpp"
+#include "raid/raid0.hpp"
+#include "raid/raid5.hpp"
+
+namespace pod {
+
+const char* to_string(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kNative: return "native";
+    case EngineKind::kFullDedupe: return "full-dedupe";
+    case EngineKind::kIDedup: return "idedup";
+    case EngineKind::kSelectDedupe: return "select-dedupe";
+    case EngineKind::kPod: return "pod";
+    case EngineKind::kIoDedup: return "io-dedup";
+    case EngineKind::kPostProcess: return "post-process";
+  }
+  return "?";
+}
+
+ReplayResult Replayer::replay(Simulator& sim, DedupEngine& engine,
+                              const Trace& trace) {
+  ReplayResult result;
+  result.engine_name = engine.name();
+  result.trace_name = trace.name;
+
+  // Phase 1: functional warm-up.
+  for (std::size_t i = 0; i < trace.warmup_count; ++i)
+    engine.warm(trace.requests[i]);
+
+  // Phase 2: timed replay of the measured suffix, arrivals rebased to 0.
+  const EngineStats before = engine.stats();
+  engine.begin_measured();
+
+  const std::size_t first = trace.warmup_count;
+  const std::size_t count = trace.requests.size() - first;
+  if (count == 0) return result;
+  const SimTime t0 = trace.requests[first].arrival;
+
+  for (std::size_t i = first; i < trace.requests.size(); ++i) {
+    const IoRequest& req = trace.requests[i];
+    const SimTime arrival = req.arrival - t0;
+    POD_CHECK(arrival >= 0);
+    sim.schedule_at(arrival, [&sim, &engine, &req, arrival, &result]() {
+      engine.submit(req, [&sim, &result, arrival, type = req.type]() {
+        const Duration latency = sim.now() - arrival;
+        result.all.add(latency);
+        if (type == OpType::kWrite) result.writes.add(latency);
+        else result.reads.add(latency);
+      });
+    });
+  }
+
+  sim.run();
+
+  result.measured = EngineStats::delta(engine.stats(), before);
+  result.physical_blocks_used = engine.physical_blocks_used();
+  result.map_table_bytes = engine.map_table_bytes();
+  result.map_table_max_bytes = engine.map_table_max_bytes();
+  result.chunks_hashed = engine.hash_engine().chunks_hashed();
+  result.read_cache_bytes = engine.read_cache().capacity_bytes();
+  result.read_cache_hit_rate = engine.read_cache().hit_rate();
+  if (const IndexCache* ic = engine.index_cache()) {
+    result.index_cache_bytes = ic->capacity_bytes();
+    result.index_cache_hit_rate = ic->hit_rate();
+  }
+  result.makespan = sim.now();
+  return result;
+}
+
+std::unique_ptr<Volume> make_volume(Simulator& sim, const RunSpec& spec) {
+  const std::uint64_t needed = required_volume_blocks(spec.engine_cfg);
+  ArrayConfig cfg = spec.array_cfg;
+  const std::size_t data_disks =
+      spec.raid == RaidLevel::kRaid5 ? cfg.num_disks - 1 : cfg.num_disks;
+  POD_CHECK(data_disks >= 1);
+  // Round per-disk capacity up to whole stripe units, plus one spare row.
+  const std::uint64_t per_disk =
+      ((needed / data_disks) / cfg.stripe_unit_blocks + 2) *
+      cfg.stripe_unit_blocks;
+  cfg.disk_geometry.total_blocks = per_disk;
+  if (spec.raid == RaidLevel::kRaid5)
+    return std::make_unique<Raid5>(sim, cfg);
+  return std::make_unique<Raid0>(sim, cfg);
+}
+
+std::unique_ptr<DedupEngine> make_engine(Simulator& sim, Volume& volume,
+                                         const RunSpec& spec) {
+  switch (spec.engine) {
+    case EngineKind::kNative:
+      return std::make_unique<NativeEngine>(sim, volume, spec.engine_cfg);
+    case EngineKind::kFullDedupe:
+      return std::make_unique<FullDedupeEngine>(sim, volume, spec.engine_cfg);
+    case EngineKind::kIDedup:
+      return std::make_unique<IDedupEngine>(sim, volume, spec.engine_cfg);
+    case EngineKind::kSelectDedupe:
+      return std::make_unique<SelectDedupeEngine>(sim, volume, spec.engine_cfg);
+    case EngineKind::kPod:
+      return std::make_unique<PodEngine>(sim, volume, spec.engine_cfg, spec.pod);
+    case EngineKind::kIoDedup:
+      return std::make_unique<IoDedupEngine>(sim, volume, spec.engine_cfg);
+    case EngineKind::kPostProcess:
+      return std::make_unique<PostProcessEngine>(sim, volume, spec.engine_cfg,
+                                                 spec.post_process);
+  }
+  POD_CHECK(false);
+}
+
+ReplayResult run_replay(const RunSpec& spec, const Trace& trace) {
+  Simulator sim;
+  std::unique_ptr<Volume> volume = make_volume(sim, spec);
+  std::unique_ptr<DedupEngine> engine = make_engine(sim, *volume, spec);
+
+  Replayer replayer;
+  ReplayResult result = replayer.replay(sim, *engine, trace);
+
+  for (std::size_t d = 0; d < volume->num_disks(); ++d) {
+    const DiskStats& ds = volume->disk(d).stats();
+    result.disk_reads += ds.reads;
+    result.disk_writes += ds.writes;
+    result.mean_disk_queue_depth += ds.queue_depth.mean();
+  }
+  result.mean_disk_queue_depth /=
+      static_cast<double>(std::max<std::size_t>(1, volume->num_disks()));
+  return result;
+}
+
+}  // namespace pod

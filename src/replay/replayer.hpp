@@ -1,0 +1,64 @@
+// Trace replay: drives an engine with a Trace over the discrete-event
+// simulator and collects per-class response times (paper §IV-A: traces are
+// "replayed at the block level", evaluating "user response times").
+#pragma once
+
+#include <memory>
+
+#include "engines/engine.hpp"
+#include "engines/pod_engine.hpp"
+#include "engines/post_process.hpp"
+#include "raid/volume.hpp"
+#include "replay/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "trace/request.hpp"
+
+namespace pod {
+
+class Replayer {
+ public:
+  /// Replays `trace` against `engine`:
+  ///  1. the warm-up prefix runs functionally (state only, no timing) —
+  ///     the paper's "cache ... warmed up by the first 14 days";
+  ///  2. the measured suffix runs on the simulator at original (rebased)
+  ///     arrival times; response time = completion - arrival.
+  ReplayResult replay(Simulator& sim, DedupEngine& engine, const Trace& trace);
+};
+
+/// Which engine to build for a run.
+enum class EngineKind {
+  kNative,
+  kFullDedupe,
+  kIDedup,
+  kSelectDedupe,
+  kPod,
+  kIoDedup,
+  kPostProcess,
+};
+
+const char* to_string(EngineKind kind);
+
+enum class RaidLevel { kRaid0, kRaid5 };
+
+/// Everything needed for one experiment run.
+struct RunSpec {
+  EngineKind engine = EngineKind::kNative;
+  RaidLevel raid = RaidLevel::kRaid5;
+  EngineConfig engine_cfg;
+  ArrayConfig array_cfg;  // disk_geometry.total_blocks is sized automatically
+  PodEngineOptions pod;
+  PostProcessOptions post_process;
+};
+
+/// Builds the volume for a spec (disk sizes derived from the engine's
+/// required capacity).
+std::unique_ptr<Volume> make_volume(Simulator& sim, const RunSpec& spec);
+
+/// Builds the engine for a spec.
+std::unique_ptr<DedupEngine> make_engine(Simulator& sim, Volume& volume,
+                                         const RunSpec& spec);
+
+/// One-stop: fresh simulator + volume + engine, replay, return results.
+ReplayResult run_replay(const RunSpec& spec, const Trace& trace);
+
+}  // namespace pod

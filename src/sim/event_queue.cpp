@@ -1,0 +1,31 @@
+#include "sim/event_queue.hpp"
+
+#include "common/check.hpp"
+
+namespace pod {
+
+void EventQueue::push(SimTime at, EventFn fn) {
+  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+}
+
+SimTime EventQueue::next_time() const {
+  POD_CHECK(!heap_.empty());
+  return heap_.top().at;
+}
+
+std::pair<SimTime, EventFn> EventQueue::pop() {
+  POD_CHECK(!heap_.empty());
+  // priority_queue::top() is const; the Entry must be moved out via a cast
+  // because EventFn is move-only in spirit (copies would be wasteful).
+  Entry& top = const_cast<Entry&>(heap_.top());
+  std::pair<SimTime, EventFn> out{top.at, std::move(top.fn)};
+  heap_.pop();
+  return out;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+  next_seq_ = 0;
+}
+
+}  // namespace pod

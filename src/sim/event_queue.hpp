@@ -1,0 +1,46 @@
+// Priority queue of timestamped events for the discrete-event simulator.
+//
+// Ties are broken by insertion order so simulations are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pod {
+
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  void push(SimTime at, EventFn fn);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  SimTime next_time() const;
+
+  /// Pops and returns the earliest event. Requires !empty().
+  std::pair<SimTime, EventFn> pop();
+
+  void clear();
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace pod

@@ -1,0 +1,43 @@
+#include "sim/simulator.hpp"
+
+#include "common/check.hpp"
+
+namespace pod {
+
+void Simulator::schedule_at(SimTime at, EventFn fn) {
+  POD_CHECK(at >= now_);
+  events_.push(at, std::move(fn));
+}
+
+void Simulator::schedule_after(Duration delay, EventFn fn) {
+  POD_CHECK(delay >= 0);
+  events_.push(now_ + delay, std::move(fn));
+}
+
+bool Simulator::step() {
+  if (events_.empty()) return false;
+  auto [at, fn] = events_.pop();
+  POD_DCHECK(at >= now_);
+  now_ = at;
+  ++events_executed_;
+  fn();
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(SimTime until) {
+  while (!events_.empty() && events_.next_time() <= until) step();
+  if (now_ < until) now_ = until;
+}
+
+void Simulator::reset() {
+  now_ = 0;
+  events_.clear();
+  events_executed_ = 0;
+}
+
+}  // namespace pod

@@ -1,0 +1,51 @@
+#include "synth/burst_model.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace pod {
+
+BurstModel::BurstModel(const BurstProfile& profile, double overall_write_ratio,
+                       Duration mean_interarrival)
+    : profile_(profile) {
+  POD_CHECK(profile_.cycle > 0);
+  POD_CHECK(profile_.write_phase_frac > 0.0 && profile_.write_phase_frac < 1.0);
+  POD_CHECK(overall_write_ratio > 0.0 && overall_write_ratio < 1.0);
+  POD_CHECK(mean_interarrival > 0);
+
+  // Rates: the write phase runs `write_phase_rate_mult` times faster.
+  // Solve the phase gap means so the long-run mean interarrival holds:
+  // requests ~ time/gap per phase.
+  const double f = profile_.write_phase_frac;
+  const double m = std::max(1.0, profile_.write_phase_rate_mult);
+  // Let base gap g_r in the read phase and g_w = g_r / m. Long-run request
+  // rate = f/g_w + (1-f)/g_r = (f*m + 1 - f)/g_r == 1/mean.
+  read_phase_gap_ns_ = static_cast<double>(mean_interarrival) * (f * m + 1.0 - f);
+  write_phase_gap_ns_ = read_phase_gap_ns_ / m;
+
+  // Request-weighted write fraction: phases contribute requests in
+  // proportion f*m : (1-f). Solve the read-phase write probability so the
+  // overall ratio matches.
+  const double w_req_frac = f * m / (f * m + 1.0 - f);
+  const double pw = profile_.write_phase_bias;
+  double pr = (overall_write_ratio - w_req_frac * pw) / (1.0 - w_req_frac);
+  read_phase_write_prob_ = std::clamp(pr, 0.02, 0.98);
+}
+
+bool BurstModel::in_write_phase(SimTime t) const {
+  const Duration pos = t % profile_.cycle;
+  return pos < static_cast<Duration>(profile_.write_phase_frac *
+                                     static_cast<double>(profile_.cycle));
+}
+
+double BurstModel::write_probability(SimTime t) const {
+  return in_write_phase(t) ? profile_.write_phase_bias : read_phase_write_prob_;
+}
+
+Duration BurstModel::next_gap(SimTime t, Rng& rng) const {
+  const double mean = in_write_phase(t) ? write_phase_gap_ns_ : read_phase_gap_ns_;
+  return std::max<Duration>(1, static_cast<Duration>(rng.exponential(mean)));
+}
+
+}  // namespace pod

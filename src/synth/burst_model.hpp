@@ -1,0 +1,40 @@
+// On/off burst arrival model.
+//
+// Primary-storage workloads interleave read-intensive and write-intensive
+// periods (paper §II-B, citing [2], [26]); this is the property iCache's
+// adaptive partitioning exploits. The model alternates a write-intensive
+// phase and a read-intensive phase per cycle, controlling both the op-type
+// mix and the arrival rate.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "synth/profile.hpp"
+
+namespace pod {
+
+class BurstModel {
+ public:
+  /// @param overall_write_ratio the long-run write fraction to preserve.
+  BurstModel(const BurstProfile& profile, double overall_write_ratio,
+             Duration mean_interarrival);
+
+  /// True while `t` falls in the write-intensive phase of its cycle.
+  bool in_write_phase(SimTime t) const;
+
+  /// P(next op is a write) at time `t`.
+  double write_probability(SimTime t) const;
+
+  /// Draws the gap to the next arrival (phase-dependent rate).
+  Duration next_gap(SimTime t, Rng& rng) const;
+
+  double read_phase_write_prob() const { return read_phase_write_prob_; }
+
+ private:
+  BurstProfile profile_;
+  double read_phase_write_prob_;
+  double write_phase_gap_ns_;
+  double read_phase_gap_ns_;
+};
+
+}  // namespace pod

@@ -1,0 +1,16 @@
+#include "synth/content_pool.hpp"
+
+#include "common/check.hpp"
+
+namespace pod {
+
+ContentPool::ContentPool(std::uint64_t base_id, std::uint64_t size, double theta)
+    : base_id_(base_id), size_(size), zipf_(size, theta) {
+  POD_CHECK(size > 0);
+}
+
+std::uint64_t ContentPool::sample(Rng& rng) {
+  return base_id_ + zipf_.sample(rng);
+}
+
+}  // namespace pod

@@ -1,0 +1,36 @@
+// Popular-content pool: the source of *scattered* redundancy.
+//
+// Some chunk contents (zero pages, common file headers, shared libraries
+// in VM images) recur across unrelated LBAs. The pool models them as a
+// Zipf-skewed set of content ids: chunks drawn here are redundant with
+// respect to earlier occurrences but land far apart on disk — exactly the
+// redundancy Select-Dedupe's category 2 refuses to deduplicate.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+
+namespace pod {
+
+class ContentPool {
+ public:
+  /// Pool ids occupy [base_id, base_id + size).
+  ContentPool(std::uint64_t base_id, std::uint64_t size, double theta);
+
+  std::uint64_t sample(Rng& rng);
+
+  std::uint64_t base_id() const { return base_id_; }
+  std::uint64_t size() const { return size_; }
+  bool contains(std::uint64_t content_id) const {
+    return content_id >= base_id_ && content_id < base_id_ + size_;
+  }
+
+ private:
+  std::uint64_t base_id_;
+  std::uint64_t size_;
+  ZipfSampler zipf_;
+};
+
+}  // namespace pod

@@ -1,0 +1,191 @@
+#include "synth/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace pod {
+
+SizeDist::SizeDist(std::vector<std::pair<std::uint32_t, double>> entries)
+    : entries_(std::move(entries)) {
+  POD_CHECK(!entries_.empty());
+  double sum = 0.0;
+  cdf_.reserve(entries_.size());
+  for (const auto& [blocks, weight] : entries_) {
+    POD_CHECK(blocks > 0);
+    POD_CHECK(weight >= 0.0);
+    sum += weight;
+    cdf_.push_back(sum);
+  }
+  POD_CHECK(sum > 0.0);
+  for (double& v : cdf_) v /= sum;
+}
+
+std::uint32_t SizeDist::sample(Rng& rng) const {
+  POD_CHECK(!entries_.empty());
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const std::size_t idx = std::min<std::size_t>(
+      static_cast<std::size_t>(it - cdf_.begin()), entries_.size() - 1);
+  return entries_[idx].first;
+}
+
+double SizeDist::mean_blocks() const {
+  double sum = 0.0, wsum = 0.0;
+  for (const auto& [blocks, weight] : entries_) {
+    sum += blocks * weight;
+    wsum += weight;
+  }
+  return wsum > 0 ? sum / wsum : 0.0;
+}
+
+namespace {
+
+/// The paper replays day 15 after warming state with days 1-14. Replaying
+/// fourteen full warm-up days per engine run is wasteful in a simulator;
+/// two days' worth of history already brings caches and dedup state to
+/// steady state at our scale, so warm-up defaults to 2x the measured count.
+constexpr double kWarmupMultiplier = 2.0;
+
+/// Our traces carry ~3 days of history instead of 15, so the absolute
+/// paper memory sizes (100/500 MB) would hold the entire fingerprint index
+/// with room to spare and no cache pressure would exist. Scaling the
+/// budgets by this factor restores the paper's *ratios* of index size to
+/// unique-fingerprint volume and of read cache to footprint (see
+/// DESIGN.md, substitution table).
+constexpr double kMemoryPressureFactor = 1.0 / 8.0;
+
+std::uint64_t scaled(std::uint64_t v, double scale) {
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(v * scale));
+}
+
+}  // namespace
+
+WorkloadProfile web_vm_profile(double scale) {
+  POD_CHECK(scale > 0.0 && scale <= 1.0);
+  WorkloadProfile p;
+  p.name = "web-vm";
+  p.seed = 0x3EBu;
+  p.measured_requests = scaled(154'105, scale);
+  p.warmup_requests = scaled(static_cast<std::uint64_t>(154'105 * kWarmupMultiplier), scale);
+  p.write_ratio = 0.698;
+  // Table II: 14.8 KB (~3.7 blocks) average request size; small writes
+  // dominate (Figure 1) and carry most of the redundancy.
+  p.full_dup_sizes = SizeDist({{1, 50}, {2, 28}, {4, 16}, {8, 6}});
+  p.unique_sizes = SizeDist({{1, 25}, {2, 25}, {4, 25}, {8, 15}, {16, 10}});
+  p.partial_sizes = SizeDist({{4, 30}, {8, 40}, {16, 25}, {32, 5}});
+  p.read_sizes = SizeDist({{1, 22}, {2, 24}, {4, 24}, {8, 20}, {16, 10}});
+  // Select-Dedupe removes ~54% of web-vm writes, Full-Dedupe ~65%,
+  // iDedup only the large-run tail (Figure 11).
+  p.mix.full_dup_seq = 0.50;
+  p.mix.full_dup_scatter = 0.10;
+  p.mix.partial_run = 0.07;
+  p.mix.partial_scatter = 0.11;
+  p.same_lba_frac = 0.65;
+  p.volume_blocks = scaled(1536 * 1024, scale);  // 6 GiB footprint
+  p.history_window = static_cast<std::size_t>(scaled(40'000, scale));
+  p.history_theta = 0.8;
+  p.pool_size = scaled(4'096, scale);
+  p.read_theta = 0.75;
+  p.read_cold_frac = 0.25;
+  p.mean_interarrival = ms(36);
+  p.burst.cycle = sec(12);
+  p.burst.write_phase_frac = 0.45;
+  p.burst.write_phase_bias = 0.92;
+  p.burst.write_phase_rate_mult = 3.0;
+  return p;
+}
+
+WorkloadProfile homes_profile(double scale) {
+  POD_CHECK(scale > 0.0 && scale <= 1.0);
+  WorkloadProfile p;
+  p.name = "homes";
+  p.seed = 0x40ECu;
+  p.measured_requests = scaled(64'819, scale);
+  p.warmup_requests = scaled(static_cast<std::uint64_t>(64'819 * kWarmupMultiplier), scale);
+  p.write_ratio = 0.805;
+  // 13.1 KB (~3.3 blocks) average; the defining trait of homes in the
+  // paper is the large share of *partially redundant, scattered* writes,
+  // which makes Full-Dedupe counter-productive (Figures 8/9).
+  p.full_dup_sizes = SizeDist({{1, 55}, {2, 27}, {4, 13}, {8, 5}});
+  p.unique_sizes = SizeDist({{1, 30}, {2, 26}, {4, 24}, {8, 14}, {16, 6}});
+  p.partial_sizes = SizeDist({{2, 25}, {4, 40}, {8, 28}, {16, 7}});
+  p.read_sizes = SizeDist({{1, 28}, {2, 26}, {4, 24}, {8, 15}, {16, 7}});
+  p.mix.full_dup_seq = 0.18;
+  p.mix.full_dup_scatter = 0.18;
+  p.mix.partial_run = 0.05;
+  p.mix.partial_scatter = 0.32;
+  p.same_lba_frac = 0.60;
+  p.volume_blocks = scaled(768 * 1024, scale);  // 3 GiB footprint
+  p.history_window = static_cast<std::size_t>(scaled(24'000, scale));
+  p.history_theta = 0.8;
+  p.pool_size = scaled(3'072, scale);
+  p.read_theta = 0.7;
+  p.read_cold_frac = 0.3;
+  p.mean_interarrival = ms(30);
+  p.burst.cycle = sec(16);
+  p.burst.write_phase_frac = 0.5;
+  p.burst.write_phase_bias = 0.95;
+  p.burst.write_phase_rate_mult = 2.5;
+  return p;
+}
+
+WorkloadProfile mail_profile(double scale) {
+  POD_CHECK(scale > 0.0 && scale <= 1.0);
+  WorkloadProfile p;
+  p.name = "mail";
+  p.seed = 0xA11u;
+  p.measured_requests = scaled(328'145, scale);
+  p.warmup_requests = scaled(static_cast<std::uint64_t>(328'145 * kWarmupMultiplier), scale);
+  p.write_ratio = 0.785;
+  // 40.8 KB (~10 blocks) average; mail is dominated by fully redundant
+  // writes that are sequential on disk — Select-Dedupe removes ~70% of all
+  // write requests and Full-Dedupe ~85% (Figure 11).
+  p.full_dup_sizes = SizeDist({{2, 25}, {4, 30}, {8, 28}, {16, 13}, {32, 4}});
+  p.unique_sizes = SizeDist({{4, 15}, {8, 30}, {16, 30}, {32, 18}, {64, 7}});
+  p.partial_sizes = SizeDist({{16, 40}, {32, 40}, {64, 20}});
+  p.read_sizes = SizeDist({{2, 16}, {4, 26}, {8, 28}, {16, 20}, {32, 10}});
+  p.mix.full_dup_seq = 0.66;
+  p.mix.full_dup_scatter = 0.13;
+  p.mix.partial_run = 0.08;
+  p.mix.partial_scatter = 0.05;
+  p.same_lba_frac = 0.60;
+  p.volume_blocks = scaled(8192 * 1024, scale);  // 32 GiB footprint
+  p.history_window = static_cast<std::size_t>(scaled(40'000, scale));
+  p.history_theta = 0.85;
+  p.pool_size = scaled(6'144, scale);
+  p.read_theta = 0.8;
+  p.read_cold_frac = 0.2;
+  p.mean_interarrival = ms(22);
+  p.burst.cycle = sec(10);
+  p.burst.write_phase_frac = 0.5;
+  p.burst.write_phase_bias = 0.93;
+  p.burst.write_phase_rate_mult = 2.5;
+  return p;
+}
+
+WorkloadProfile tiny_test_profile() {
+  WorkloadProfile p = web_vm_profile(1.0);
+  p.name = "tiny";
+  p.seed = 7;
+  p.measured_requests = 2'000;
+  p.warmup_requests = 2'000;
+  p.volume_blocks = 64 * 1024;
+  p.history_window = 2'000;
+  p.pool_size = 256;
+  return p;
+}
+
+std::vector<WorkloadProfile> paper_profiles(double scale) {
+  return {web_vm_profile(scale), homes_profile(scale), mail_profile(scale)};
+}
+
+std::uint64_t paper_memory_bytes(const std::string& profile_name, double scale) {
+  const std::uint64_t base =
+      profile_name == "web-vm" ? 100 * kMiB : 500 * kMiB;
+  const double bytes = static_cast<double>(base) * scale * kMemoryPressureFactor;
+  return std::max<std::uint64_t>(kMiB, static_cast<std::uint64_t>(bytes));
+}
+
+}  // namespace pod

@@ -1,0 +1,78 @@
+#include "trace/reconstructor.hpp"
+
+#include "common/check.hpp"
+
+namespace pod {
+
+Trace reconstruct_requests(const Trace& split, const ReconstructOptions& opts) {
+  Trace out;
+  out.name = split.name;
+  out.requests.reserve(split.requests.size() / 2 + 1);
+
+  std::size_t consumed_warmup_records = 0;
+  std::size_t warmup_requests = 0;
+
+  auto flush_warmup = [&](std::size_t records_in_request, std::size_t first_index) {
+    // A reconstructed request counts as warm-up iff all source records were
+    // inside the warm-up prefix.
+    if (first_index + records_in_request <= split.warmup_count)
+      ++warmup_requests;
+    consumed_warmup_records += records_in_request;
+  };
+
+  std::size_t i = 0;
+  std::uint64_t next_id = 0;
+  while (i < split.requests.size()) {
+    const IoRequest& head = split.requests[i];
+    IoRequest merged = head;
+    merged.id = next_id++;
+    const std::size_t first_index = i;
+    std::size_t records = 1;
+    ++i;
+    while (i < split.requests.size()) {
+      const IoRequest& next = split.requests[i];
+      if (next.type != merged.type) break;
+      if (next.lba != merged.end_lba()) break;
+      if (next.arrival - head.arrival > opts.timestamp_window) break;
+      if (opts.max_request_blocks != 0 &&
+          merged.nblocks + next.nblocks > opts.max_request_blocks)
+        break;
+      merged.nblocks += next.nblocks;
+      merged.chunks.insert(merged.chunks.end(), next.chunks.begin(),
+                           next.chunks.end());
+      ++records;
+      ++i;
+    }
+    POD_CHECK(!merged.is_write() || merged.chunks.size() == merged.nblocks);
+    flush_warmup(records, first_index);
+    out.requests.push_back(std::move(merged));
+  }
+  out.warmup_count = warmup_requests;
+  (void)consumed_warmup_records;
+  return out;
+}
+
+Trace split_into_records(const Trace& trace) {
+  Trace out;
+  out.name = trace.name;
+  std::uint64_t next_id = 0;
+  std::size_t warmup_records = 0;
+  for (std::size_t r = 0; r < trace.requests.size(); ++r) {
+    const IoRequest& req = trace.requests[r];
+    for (std::uint32_t b = 0; b < req.nblocks; ++b) {
+      IoRequest rec;
+      rec.id = next_id++;
+      rec.arrival = req.arrival;
+      rec.type = req.type;
+      rec.lba = req.lba + b;
+      rec.nblocks = 1;
+      if (req.is_write()) rec.chunks.push_back(req.chunks[b]);
+      out.requests.push_back(std::move(rec));
+      if (r < trace.warmup_count) ++warmup_records;
+    }
+  }
+  out.warmup_count = warmup_records;
+  return out;
+}
+
+}  // namespace pod

@@ -1,0 +1,32 @@
+// Request reconstruction (paper §IV-A).
+//
+// The FIU traces record each I/O split into fixed-size records (4 KB or
+// 512 B chunks), one line per chunk. "The original requests are
+// reconstructed according to their timestamp, LBA and length": adjacent
+// records with the same timestamp (within a small window), the same
+// direction, and contiguous addresses are re-merged into one request.
+#pragma once
+
+#include "trace/request.hpp"
+
+namespace pod {
+
+struct ReconstructOptions {
+  /// Two records merge only when their timestamps differ by at most this.
+  Duration timestamp_window = us(100);
+  /// Upper bound on a reconstructed request (guards against merging an
+  /// entire sequential scan into one giant request). 0 = unlimited.
+  std::uint32_t max_request_blocks = 256;
+};
+
+/// Merges contiguous same-op records into reconstructed requests. Input
+/// must be time-ordered; output preserves first-record arrival times.
+/// Request ids are renumbered, warmup_count is carried over by counting how
+/// many reconstructed requests are fully contained in the warm-up prefix.
+Trace reconstruct_requests(const Trace& split, const ReconstructOptions& opts = {});
+
+/// Splits every request into single-block records (the inverse operation;
+/// used by tests and to emulate the raw FIU format).
+Trace split_into_records(const Trace& trace);
+
+}  // namespace pod

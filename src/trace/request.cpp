@@ -1,0 +1,4 @@
+#include "trace/request.hpp"
+
+// IoRequest/Trace are plain aggregates; see trace_io.cpp for serialization
+// and trace_stats.cpp for analysis passes.

@@ -1,0 +1,43 @@
+// The I/O request model shared by traces, engines and the replayer.
+//
+// Mirrors what the FIU traces provide after reconstruction (paper §IV-A):
+// arrival timestamp, operation, LBA, length, and one content fingerprint
+// per 4 KB chunk of write data.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "hash/fingerprint.hpp"
+
+namespace pod {
+
+struct IoRequest {
+  std::uint64_t id = 0;
+  SimTime arrival = 0;
+  OpType type = OpType::kRead;
+  Lba lba = 0;
+  std::uint32_t nblocks = 1;
+  /// One fingerprint per chunk for writes; empty for reads.
+  std::vector<Fingerprint> chunks;
+
+  std::uint64_t bytes() const { return std::uint64_t{nblocks} * kBlockSize; }
+  Lba end_lba() const { return lba + nblocks; }
+  bool is_write() const { return type == OpType::kWrite; }
+  bool is_read() const { return type == OpType::kRead; }
+};
+
+/// A trace is a time-ordered request sequence plus the boundary between the
+/// warm-up prefix (replayed functionally to warm caches and dedup state,
+/// like the paper's first-14-days warm-up) and the measured suffix (the
+/// paper's day 15).
+struct Trace {
+  std::string name;
+  std::vector<IoRequest> requests;
+  std::size_t warmup_count = 0;
+
+  std::size_t measured_count() const { return requests.size() - warmup_count; }
+};
+
+}  // namespace pod

@@ -1,0 +1,27 @@
+// Trace serialization: a human-greppable CSV form and a compact binary form.
+//
+// CSV line:  <timestamp_ns>,<R|W>,<lba>,<nblocks>[,<fp0_hex16>,<fp1_hex16>,...]
+// with fingerprints only on writes (16 hex chars = the 64-bit prefix; the
+// remaining fingerprint bytes are re-derived deterministically on load).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/request.hpp"
+
+namespace pod {
+
+void write_trace_csv(std::ostream& out, const Trace& trace);
+/// Throws std::runtime_error on malformed input.
+Trace read_trace_csv(std::istream& in, std::string name = "trace");
+
+void write_trace_binary(std::ostream& out, const Trace& trace);
+Trace read_trace_binary(std::istream& in);
+
+void save_trace_csv(const std::string& path, const Trace& trace);
+Trace load_trace_csv(const std::string& path);
+void save_trace_binary(const std::string& path, const Trace& trace);
+Trace load_trace_binary(const std::string& path);
+
+}  // namespace pod

@@ -1,0 +1,116 @@
+#include "cache/index_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pod {
+namespace {
+
+Fingerprint fp(std::uint64_t id) { return Fingerprint::of_content_id(id); }
+
+TEST(IndexCache, InsertLookup) {
+  IndexCache c(16 * IndexCache::kEntryBytes, 16 * IndexCache::kEntryBytes);
+  c.insert(fp(1), 42);
+  const IndexEntry* e = c.lookup(fp(1));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->pba, 42u);
+}
+
+TEST(IndexCache, CountStartsAtZeroAndIncrements) {
+  // Paper Figure 6: Count initialised to 0 on insert, incremented per write
+  // hit — used as the popularity / pinning signal.
+  IndexCache c(16 * IndexCache::kEntryBytes, 16 * IndexCache::kEntryBytes);
+  c.insert(fp(1), 7);
+  EXPECT_EQ(c.peek(fp(1))->count, 0u);
+  (void)c.lookup(fp(1));
+  (void)c.lookup(fp(1));
+  EXPECT_EQ(c.peek(fp(1))->count, 2u);
+}
+
+TEST(IndexCache, PeekDoesNotCount) {
+  IndexCache c(16 * IndexCache::kEntryBytes, 16 * IndexCache::kEntryBytes);
+  c.insert(fp(1), 7);
+  (void)c.peek(fp(1));
+  EXPECT_EQ(c.peek(fp(1))->count, 0u);
+  EXPECT_EQ(c.hits(), 0u);
+}
+
+TEST(IndexCache, MissCounted) {
+  IndexCache c(16 * IndexCache::kEntryBytes, 16 * IndexCache::kEntryBytes);
+  EXPECT_EQ(c.lookup(fp(9)), nullptr);
+  EXPECT_EQ(c.misses(), 1u);
+  EXPECT_DOUBLE_EQ(c.hit_rate(), 0.0);
+}
+
+TEST(IndexCache, LruEvictionIntoGhost) {
+  IndexCache c(2 * IndexCache::kEntryBytes, 8 * IndexCache::kEntryBytes);
+  c.insert(fp(1), 1);
+  c.insert(fp(2), 2);
+  c.insert(fp(3), 3);  // evicts fp(1)
+  EXPECT_EQ(c.peek(fp(1)), nullptr);
+  EXPECT_TRUE(c.ghost_probe(fp(1)));
+  EXPECT_EQ(c.ghost_hits(), 1u);
+}
+
+TEST(IndexCache, LookupPromotes) {
+  IndexCache c(2 * IndexCache::kEntryBytes, 8 * IndexCache::kEntryBytes);
+  c.insert(fp(1), 1);
+  c.insert(fp(2), 2);
+  (void)c.lookup(fp(1));
+  c.insert(fp(3), 3);  // evicts fp(2), not fp(1)
+  EXPECT_NE(c.peek(fp(1)), nullptr);
+  EXPECT_EQ(c.peek(fp(2)), nullptr);
+}
+
+TEST(IndexCache, EvictHookFires) {
+  IndexCache c(1 * IndexCache::kEntryBytes, 8 * IndexCache::kEntryBytes);
+  std::vector<Pba> spilled;
+  c.evict_hook = [&](const Fingerprint&, const IndexEntry& e) {
+    spilled.push_back(e.pba);
+  };
+  c.insert(fp(1), 11);
+  c.insert(fp(2), 22);  // evicts fp(1) -> hook
+  ASSERT_EQ(spilled.size(), 1u);
+  EXPECT_EQ(spilled[0], 11u);
+}
+
+TEST(IndexCache, InvalidateRemoves) {
+  IndexCache c(8 * IndexCache::kEntryBytes, 8 * IndexCache::kEntryBytes);
+  c.insert(fp(1), 1);
+  c.invalidate(fp(1));
+  EXPECT_EQ(c.peek(fp(1)), nullptr);
+}
+
+TEST(IndexCache, RebindUpdatesPba) {
+  IndexCache c(8 * IndexCache::kEntryBytes, 8 * IndexCache::kEntryBytes);
+  c.insert(fp(1), 1);
+  c.rebind(fp(1), 99);
+  EXPECT_EQ(c.peek(fp(1))->pba, 99u);
+}
+
+TEST(IndexCache, ResizeShrinkEvictsAndHooks) {
+  IndexCache c(4 * IndexCache::kEntryBytes, 16 * IndexCache::kEntryBytes);
+  int hook_calls = 0;
+  c.evict_hook = [&](const Fingerprint&, const IndexEntry&) { ++hook_calls; };
+  for (std::uint64_t i = 0; i < 4; ++i) c.insert(fp(i), i);
+  c.resize(2 * IndexCache::kEntryBytes);
+  EXPECT_EQ(c.size_entries(), 2u);
+  EXPECT_EQ(hook_calls, 2);
+  EXPECT_TRUE(c.ghost_probe(fp(0)));
+}
+
+TEST(IndexCache, CapacityAccounting) {
+  IndexCache c(10 * IndexCache::kEntryBytes + 7, 0);
+  EXPECT_EQ(c.capacity_bytes(), 10 * IndexCache::kEntryBytes);
+}
+
+TEST(IndexCache, MemoryAccountingMatchesPaperEstimate) {
+  // §II-B: 1 TB at 4 KB chunks needs ~8 GB of index. With 32 B entries:
+  // (1 TB / 4 KB) * 32 B = 8 GiB exactly.
+  const std::uint64_t entries_for_1tb = (1ULL << 40) / kBlockSize;
+  EXPECT_EQ(entries_for_1tb * IndexCache::kEntryBytes, 8ULL << 30);
+}
+
+}  // namespace
+}  // namespace pod

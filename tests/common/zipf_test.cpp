@@ -1,0 +1,101 @@
+#include "common/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace pod {
+namespace {
+
+TEST(Zipf, SamplesWithinRange) {
+  Rng rng(1);
+  ZipfSampler z(100, 0.9);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z.sample(rng), 100u);
+}
+
+TEST(Zipf, SingleItemAlwaysZero) {
+  Rng rng(2);
+  ZipfSampler z(1, 1.2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.sample(rng), 0u);
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  Rng rng(3);
+  ZipfSampler z(10, 0.0);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 10 * 0.15);
+}
+
+TEST(Zipf, SkewFavorsLowRanks) {
+  Rng rng(4);
+  ZipfSampler z(1000, 0.99);
+  int low = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (z.sample(rng) < 10) ++low;
+  // With theta ~1, the top 10 of 1000 items draw a large share.
+  EXPECT_GT(low, n / 4);
+}
+
+TEST(Zipf, HigherThetaMoreSkew) {
+  Rng rng_a(5), rng_b(5);
+  ZipfSampler mild(1000, 0.4), strong(1000, 1.2);
+  int mild_top = 0, strong_top = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (mild.sample(rng_a) == 0) ++mild_top;
+    if (strong.sample(rng_b) == 0) ++strong_top;
+  }
+  EXPECT_GT(strong_top, mild_top);
+}
+
+TEST(Zipf, ExactFrequencyMatchesPmf) {
+  Rng rng(6);
+  const std::uint64_t n_items = 50;
+  const double theta = 0.8;
+  ZipfSampler z(n_items, theta);
+  std::vector<int> counts(n_items, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+
+  double zeta = 0.0;
+  for (std::uint64_t i = 1; i <= n_items; ++i) zeta += 1.0 / std::pow(i, theta);
+  for (std::uint64_t r = 0; r < 5; ++r) {
+    const double expected = n / std::pow(static_cast<double>(r + 1), theta) / zeta;
+    EXPECT_NEAR(counts[r], expected, expected * 0.1 + 50);
+  }
+}
+
+TEST(Zipf, LargeNApproximationInRange) {
+  Rng rng(7);
+  ZipfSampler z(10'000'000, 0.9);  // triggers the approximate path
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z.sample(rng), 10'000'000u);
+}
+
+TEST(Zipf, LargeNApproximationSkewed) {
+  Rng rng(8);
+  ZipfSampler z(1'000'000, 0.99);
+  std::uint64_t low = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i)
+    if (z.sample(rng) < 100) ++low;
+  EXPECT_GT(low, static_cast<std::uint64_t>(n) / 5);
+}
+
+TEST(Zipf, ThetaOneLargeNHandled) {
+  Rng rng(9);
+  ZipfSampler z(1'000'000, 1.0);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z.sample(rng), 1'000'000u);
+}
+
+TEST(Zipf, AccessorsReflectConstruction) {
+  ZipfSampler z(42, 0.5);
+  EXPECT_EQ(z.n(), 42u);
+  EXPECT_DOUBLE_EQ(z.theta(), 0.5);
+}
+
+}  // namespace
+}  // namespace pod

@@ -1,0 +1,149 @@
+#include "dedup/categorizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pod {
+namespace {
+
+ChunkDup dup(Pba pba) { return ChunkDup{true, pba}; }
+ChunkDup fresh() { return ChunkDup{false, kInvalidPba}; }
+
+TEST(FindDupRuns, EmptyInput) {
+  EXPECT_TRUE(find_dup_runs({}).empty());
+}
+
+TEST(FindDupRuns, AllFresh) {
+  std::vector<ChunkDup> chunks{fresh(), fresh(), fresh()};
+  EXPECT_TRUE(find_dup_runs(chunks).empty());
+}
+
+TEST(FindDupRuns, SingleSequentialRun) {
+  std::vector<ChunkDup> chunks{dup(100), dup(101), dup(102)};
+  const auto runs = find_dup_runs(chunks);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].begin, 0u);
+  EXPECT_EQ(runs[0].length, 3u);
+  EXPECT_EQ(runs[0].pba_start, 100u);
+}
+
+TEST(FindDupRuns, NonSequentialPbasSplitRuns) {
+  std::vector<ChunkDup> chunks{dup(100), dup(200), dup(201)};
+  const auto runs = find_dup_runs(chunks);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].length, 1u);
+  EXPECT_EQ(runs[1].begin, 1u);
+  EXPECT_EQ(runs[1].length, 2u);
+}
+
+TEST(FindDupRuns, FreshGapsSplitRuns) {
+  std::vector<ChunkDup> chunks{dup(100), fresh(), dup(101)};
+  const auto runs = find_dup_runs(chunks);
+  ASSERT_EQ(runs.size(), 2u);
+}
+
+TEST(Categorize, UniqueRequest) {
+  std::vector<ChunkDup> chunks{fresh(), fresh()};
+  const auto c = categorize(chunks, 3);
+  EXPECT_EQ(c.category, WriteCategory::kUnique);
+  EXPECT_TRUE(c.dedup_runs.empty());
+  EXPECT_EQ(c.redundant_chunks, 0u);
+}
+
+TEST(Categorize, FullySequentialIsCategory1) {
+  std::vector<ChunkDup> chunks{dup(50), dup(51), dup(52), dup(53)};
+  const auto c = categorize(chunks, 3);
+  EXPECT_EQ(c.category, WriteCategory::kFullSequential);
+  ASSERT_EQ(c.dedup_runs.size(), 1u);
+  EXPECT_EQ(c.dedup_runs[0].length, 4u);
+}
+
+TEST(Categorize, SmallFullyRedundantStillCategory1) {
+  // No minimum length for category 1 — eliminating small fully redundant
+  // writes is POD's key advantage over iDedup.
+  std::vector<ChunkDup> chunks{dup(9)};
+  const auto c = categorize(chunks, 3);
+  EXPECT_EQ(c.category, WriteCategory::kFullSequential);
+  ASSERT_EQ(c.dedup_runs.size(), 1u);
+}
+
+TEST(Categorize, FullyRedundantButScatteredIsNotCategory1) {
+  // All chunks redundant but the copies are not sequential on disk:
+  // deduplicating would fragment reads, so no category-1 elimination.
+  std::vector<ChunkDup> chunks{dup(10), dup(500), dup(900)};
+  const auto c = categorize(chunks, 3);
+  EXPECT_EQ(c.category, WriteCategory::kPartialBelow);
+  EXPECT_TRUE(c.dedup_runs.empty());
+  EXPECT_EQ(c.redundant_chunks, 3u);
+}
+
+TEST(Categorize, ScatteredFewDupsIsCategory2) {
+  std::vector<ChunkDup> chunks{dup(10), fresh(), fresh(), dup(700), fresh()};
+  const auto c = categorize(chunks, 3);
+  EXPECT_EQ(c.category, WriteCategory::kPartialBelow);
+  EXPECT_TRUE(c.dedup_runs.empty());
+}
+
+TEST(Categorize, LongRunIsCategory3) {
+  std::vector<ChunkDup> chunks{fresh(), dup(100), dup(101), dup(102), fresh()};
+  const auto c = categorize(chunks, 3);
+  EXPECT_EQ(c.category, WriteCategory::kPartialAbove);
+  ASSERT_EQ(c.dedup_runs.size(), 1u);
+  EXPECT_EQ(c.dedup_runs[0].begin, 1u);
+  EXPECT_EQ(c.dedup_runs[0].length, 3u);
+}
+
+TEST(Categorize, RunBelowThresholdIsCategory2) {
+  std::vector<ChunkDup> chunks{fresh(), dup(100), dup(101), fresh()};
+  const auto c = categorize(chunks, 3);
+  EXPECT_EQ(c.category, WriteCategory::kPartialBelow);
+}
+
+TEST(Categorize, MixedRunsOnlyQualifyingSelected) {
+  std::vector<ChunkDup> chunks{dup(10), dup(11),            // run of 2: too short
+                               fresh(),
+                               dup(200), dup(201), dup(202),  // run of 3: selected
+                               fresh(), dup(999)};            // run of 1
+  const auto c = categorize(chunks, 3);
+  EXPECT_EQ(c.category, WriteCategory::kPartialAbove);
+  ASSERT_EQ(c.dedup_runs.size(), 1u);
+  EXPECT_EQ(c.dedup_runs[0].begin, 3u);
+  EXPECT_EQ(c.redundant_chunks, 6u);
+}
+
+TEST(Categorize, ThresholdOneSelectsEverySingleton) {
+  std::vector<ChunkDup> chunks{dup(10), fresh(), dup(700)};
+  const auto c = categorize(chunks, 1);
+  EXPECT_EQ(c.category, WriteCategory::kPartialAbove);
+  EXPECT_EQ(c.dedup_runs.size(), 2u);
+}
+
+TEST(Categorize, ThresholdSweepMonotonic) {
+  // Property: raising the threshold never increases deduplicated chunks.
+  std::vector<ChunkDup> chunks;
+  for (int i = 0; i < 16; ++i) {
+    if (i % 5 == 0) chunks.push_back(fresh());
+    else chunks.push_back(dup(1000 + static_cast<Pba>(i)));
+  }
+  std::size_t prev = SIZE_MAX;
+  for (std::size_t th = 1; th <= 6; ++th) {
+    const auto c = categorize(chunks, th);
+    std::size_t selected = 0;
+    for (const auto& r : c.dedup_runs) selected += r.length;
+    EXPECT_LE(selected, prev);
+    prev = selected;
+  }
+}
+
+TEST(Categorize, ToStringNames) {
+  EXPECT_STREQ(to_string(WriteCategory::kUnique), "unique");
+  EXPECT_STREQ(to_string(WriteCategory::kFullSequential), "full-sequential");
+  EXPECT_STREQ(to_string(WriteCategory::kPartialBelow),
+               "partial-below-threshold");
+  EXPECT_STREQ(to_string(WriteCategory::kPartialAbove),
+               "partial-above-threshold");
+}
+
+}  // namespace
+}  // namespace pod

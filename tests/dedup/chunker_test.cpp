@@ -1,0 +1,81 @@
+#include "dedup/chunker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pod {
+namespace {
+
+std::vector<std::uint8_t> make_data(std::size_t n, std::uint8_t seed = 1) {
+  std::vector<std::uint8_t> data(n);
+  for (std::size_t i = 0; i < n; ++i)
+    data[i] = static_cast<std::uint8_t>(seed + i * 31);
+  return data;
+}
+
+TEST(FixedChunker, ExactMultiple) {
+  HashEngine engine;
+  FixedChunker c(kBlockSize);
+  const auto data = make_data(3 * kBlockSize);
+  const auto chunks = c.chunk(data, engine);
+  ASSERT_EQ(chunks.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(chunks[i].offset, i * kBlockSize);
+    EXPECT_EQ(chunks[i].size, kBlockSize);
+  }
+}
+
+TEST(FixedChunker, TailChunkShort) {
+  HashEngine engine;
+  FixedChunker c(kBlockSize);
+  const auto data = make_data(kBlockSize + 100);
+  const auto chunks = c.chunk(data, engine);
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[1].size, 100u);
+}
+
+TEST(FixedChunker, EmptyInput) {
+  HashEngine engine;
+  FixedChunker c;
+  EXPECT_TRUE(c.chunk({}, engine).empty());
+}
+
+TEST(FixedChunker, FingerprintsMatchContent) {
+  HashEngine engine;
+  FixedChunker c(kBlockSize);
+  auto data = make_data(2 * kBlockSize);
+  // Make both chunks identical.
+  std::copy(data.begin(), data.begin() + kBlockSize, data.begin() + kBlockSize);
+  const auto chunks = c.chunk(data, engine);
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[0].fp, chunks[1].fp);
+}
+
+TEST(FixedChunker, DistinctContentDistinctFingerprints) {
+  HashEngine engine;
+  FixedChunker c(kBlockSize);
+  std::vector<std::uint8_t> data(2 * kBlockSize, 0x11);
+  std::fill(data.begin() + kBlockSize, data.end(), 0x22);
+  const auto chunks = c.chunk(data, engine);
+  EXPECT_NE(chunks[0].fp, chunks[1].fp);
+}
+
+TEST(FixedChunker, CustomChunkSize) {
+  HashEngine engine;
+  FixedChunker c(512);
+  const auto data = make_data(2048);
+  EXPECT_EQ(c.chunk(data, engine).size(), 4u);
+  EXPECT_EQ(c.chunk_size(), 512u);
+}
+
+TEST(FixedChunker, CountsHashedChunks) {
+  HashEngine engine;
+  FixedChunker c(kBlockSize);
+  const auto data = make_data(4 * kBlockSize);
+  (void)c.chunk(data, engine);
+  EXPECT_EQ(engine.chunks_hashed(), 4u);
+}
+
+}  // namespace
+}  // namespace pod

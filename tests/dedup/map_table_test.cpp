@@ -1,0 +1,63 @@
+#include "dedup/map_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pod {
+namespace {
+
+TEST(MapTable, LookupMissingIsInvalid) {
+  MapTable m;
+  EXPECT_EQ(m.lookup(5), kInvalidPba);
+  EXPECT_FALSE(m.is_redirected(5));
+}
+
+TEST(MapTable, SetAndLookup) {
+  MapTable m;
+  m.set(5, 100);
+  EXPECT_EQ(m.lookup(5), 100u);
+  EXPECT_TRUE(m.is_redirected(5));
+}
+
+TEST(MapTable, OverwriteRedirection) {
+  MapTable m;
+  m.set(5, 100);
+  m.set(5, 200);
+  EXPECT_EQ(m.lookup(5), 200u);
+  EXPECT_EQ(m.entries(), 1u);
+}
+
+TEST(MapTable, ClearRestoresIdentity) {
+  MapTable m;
+  m.set(5, 100);
+  m.clear(5);
+  EXPECT_EQ(m.lookup(5), kInvalidPba);
+  EXPECT_EQ(m.entries(), 0u);
+}
+
+TEST(MapTable, ManyToOneAllowed) {
+  MapTable m;
+  m.set(1, 100);
+  m.set(2, 100);
+  m.set(3, 100);
+  EXPECT_EQ(m.entries(), 3u);
+  EXPECT_EQ(m.lookup(2), 100u);
+}
+
+TEST(MapTable, BytesAccountingAtPaper20BytesPerEntry) {
+  MapTable m;
+  m.set(1, 10);
+  m.set(2, 20);
+  EXPECT_EQ(m.bytes(), 40u);
+  EXPECT_EQ(MapTable::kEntryBytes, 20u);
+}
+
+TEST(MapTable, MaxBytesIsHighWatermark) {
+  MapTable m;
+  for (Lba l = 0; l < 100; ++l) m.set(l, l + 1000);
+  for (Lba l = 0; l < 90; ++l) m.clear(l);
+  EXPECT_EQ(m.bytes(), 10 * MapTable::kEntryBytes);
+  EXPECT_EQ(m.max_bytes(), 100 * MapTable::kEntryBytes);
+}
+
+}  // namespace
+}  // namespace pod

@@ -1,0 +1,112 @@
+#include "dedup/rabin_chunker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace pod {
+namespace {
+
+std::vector<std::uint8_t> random_data(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> data(n);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  return data;
+}
+
+TEST(RabinChunker, ChunksCoverInputExactly) {
+  HashEngine engine;
+  RabinChunker c;
+  const auto data = random_data(200 * 1024, 1);
+  const auto chunks = c.chunk(data, engine);
+  ASSERT_FALSE(chunks.empty());
+  std::size_t pos = 0;
+  for (const auto& ch : chunks) {
+    EXPECT_EQ(ch.offset, pos);
+    pos += ch.size;
+  }
+  EXPECT_EQ(pos, data.size());
+}
+
+TEST(RabinChunker, RespectsMinMaxBounds) {
+  HashEngine engine;
+  RabinChunker c;
+  const auto data = random_data(500 * 1024, 2);
+  const auto chunks = c.chunk(data, engine);
+  for (std::size_t i = 0; i + 1 < chunks.size(); ++i) {
+    EXPECT_GE(chunks[i].size, c.config().min_chunk);
+    EXPECT_LE(chunks[i].size, c.config().max_chunk);
+  }
+}
+
+TEST(RabinChunker, AverageNearTarget) {
+  HashEngine engine;
+  RabinChunker c;
+  const auto data = random_data(4 * 1024 * 1024, 3);
+  const auto chunks = c.chunk(data, engine);
+  const double avg = static_cast<double>(data.size()) / chunks.size();
+  // Expected ~ min_chunk + 2^mask_bits = 2 KB + 4 KB = 6 KB; allow slack.
+  EXPECT_GT(avg, 3.0 * 1024);
+  EXPECT_LT(avg, 12.0 * 1024);
+}
+
+TEST(RabinChunker, DeterministicBoundaries) {
+  HashEngine engine;
+  RabinChunker c;
+  const auto data = random_data(256 * 1024, 4);
+  const auto a = c.chunk(data, engine);
+  const auto b = c.chunk(data, engine);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].offset, b[i].offset);
+    EXPECT_EQ(a[i].fp, b[i].fp);
+  }
+}
+
+TEST(RabinChunker, BoundariesShiftInvariant) {
+  // The defining CDC property: prepending data realigns chunk boundaries
+  // after at most one chunk, so most chunks (by content) are preserved.
+  HashEngine engine;
+  RabinChunker c;
+  const auto base = random_data(512 * 1024, 5);
+  std::vector<std::uint8_t> shifted = random_data(1000, 6);
+  shifted.insert(shifted.end(), base.begin(), base.end());
+
+  const auto a = c.chunk(base, engine);
+  const auto b = c.chunk(shifted, engine);
+
+  std::set<Fingerprint> fps_a;
+  for (const auto& ch : a) fps_a.insert(ch.fp);
+  std::size_t shared = 0;
+  for (const auto& ch : b)
+    if (fps_a.count(ch.fp)) ++shared;
+  // Most chunks of the shifted stream should reappear.
+  EXPECT_GT(shared * 2, a.size());
+}
+
+TEST(RabinChunker, ShortInputSingleChunk) {
+  HashEngine engine;
+  RabinChunker c;
+  const auto data = random_data(1000, 7);  // below min_chunk
+  const auto chunks = c.chunk(data, engine);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].size, 1000u);
+}
+
+TEST(RabinChunker, EmptyInput) {
+  HashEngine engine;
+  RabinChunker c;
+  EXPECT_TRUE(c.chunk({}, engine).empty());
+}
+
+TEST(RabinChunkerDeathTest, RejectsBadConfig) {
+  RabinConfig bad;
+  bad.min_chunk = 8;  // < window
+  EXPECT_DEATH(RabinChunker{bad}, "POD_CHECK");
+}
+
+}  // namespace
+}  // namespace pod

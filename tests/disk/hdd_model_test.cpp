@@ -1,0 +1,139 @@
+#include "disk/hdd_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pod {
+namespace {
+
+TEST(HddModel, DefaultsAreSane) {
+  HddModel m;
+  EXPECT_GT(m.total_blocks(), 0u);
+  EXPECT_GT(m.num_cylinders(), 1u);
+  // 7200 RPM -> 8.33 ms rotation.
+  EXPECT_NEAR(to_ms(m.rotation_period()), 8.333, 0.01);
+}
+
+TEST(HddModel, CylinderMappingMonotonic) {
+  HddModel m;
+  std::uint64_t prev = 0;
+  for (std::uint64_t b = 0; b < m.total_blocks(); b += m.total_blocks() / 100) {
+    const std::uint64_t c = m.cylinder_of(b);
+    EXPECT_GE(c, prev);
+    EXPECT_LT(c, m.num_cylinders());
+    prev = c;
+  }
+}
+
+TEST(HddModel, ZonedDensityDecreasesInward) {
+  HddModel m;
+  EXPECT_GE(m.blocks_per_track(0), m.blocks_per_track(m.num_cylinders() - 1));
+  EXPECT_EQ(m.blocks_per_track(0), m.geometry().blocks_per_track_outer);
+}
+
+TEST(HddModel, SeekZeroForSameCylinder) {
+  HddModel m;
+  EXPECT_EQ(m.seek_time(10, 10), 0);
+}
+
+TEST(HddModel, SeekMatchesCalibrationPoints) {
+  HddModel m;
+  // Track-to-track.
+  EXPECT_EQ(m.seek_time(0, 1), m.timing().seek_track_to_track);
+  // Average: one-third stroke distance should land near seek_average.
+  const std::uint64_t third = m.num_cylinders() / 3;
+  EXPECT_NEAR(to_ms(m.seek_time(0, third)), to_ms(m.timing().seek_average), 0.5);
+}
+
+TEST(HddModel, SeekCappedAtFullStroke) {
+  HddModel m;
+  const Duration full = m.seek_time(0, m.num_cylinders() - 1);
+  EXPECT_LE(full, m.timing().seek_full_stroke);
+  EXPECT_GT(full, m.timing().seek_average);
+}
+
+TEST(HddModel, SeekMonotonicInDistance) {
+  HddModel m;
+  Duration prev = 0;
+  for (std::uint64_t d = 1; d < m.num_cylinders(); d += m.num_cylinders() / 50) {
+    const Duration t = m.seek_time(0, d);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(HddModel, SeekSymmetric) {
+  HddModel m;
+  EXPECT_EQ(m.seek_time(100, 400), m.seek_time(400, 100));
+}
+
+TEST(HddModel, RotationalDelayWithinOneRevolution) {
+  HddModel m;
+  for (SimTime t : {SimTime{0}, SimTime{123456}, SimTime{98765432}}) {
+    for (double angle : {0.0, 0.25, 0.5, 0.99}) {
+      const Duration d = m.rotational_delay(angle, t);
+      EXPECT_GE(d, 0);
+      EXPECT_LT(d, m.rotation_period());
+    }
+  }
+}
+
+TEST(HddModel, RotationalDelayZeroWhenAligned) {
+  HddModel m;
+  // At t = 0 the head is at angle 0.
+  EXPECT_EQ(m.rotational_delay(0.0, 0), 0);
+}
+
+TEST(HddModel, TransferScalesWithBlocks) {
+  HddModel m;
+  const Duration one = m.transfer_time(0, 1);
+  const Duration ten = m.transfer_time(0, 10);
+  EXPECT_GT(one, 0);
+  EXPECT_NEAR(static_cast<double>(ten), 10.0 * static_cast<double>(one),
+              static_cast<double>(one) * 0.01);
+}
+
+TEST(HddModel, TransferRateRealistic) {
+  HddModel m;
+  // Outer zone: 256 blocks (1 MiB) per 8.33 ms track -> ~120 MB/s.
+  const double mb_per_s = 1.0 / (to_sec(m.transfer_time(0, 256)));
+  EXPECT_GT(mb_per_s, 60.0);
+  EXPECT_LT(mb_per_s, 250.0);
+}
+
+TEST(HddModel, ServiceSequentialSkipsSeekAndRotation) {
+  HddModel m;
+  const auto s = m.service(/*head=*/5, /*block=*/12345, /*blocks=*/8,
+                           /*at=*/ms(100), /*sequential_hint=*/true);
+  EXPECT_EQ(s.seek, 0);
+  EXPECT_EQ(s.rotation, 0);
+  EXPECT_GT(s.transfer, 0);
+  EXPECT_EQ(s.overhead, m.timing().controller_overhead);
+}
+
+TEST(HddModel, ServiceRandomIncludesAllComponents) {
+  HddModel m;
+  const std::uint64_t far_block = m.total_blocks() - 100;
+  const auto s = m.service(0, far_block, 1, ms(1), false);
+  EXPECT_GT(s.seek, 0);
+  EXPECT_GE(s.rotation, 0);
+  EXPECT_GT(s.transfer, 0);
+  EXPECT_EQ(s.total(), s.seek + s.rotation + s.transfer + s.overhead);
+}
+
+TEST(HddModel, TypicalRandomReadLatencyRealistic) {
+  HddModel m;
+  // A random 4KB op across a third of the disk: seek + ~half rotation +
+  // tiny transfer. Expect single-digit-to-20 ms.
+  const auto s = m.service(0, m.total_blocks() / 3, 1, ms(7), false);
+  EXPECT_GT(to_ms(s.total()), 2.0);
+  EXPECT_LT(to_ms(s.total()), 25.0);
+}
+
+TEST(HddModelDeathTest, OutOfRangeOpAborts) {
+  HddModel m;
+  EXPECT_DEATH((void)m.service(0, m.total_blocks(), 1, 0, false), "POD_CHECK");
+  EXPECT_DEATH((void)m.service(0, 0, 0, 0, false), "POD_CHECK");
+}
+
+}  // namespace
+}  // namespace pod

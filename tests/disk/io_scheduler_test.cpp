@@ -1,0 +1,104 @@
+#include "disk/io_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pod {
+namespace {
+
+std::function<std::uint64_t(std::uint64_t)> identity_cyl() {
+  return [](std::uint64_t b) { return b / 100; };  // 100 blocks per cylinder
+}
+
+DiskOp op_at(std::uint64_t block) {
+  DiskOp op;
+  op.block = block;
+  return op;
+}
+
+TEST(Fcfs, PopsInArrivalOrder) {
+  auto s = make_scheduler(SchedulerKind::kFcfs, identity_cyl());
+  s->push(op_at(500));
+  s->push(op_at(100));
+  s->push(op_at(300));
+  EXPECT_EQ(s->pop(0).block, 500u);
+  EXPECT_EQ(s->pop(0).block, 100u);
+  EXPECT_EQ(s->pop(0).block, 300u);
+  EXPECT_TRUE(s->empty());
+}
+
+TEST(Sstf, PicksNearestCylinder) {
+  auto s = make_scheduler(SchedulerKind::kSstf, identity_cyl());
+  s->push(op_at(900));   // cyl 9
+  s->push(op_at(100));   // cyl 1
+  s->push(op_at(350));   // cyl 3
+  // Head at cylinder 2 -> nearest is cyl 1 (distance 1), then 3, then 9.
+  EXPECT_EQ(s->pop(2).block, 100u);
+  EXPECT_EQ(s->pop(1).block, 350u);
+  EXPECT_EQ(s->pop(3).block, 900u);
+}
+
+TEST(Sstf, TieGoesToFirstQueued) {
+  auto s = make_scheduler(SchedulerKind::kSstf, identity_cyl());
+  s->push(op_at(300));  // cyl 3
+  s->push(op_at(500));  // cyl 5 (same distance from head 4)
+  EXPECT_EQ(s->pop(4).block, 300u);
+}
+
+TEST(Scan, ServicesUpwardThenReverses) {
+  auto s = make_scheduler(SchedulerKind::kScan, identity_cyl());
+  s->push(op_at(600));  // cyl 6
+  s->push(op_at(200));  // cyl 2
+  s->push(op_at(800));  // cyl 8
+  // Head at cyl 5, sweeping up: 6, 8, then reverse to 2.
+  EXPECT_EQ(s->pop(5).block, 600u);
+  EXPECT_EQ(s->pop(6).block, 800u);
+  EXPECT_EQ(s->pop(8).block, 200u);
+}
+
+TEST(Scan, EqualCylinderServedInSweep) {
+  auto s = make_scheduler(SchedulerKind::kScan, identity_cyl());
+  s->push(op_at(500));
+  EXPECT_EQ(s->pop(5).block, 500u);  // same cylinder counts as eligible
+}
+
+TEST(Scheduler, SizeTracksContents) {
+  for (auto kind : {SchedulerKind::kFcfs, SchedulerKind::kSstf,
+                    SchedulerKind::kScan}) {
+    auto s = make_scheduler(kind, identity_cyl());
+    EXPECT_TRUE(s->empty());
+    s->push(op_at(1));
+    s->push(op_at(2));
+    EXPECT_EQ(s->size(), 2u);
+    (void)s->pop(0);
+    EXPECT_EQ(s->size(), 1u);
+    (void)s->pop(0);
+    EXPECT_TRUE(s->empty());
+  }
+}
+
+TEST(Scheduler, OpPayloadPreserved) {
+  auto s = make_scheduler(SchedulerKind::kFcfs, identity_cyl());
+  int fired = 0;
+  DiskOp op;
+  op.type = OpType::kWrite;
+  op.block = 7;
+  op.nblocks = 3;
+  op.done = [&fired] { ++fired; };
+  s->push(std::move(op));
+  DiskOp out = s->pop(0);
+  EXPECT_EQ(out.type, OpType::kWrite);
+  EXPECT_EQ(out.nblocks, 3u);
+  out.done();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, ToStringNames) {
+  EXPECT_STREQ(to_string(SchedulerKind::kFcfs), "fcfs");
+  EXPECT_STREQ(to_string(SchedulerKind::kSstf), "sstf");
+  EXPECT_STREQ(to_string(SchedulerKind::kScan), "scan");
+}
+
+}  // namespace
+}  // namespace pod

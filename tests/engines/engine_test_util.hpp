@@ -1,0 +1,49 @@
+// Shared harness for engine unit tests: a fresh simulator + volume +
+// engine, with synchronous-style helpers (submit one request, run the
+// simulation to completion, return the simulated latency).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "replay/replayer.hpp"
+
+namespace pod::testutil {
+
+EngineConfig small_engine_config();
+
+IoRequest make_write(Lba lba, const std::vector<std::uint64_t>& content_ids,
+                     SimTime arrival = 0);
+IoRequest make_read(Lba lba, std::uint32_t nblocks, SimTime arrival = 0);
+
+class EngineHarness {
+ public:
+  explicit EngineHarness(EngineKind kind,
+                         EngineConfig cfg = small_engine_config(),
+                         RaidLevel raid = RaidLevel::kRaid5);
+
+  /// Submits at the current simulated time and runs to completion.
+  Duration run(IoRequest req);
+
+  /// Convenience wrappers.
+  Duration write(Lba lba, const std::vector<std::uint64_t>& ids);
+  Duration read(Lba lba, std::uint32_t nblocks);
+
+  /// Functional-only processing (warm path).
+  void warm_write(Lba lba, const std::vector<std::uint64_t>& ids);
+
+  DedupEngine& engine() { return *engine_; }
+  Volume& volume() { return *volume_; }
+  Simulator& sim() { return sim_; }
+
+  /// Total disk ops (reads+writes) across all member disks.
+  std::uint64_t disk_ops() const;
+  std::uint64_t disk_data_writes() const;
+
+ private:
+  Simulator sim_;
+  std::unique_ptr<Volume> volume_;
+  std::unique_ptr<DedupEngine> engine_;
+};
+
+}  // namespace pod::testutil

@@ -1,0 +1,133 @@
+#include "engines/full_dedupe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "engine_test_util.hpp"
+
+namespace pod {
+namespace {
+
+using testutil::EngineHarness;
+using testutil::make_write;
+
+TEST(FullDedupe, HashesEveryWrittenChunk) {
+  EngineHarness h(EngineKind::kFullDedupe);
+  (void)h.write(0, {1, 2, 3});
+  EXPECT_EQ(h.engine().hash_engine().chunks_hashed(), 3u);
+}
+
+TEST(FullDedupe, FullyRedundantWriteEliminated) {
+  EngineHarness h(EngineKind::kFullDedupe);
+  (void)h.write(0, {1, 2, 3, 4});
+  const std::uint64_t writes_before = h.disk_data_writes();
+  (void)h.write(100, {1, 2, 3, 4});
+  EXPECT_EQ(h.disk_data_writes(), writes_before);
+  EXPECT_EQ(h.engine().stats().writes_eliminated, 1u);
+  EXPECT_EQ(h.engine().stats().chunks_deduped, 4u);
+}
+
+TEST(FullDedupe, EliminatedWriteLatencyIsHashOnly) {
+  EngineHarness h(EngineKind::kFullDedupe);
+  (void)h.write(0, {1, 2});
+  const Duration lat = h.write(100, {1, 2});
+  // 2 chunks x 32 us, no disk ops.
+  EXPECT_EQ(lat, 2 * us(32));
+}
+
+TEST(FullDedupe, DedupsScatteredChunksToo) {
+  // Unlike Select-Dedupe, even isolated redundant chunks are deduplicated.
+  EngineHarness h(EngineKind::kFullDedupe);
+  (void)h.write(0, {1});
+  (void)h.write(500, {9});
+  (void)h.write(100, {1, 7, 9});  // chunks 0 and 2 dup to scattered blocks
+  EXPECT_EQ(h.engine().stats().chunks_deduped, 2u);
+  EXPECT_EQ(h.engine().store().resolve(100), 0u);
+  EXPECT_EQ(h.engine().store().resolve(102), 500u);
+}
+
+TEST(FullDedupe, ScatteredDedupCausesReadAmplification) {
+  EngineHarness h(EngineKind::kFullDedupe);
+  // Three source blocks far apart.
+  (void)h.write(0, {1});
+  (void)h.write(1000, {2});
+  (void)h.write(2000, {3});
+  (void)h.write(100, {1, 2, 3});  // fully dedup'd against scattered copies
+  const std::uint64_t before = h.engine().stats().read_ops_issued;
+  (void)h.read(100, 3);
+  // The logical read fans out into 3 non-contiguous volume reads.
+  EXPECT_EQ(h.engine().stats().read_ops_issued - before, 3u);
+}
+
+TEST(FullDedupe, MapTableGrowsWithDedup) {
+  EngineHarness h(EngineKind::kFullDedupe);
+  (void)h.write(0, {1, 2});
+  EXPECT_EQ(h.engine().map_table_bytes(), 0u);
+  (void)h.write(100, {1, 2});
+  EXPECT_EQ(h.engine().map_table_bytes(), 2 * MapTable::kEntryBytes);
+}
+
+TEST(FullDedupe, ColdLookupUsesOnDiskIndex) {
+  EngineConfig cfg = testutil::small_engine_config();
+  cfg.memory_bytes = 64 * IndexCache::kEntryBytes * 2;  // tiny index cache
+  EngineHarness h(EngineKind::kFullDedupe, cfg);
+  auto& full = static_cast<FullDedupeEngine&>(h.engine());
+  // Write enough distinct chunks to evict early entries from the cache.
+  for (std::uint64_t i = 0; i < 400; ++i) (void)h.write(i * 2, {100 + i});
+  // Re-write the very first content: its cache entry is long gone, but the
+  // on-disk index still knows it -> dedup with a charged disk lookup.
+  const std::uint64_t disk_lookups_before = full.ondisk_index().disk_lookups();
+  (void)h.write(5000, {100});
+  EXPECT_GT(full.ondisk_index().disk_lookups(), disk_lookups_before);
+  EXPECT_GT(h.engine().stats().index_disk_reads, 0u);
+  EXPECT_EQ(h.engine().stats().writes_eliminated, 1u);
+}
+
+TEST(FullDedupe, BloomAvoidsDiskLookupsForFreshContent) {
+  EngineHarness h(EngineKind::kFullDedupe);
+  for (std::uint64_t i = 0; i < 100; ++i) (void)h.write(i * 4, {1000 + i});
+  auto& full = static_cast<FullDedupeEngine&>(h.engine());
+  // Every lookup was for never-seen content with a warm index cache; the
+  // Bloom filter must have answered nearly all cold lookups without disk.
+  EXPECT_GT(full.ondisk_index().bloom_negative_hits(), 0u);
+  EXPECT_EQ(h.engine().stats().index_disk_reads, 0u);
+}
+
+TEST(FullDedupe, IndexMaintenanceWritesCharged) {
+  EngineHarness h(EngineKind::kFullDedupe);
+  for (std::uint64_t i = 0; i < 200; ++i) (void)h.write(i * 4, {5000 + i});
+  EXPECT_GT(h.engine().stats().index_disk_writes, 0u);
+}
+
+TEST(FullDedupe, OverwriteInvalidatesStaleIndexEntry) {
+  EngineHarness h(EngineKind::kFullDedupe);
+  (void)h.write(0, {1});
+  (void)h.write(0, {2});  // overwrites in place; fp(1)'s entry is stale
+  // Writing content 1 again must NOT dedup against block 0 (it now holds 2).
+  (void)h.write(100, {1});
+  EXPECT_EQ(h.engine().store().resolve(100), 100u);
+  const Fingerprint* f = h.engine().store().fingerprint_of(100);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(*f, Fingerprint::of_content_id(1));
+}
+
+TEST(FullDedupe, SharedBlockSurvivesSourceOverwrite) {
+  EngineHarness h(EngineKind::kFullDedupe);
+  (void)h.write(0, {1});
+  (void)h.write(100, {1});       // dedup: lba 100 -> pba 0
+  (void)h.write(0, {2});          // source overwritten -> redirected (COW)
+  const Fingerprint* f = h.engine().store().fingerprint_of(0);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(*f, Fingerprint::of_content_id(1));  // shared data intact
+  EXPECT_EQ(h.engine().store().resolve(100), 0u);
+  EXPECT_NE(h.engine().store().resolve(0), 0u);
+}
+
+TEST(FullDedupe, CapacitySavingsReported) {
+  EngineHarness h(EngineKind::kFullDedupe);
+  for (Lba l = 0; l < 20; ++l) (void)h.write(l * 8, {1, 2, 3, 4});
+  EXPECT_EQ(h.engine().physical_blocks_used(), 4u);
+  EXPECT_EQ(h.engine().stats().writes_eliminated, 19u);
+}
+
+}  // namespace
+}  // namespace pod

@@ -1,0 +1,97 @@
+#include "engines/idedup.hpp"
+
+#include <gtest/gtest.h>
+
+#include "engine_test_util.hpp"
+
+namespace pod {
+namespace {
+
+using testutil::EngineHarness;
+
+TEST(IDedup, SmallWritesBypassedEntirely) {
+  EngineHarness h(EngineKind::kIDedup);
+  (void)h.write(0, {1, 2});     // 8 KB: bypassed
+  (void)h.write(100, {1, 2});   // identical content, still bypassed
+  auto& eng = static_cast<IDedupEngine&>(h.engine());
+  EXPECT_EQ(eng.bypassed_requests(), 2u);
+  EXPECT_EQ(h.engine().stats().chunks_deduped, 0u);
+  EXPECT_EQ(h.engine().stats().writes_eliminated, 0u);
+  // Bypassed requests are not even fingerprinted.
+  EXPECT_EQ(h.engine().hash_engine().chunks_hashed(), 0u);
+}
+
+TEST(IDedup, LargeFullyRedundantSequentialEliminated) {
+  EngineHarness h(EngineKind::kIDedup);
+  (void)h.write(0, {1, 2, 3, 4, 5, 6});
+  (void)h.write(100, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(h.engine().stats().writes_eliminated, 1u);
+  EXPECT_EQ(h.engine().stats().chunks_deduped, 6u);
+}
+
+TEST(IDedup, ShortRunsNotDeduped) {
+  EngineHarness h(EngineKind::kIDedup);  // seq threshold 4
+  (void)h.write(0, {1, 2, 3});
+  // 5-block request with a 3-long dup run: below the threshold.
+  (void)h.write(100, {1, 2, 3, 50, 51});
+  EXPECT_EQ(h.engine().stats().chunks_deduped, 0u);
+}
+
+TEST(IDedup, QualifyingRunWithinLargerRequestDeduped) {
+  EngineHarness h(EngineKind::kIDedup);
+  (void)h.write(0, {1, 2, 3, 4});
+  (void)h.write(100, {1, 2, 3, 4, 60});
+  EXPECT_EQ(h.engine().stats().chunks_deduped, 4u);
+  EXPECT_EQ(h.engine().stats().writes_eliminated, 0u);  // still wrote 1 chunk
+}
+
+TEST(IDedup, ThresholdConfigurable) {
+  EngineConfig cfg = testutil::small_engine_config();
+  cfg.idedup_seq_threshold = 2;
+  EngineHarness h(EngineKind::kIDedup, cfg);
+  (void)h.write(0, {1, 2, 3});
+  (void)h.write(100, {1, 2, 99});
+  EXPECT_EQ(h.engine().stats().chunks_deduped, 2u);
+}
+
+TEST(IDedup, BypassSizeConfigurable) {
+  EngineConfig cfg = testutil::small_engine_config();
+  cfg.idedup_bypass_blocks = 7;
+  EngineHarness h(EngineKind::kIDedup, cfg);
+  (void)h.write(0, {1, 2, 3, 4, 5, 6});   // 6 blocks <= 7: bypassed
+  (void)h.write(100, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(static_cast<IDedupEngine&>(h.engine()).bypassed_requests(), 2u);
+  EXPECT_EQ(h.engine().stats().chunks_deduped, 0u);
+}
+
+TEST(IDedup, SmallWriteContentNeverEntersIndex) {
+  // Bypassed content is invisible: later large requests containing it see
+  // no duplicates.
+  EngineHarness h(EngineKind::kIDedup);
+  (void)h.write(0, {1, 2});                       // bypassed, not indexed
+  (void)h.write(100, {1, 2, 3, 4, 5});            // run over 1,2 impossible
+  EXPECT_EQ(h.engine().stats().chunks_deduped, 0u);
+}
+
+TEST(IDedup, SequentialityRequired) {
+  EngineHarness h(EngineKind::kIDedup);
+  // Write sources in scattered positions.
+  (void)h.write(0, {1});
+  (void)h.write(500, {2});
+  (void)h.write(1000, {3});
+  (void)h.write(1500, {4});
+  // A request whose chunks are individually redundant but land on
+  // non-adjacent disk blocks: no sequential run, no dedup.
+  (void)h.write(200, {1, 2, 3, 4});
+  EXPECT_EQ(h.engine().stats().chunks_deduped, 0u);
+}
+
+TEST(IDedup, CapacitySavedOnLargeDups) {
+  EngineHarness h(EngineKind::kIDedup);
+  for (int i = 0; i < 10; ++i)
+    (void)h.write(static_cast<Lba>(i) * 16, {1, 2, 3, 4, 5, 6, 7, 8});
+  EXPECT_EQ(h.engine().physical_blocks_used(), 8u);
+}
+
+}  // namespace
+}  // namespace pod

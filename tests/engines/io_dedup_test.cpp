@@ -1,0 +1,76 @@
+#include "engines/io_dedup.hpp"
+
+#include <gtest/gtest.h>
+
+#include "engine_test_util.hpp"
+
+namespace pod {
+namespace {
+
+using testutil::EngineHarness;
+
+IoDedupEngine& io_engine(EngineHarness& h) {
+  return static_cast<IoDedupEngine&>(h.engine());
+}
+
+TEST(IoDedup, WritesNeverEliminated) {
+  EngineHarness h(EngineKind::kIoDedup);
+  (void)h.write(0, {1, 2});
+  (void)h.write(100, {1, 2});  // duplicate content still written
+  EXPECT_EQ(h.engine().stats().writes_eliminated, 0u);
+  EXPECT_EQ(h.engine().stats().chunks_deduped, 0u);
+  EXPECT_EQ(h.engine().physical_blocks_used(), 4u);  // no capacity saving
+}
+
+TEST(IoDedup, WritesStillFingerprintedForContentTracking) {
+  EngineHarness h(EngineKind::kIoDedup);
+  (void)h.write(0, {1, 2});
+  EXPECT_EQ(h.engine().hash_engine().chunks_hashed(), 2u);
+}
+
+TEST(IoDedup, ContentCacheHitsAcrossDifferentLbas) {
+  // The defining behaviour: read of LBA B hits the cache because the same
+  // *content* was read earlier via LBA A.
+  EngineHarness h(EngineKind::kIoDedup);
+  (void)h.write(0, {1});
+  (void)h.write(100, {1});  // same content at a different location
+  (void)h.read(0, 1);       // caches content fp(1)
+  const std::uint64_t ops_before = h.disk_ops();
+  const Duration lat = h.read(100, 1);
+  EXPECT_EQ(h.disk_ops(), ops_before);  // served from the content cache
+  EXPECT_EQ(lat, 0);
+  EXPECT_GE(io_engine(h).content_hits(), 1u);
+}
+
+TEST(IoDedup, DistinctContentMisses) {
+  EngineHarness h(EngineKind::kIoDedup);
+  (void)h.write(0, {1});
+  (void)h.write(100, {2});
+  (void)h.read(0, 1);
+  const std::uint64_t ops_before = h.disk_ops();
+  (void)h.read(100, 1);
+  EXPECT_GT(h.disk_ops(), ops_before);
+}
+
+TEST(IoDedup, UnwrittenBlocksKeyedByPba) {
+  EngineHarness h(EngineKind::kIoDedup);
+  (void)h.read(50, 1);  // never-written block: no fingerprint available
+  const std::uint64_t ops_before = h.disk_ops();
+  (void)h.read(50, 1);  // second read hits by PBA key
+  EXPECT_EQ(h.disk_ops(), ops_before);
+}
+
+TEST(IoDedup, MissCounterAdvances) {
+  EngineHarness h(EngineKind::kIoDedup);
+  (void)h.write(0, {1, 2, 3});
+  (void)h.read(0, 3);
+  EXPECT_EQ(io_engine(h).content_misses(), 3u);
+}
+
+TEST(IoDedup, NoIndexCacheAllocated) {
+  EngineHarness h(EngineKind::kIoDedup);
+  EXPECT_EQ(h.engine().index_cache(), nullptr);
+}
+
+}  // namespace
+}  // namespace pod

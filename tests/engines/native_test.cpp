@@ -1,0 +1,104 @@
+#include "engines/native.hpp"
+
+#include <gtest/gtest.h>
+
+#include "engine_test_util.hpp"
+
+namespace pod {
+namespace {
+
+using testutil::EngineHarness;
+using testutil::make_read;
+using testutil::make_write;
+
+TEST(Native, WriteCompletesWithPositiveLatency) {
+  EngineHarness h(EngineKind::kNative);
+  const Duration lat = h.write(100, {1, 2, 3, 4});
+  EXPECT_GT(lat, 0);
+  EXPECT_EQ(h.engine().stats().write_requests, 1u);
+  EXPECT_EQ(h.engine().stats().chunks_written, 4u);
+}
+
+TEST(Native, NoHashingDelayOnWrites) {
+  EngineHarness h(EngineKind::kNative);
+  (void)h.write(100, {1});
+  EXPECT_EQ(h.engine().hash_engine().chunks_hashed(), 0u);
+}
+
+TEST(Native, NeverEliminatesWrites) {
+  EngineHarness h(EngineKind::kNative);
+  for (int i = 0; i < 5; ++i) (void)h.write(100, {1, 2});  // same content
+  EXPECT_EQ(h.engine().stats().writes_eliminated, 0u);
+  EXPECT_EQ(h.engine().stats().chunks_deduped, 0u);
+}
+
+TEST(Native, WritesLandAtHomeLocations) {
+  EngineHarness h(EngineKind::kNative);
+  (void)h.write(200, {1, 2, 3});
+  EXPECT_EQ(h.engine().store().resolve(200), 200u);
+  EXPECT_EQ(h.engine().store().resolve(202), 202u);
+  EXPECT_EQ(h.engine().map_table_bytes(), 0u);
+}
+
+TEST(Native, CapacityEqualsLiveLogicalBlocks) {
+  EngineHarness h(EngineKind::kNative);
+  (void)h.write(0, {1, 2});
+  (void)h.write(10, {1, 2});  // duplicate content still occupies new blocks
+  EXPECT_EQ(h.engine().physical_blocks_used(), 4u);
+}
+
+TEST(Native, ReadMissesGoToDisk) {
+  EngineHarness h(EngineKind::kNative);
+  (void)h.write(100, {1, 2, 3, 4});
+  const std::uint64_t ops_before = h.disk_ops();
+  (void)h.read(100, 4);
+  EXPECT_GT(h.disk_ops(), ops_before);
+}
+
+TEST(Native, RepeatedReadHitsCache) {
+  EngineHarness h(EngineKind::kNative);
+  (void)h.write(100, {1, 2, 3, 4});
+  (void)h.read(100, 4);  // populates cache
+  const std::uint64_t ops_before = h.disk_ops();
+  const Duration lat = h.read(100, 4);
+  EXPECT_EQ(h.disk_ops(), ops_before);  // no disk traffic
+  EXPECT_EQ(lat, 0);                    // pure cache hit
+  EXPECT_GT(h.engine().read_cache().hits(), 0u);
+}
+
+TEST(Native, NoIndexCache) {
+  EngineHarness h(EngineKind::kNative);
+  EXPECT_EQ(h.engine().index_cache(), nullptr);
+  // All memory serves the read cache.
+  EXPECT_EQ(h.engine().read_cache().capacity_bytes(),
+            testutil::small_engine_config().memory_bytes);
+}
+
+TEST(Native, WarmUpdatesStateWithoutDiskOps) {
+  EngineHarness h(EngineKind::kNative);
+  h.warm_write(100, {1, 2});
+  EXPECT_EQ(h.disk_ops(), 0u);
+  EXPECT_TRUE(h.engine().store().is_live(100));
+  // A read after warm-up sees the data (from disk).
+  (void)h.read(100, 2);
+  EXPECT_GT(h.disk_ops(), 0u);
+}
+
+TEST(Native, SequentialWriteSingleVolumeOp) {
+  EngineHarness h(EngineKind::kNative, testutil::small_engine_config(),
+                  RaidLevel::kRaid0);
+  (void)h.write(100, {1, 2, 3, 4});
+  // RAID0, 4 contiguous blocks within one stripe unit: exactly one disk op.
+  EXPECT_EQ(h.disk_ops(), 1u);
+}
+
+TEST(Native, OverwriteSameLbaKeepsCapacityFlat) {
+  EngineHarness h(EngineKind::kNative);
+  (void)h.write(50, {1});
+  (void)h.write(50, {2});
+  (void)h.write(50, {3});
+  EXPECT_EQ(h.engine().physical_blocks_used(), 1u);
+}
+
+}  // namespace
+}  // namespace pod

@@ -1,0 +1,109 @@
+// Timing-plan contracts of the engine write path: the modelled hash delay
+// strictly precedes disk activity, stage-1 index lookups gate the data
+// ops, and warm-mode replays leave identical policy state behind.
+#include <gtest/gtest.h>
+
+#include "engine_test_util.hpp"
+#include "engines/full_dedupe.hpp"
+#include "synth/generator.hpp"
+
+namespace pod {
+namespace {
+
+using testutil::EngineHarness;
+using testutil::make_write;
+
+TEST(WritePathTiming, HashDelayPrecedesDiskOps) {
+  // On an idle array, a unique 1-block write under Select-Dedupe pays the
+  // fingerprint latency *before* dispatching its disk ops. The 32 us shift
+  // also changes the platter's rotational phase at dispatch, so the total
+  // differs from Native's by the hash delay modulo up to one rotation.
+  EngineHarness select(EngineKind::kSelectDedupe);
+  const Duration with_hash = select.write(0, {1});
+  EXPECT_EQ(select.engine().hash_engine().chunks_hashed(), 1u);
+
+  EngineHarness native(EngineKind::kNative);  // identical write, no hashing
+  const Duration without_hash = native.write(0, {1});
+  EXPECT_EQ(native.engine().hash_engine().chunks_hashed(), 0u);
+
+  const Duration rotation = ms(8.34);  // 7200 RPM
+  const Duration delta = with_hash - without_hash;
+  EXPECT_GE(delta, us(32) - rotation);
+  EXPECT_LE(delta, us(32) + rotation);
+  EXPECT_NE(delta, 0);
+}
+
+TEST(WritePathTiming, EliminatedWriteSkipsDiskEntirely) {
+  EngineHarness h(EngineKind::kSelectDedupe);
+  (void)h.write(0, {1, 2, 3});
+  const std::uint64_t ops = h.disk_ops();
+  const Duration lat = h.write(64, {1, 2, 3});
+  EXPECT_EQ(h.disk_ops(), ops);
+  EXPECT_EQ(lat, 3 * us(32));
+}
+
+TEST(WritePathTiming, IndexLookupReadGatesDataWrite) {
+  // Full-Dedupe with a cold index-cache entry: the bucket read (stage 1)
+  // must complete before the data write (stage 2), so the total exceeds
+  // what the same write costs when the lookup hits memory.
+  EngineConfig cfg = testutil::small_engine_config();
+  cfg.memory_bytes = 64 * IndexCache::kEntryBytes * 2;
+  EngineHarness h(EngineKind::kFullDedupe, cfg);
+  // Prime content 7 and then flood the cache so its entry is evicted but
+  // the on-disk index still knows it.
+  (void)h.write(0, {7});
+  for (std::uint64_t i = 0; i < 300; ++i) (void)h.write(2 + i * 2, {100 + i});
+
+  // A *partial* dup: chunk 0 dups content 7 (cold lookup -> disk read),
+  // chunk 1 is fresh and must still be written after the lookup resolves.
+  const Duration lat = h.run(make_write(5000, {7, 999}));
+  // Lower bound: hash (2 chunks) + one disk read + one disk write, serial.
+  EXPECT_GT(lat, 2 * us(32) + ms(2));
+  EXPECT_GT(h.engine().stats().index_disk_reads, 0u);
+}
+
+TEST(WritePathTiming, WarmAndTimedReplayConvergeToSameState) {
+  // Replaying the same prefix functionally (warm) or with full timing must
+  // produce the same dedup state: physical blocks, map table, liveness.
+  WorkloadProfile p = tiny_test_profile();
+  p.measured_requests = 1500;
+  p.warmup_requests = 0;
+  const Trace trace = TraceGenerator(p).generate();
+
+  EngineConfig cfg = testutil::small_engine_config();
+  cfg.logical_blocks = p.volume_blocks;
+
+  EngineHarness warm(EngineKind::kSelectDedupe, cfg);
+  for (const IoRequest& r : trace.requests) warm.engine().warm(r);
+
+  EngineHarness timed(EngineKind::kSelectDedupe, cfg);
+  for (const IoRequest& r : trace.requests) {
+    IoRequest req = r;
+    req.arrival = timed.sim().now();
+    (void)timed.run(req);
+  }
+
+  EXPECT_EQ(warm.engine().physical_blocks_used(),
+            timed.engine().physical_blocks_used());
+  EXPECT_EQ(warm.engine().map_table_bytes(), timed.engine().map_table_bytes());
+  EXPECT_EQ(warm.engine().store().live_logical_blocks(),
+            timed.engine().store().live_logical_blocks());
+  // And the resolutions agree block for block.
+  for (const IoRequest& r : trace.requests) {
+    if (!r.is_write()) continue;
+    for (std::uint32_t b = 0; b < r.nblocks; ++b) {
+      EXPECT_EQ(warm.engine().store().resolve(r.lba + b),
+                timed.engine().store().resolve(r.lba + b));
+    }
+  }
+}
+
+TEST(WritePathTiming, WarmPerformsNoSimulatedTime) {
+  EngineHarness h(EngineKind::kPod);
+  for (std::uint64_t i = 0; i < 500; ++i) h.warm_write(i * 2, {i});
+  EXPECT_EQ(h.sim().now(), 0);
+  EXPECT_EQ(h.disk_ops(), 0u);
+}
+
+}  // namespace
+}  // namespace pod

@@ -1,0 +1,78 @@
+#include "hash/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+namespace pod {
+namespace {
+
+TEST(Fingerprint, DefaultIsZero) {
+  Fingerprint f;
+  EXPECT_EQ(f.prefix64(), 0u);
+  for (std::uint8_t b : f.bytes()) EXPECT_EQ(b, 0);
+}
+
+TEST(Fingerprint, ContentIdIsDeterministic) {
+  EXPECT_EQ(Fingerprint::of_content_id(42), Fingerprint::of_content_id(42));
+}
+
+TEST(Fingerprint, DistinctContentIdsDistinctFingerprints) {
+  std::set<std::uint64_t> prefixes;
+  for (std::uint64_t id = 0; id < 10000; ++id)
+    prefixes.insert(Fingerprint::of_content_id(id).prefix64());
+  EXPECT_EQ(prefixes.size(), 10000u);
+}
+
+TEST(Fingerprint, PrefixRoundTrip) {
+  // of_prefix(prefix64()) must reproduce the full synthetic fingerprint —
+  // the CSV trace format depends on this.
+  for (std::uint64_t id : {0ULL, 1ULL, 42ULL, 1ULL << 40, ~0ULL}) {
+    const Fingerprint f = Fingerprint::of_content_id(id);
+    EXPECT_EQ(Fingerprint::of_prefix(f.prefix64()), f);
+  }
+}
+
+TEST(Fingerprint, OfDataMatchesSha1Prefix) {
+  const std::vector<std::uint8_t> data{'a', 'b', 'c'};
+  const Fingerprint f = Fingerprint::of_data(data);
+  // SHA-1("abc") = a9993e36 4706816a ba3e2571 7850c26c 9cd0d89d
+  EXPECT_EQ(f.hex(), "a9993e364706816aba3e25717850c26c");
+}
+
+TEST(Fingerprint, OfDataDistinguishesContent) {
+  const std::vector<std::uint8_t> a{1, 2, 3};
+  const std::vector<std::uint8_t> b{1, 2, 4};
+  EXPECT_NE(Fingerprint::of_data(a), Fingerprint::of_data(b));
+}
+
+TEST(Fingerprint, OrderingIsTotal) {
+  const Fingerprint a = Fingerprint::of_content_id(1);
+  const Fingerprint b = Fingerprint::of_content_id(2);
+  EXPECT_TRUE((a < b) || (b < a));
+  EXPECT_FALSE(a < a);
+}
+
+TEST(Fingerprint, HashUsableInUnorderedSet) {
+  std::unordered_set<Fingerprint, FingerprintHash> set;
+  for (std::uint64_t id = 0; id < 1000; ++id)
+    set.insert(Fingerprint::of_content_id(id));
+  EXPECT_EQ(set.size(), 1000u);
+  EXPECT_TRUE(set.count(Fingerprint::of_content_id(500)) > 0);
+  EXPECT_EQ(set.count(Fingerprint::of_content_id(5000)), 0u);
+}
+
+TEST(Fingerprint, StdHashSpecialization) {
+  std::unordered_set<Fingerprint> set;
+  set.insert(Fingerprint::of_content_id(7));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(Fingerprint, HexLength) {
+  EXPECT_EQ(Fingerprint::of_content_id(9).hex().size(), 32u);
+}
+
+}  // namespace
+}  // namespace pod

@@ -1,0 +1,50 @@
+#include "hash/fnv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace pod {
+namespace {
+
+std::uint64_t hash_str(const std::string& s) {
+  return fnv1a64(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+// Published FNV-1a 64-bit reference values.
+TEST(Fnv, EmptyIsOffsetBasis) {
+  EXPECT_EQ(hash_str(""), 0xCBF29CE484222325ULL);
+}
+
+TEST(Fnv, SingleA) {
+  EXPECT_EQ(hash_str("a"), 0xAF63DC4C8601EC8CULL);
+}
+
+TEST(Fnv, Foobar) {
+  EXPECT_EQ(hash_str("foobar"), 0x85944171F73967E8ULL);
+}
+
+TEST(Fnv, ConstexprUsable) {
+  constexpr std::uint8_t data[] = {'a'};
+  constexpr std::uint64_t h = fnv1a64(data, 1);
+  static_assert(h == 0xAF63DC4C8601EC8CULL);
+  EXPECT_EQ(h, 0xAF63DC4C8601EC8CULL);
+}
+
+TEST(Fnv, SeedChaining) {
+  // Hashing "ab" in one go equals hashing "b" seeded with hash("a").
+  const std::uint64_t ha = hash_str("a");
+  const std::uint8_t b = 'b';
+  EXPECT_EQ(fnv1a64(&b, 1, ha), hash_str("ab"));
+}
+
+TEST(Fnv, U64MixerIsDeterministicAndSpreads) {
+  const std::uint64_t h1 = fnv1a64_u64(1);
+  const std::uint64_t h2 = fnv1a64_u64(2);
+  EXPECT_EQ(h1, fnv1a64_u64(1));
+  EXPECT_NE(h1, h2);
+  EXPECT_GT(__builtin_popcountll(h1 ^ h2), 8);
+}
+
+}  // namespace
+}  // namespace pod

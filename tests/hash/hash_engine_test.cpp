@@ -1,0 +1,42 @@
+#include "hash/hash_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pod {
+namespace {
+
+TEST(HashEngine, DefaultLatencyIsPaper32us) {
+  HashEngine e;
+  EXPECT_EQ(e.latency_for_chunks(1), us(32));
+  EXPECT_EQ(e.latency_for_chunks(10), us(320));
+  EXPECT_EQ(e.latency_for_chunks(0), 0);
+}
+
+TEST(HashEngine, CustomLatency) {
+  HashEngineConfig cfg;
+  cfg.per_chunk_latency = us(10);
+  HashEngine e(cfg);
+  EXPECT_EQ(e.latency_for_chunks(3), us(30));
+}
+
+TEST(HashEngine, FingerprintCountsChunks) {
+  HashEngine e;
+  const std::vector<std::uint8_t> chunk(kBlockSize, 0xAB);
+  EXPECT_EQ(e.chunks_hashed(), 0u);
+  (void)e.fingerprint(chunk);
+  (void)e.fingerprint(chunk);
+  EXPECT_EQ(e.chunks_hashed(), 2u);
+  e.note_chunks_hashed(5);
+  EXPECT_EQ(e.chunks_hashed(), 7u);
+}
+
+TEST(HashEngine, FingerprintMatchesOfData) {
+  HashEngine e;
+  const std::vector<std::uint8_t> chunk(128, 0x5A);
+  EXPECT_EQ(e.fingerprint(chunk), Fingerprint::of_data(chunk));
+}
+
+}  // namespace
+}  // namespace pod

@@ -1,0 +1,73 @@
+#include "hash/xx64.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace pod {
+namespace {
+
+std::uint64_t hash_str(const std::string& s, std::uint64_t seed = 0) {
+  return xx64(reinterpret_cast<const std::uint8_t*>(s.data()), s.size(), seed);
+}
+
+// Reference values from the canonical XXH64 implementation.
+TEST(Xx64, EmptyInput) {
+  EXPECT_EQ(hash_str(""), 0xEF46DB3751D8E999ULL);
+}
+
+TEST(Xx64, EmptyInputWithSeedDiffers) {
+  EXPECT_NE(hash_str("", 1), hash_str("", 0));
+  EXPECT_EQ(hash_str("", 1), hash_str("", 1));
+}
+
+TEST(Xx64, SingleChar) {
+  EXPECT_EQ(hash_str("a"), 0xD24EC4F1A98C6E5BULL);
+}
+
+TEST(Xx64, Abc) {
+  EXPECT_EQ(hash_str("abc"), 0x44BC2CF5AD770999ULL);
+}
+
+TEST(Xx64, LongerAscii) {
+  EXPECT_EQ(hash_str("xxhash is a fast non-cryptographic hash algorithm"),
+            hash_str("xxhash is a fast non-cryptographic hash algorithm"));
+  EXPECT_NE(hash_str("xxhash is a fast non-cryptographic hash algorithm"),
+            hash_str("xxhash is a fast non-cryptographic hash algorithX"));
+}
+
+TEST(Xx64, SeedChangesOutput) {
+  EXPECT_NE(hash_str("payload", 0), hash_str("payload", 1));
+}
+
+TEST(Xx64, AllLengthPaths) {
+  // Exercise <4, 4-7, 8-31, and >=32 byte code paths; values must be stable
+  // and length-sensitive.
+  std::vector<std::uint64_t> seen;
+  std::string data(100, '\0');
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<char>(i * 7 + 1);
+  for (std::size_t len : {0u, 1u, 3u, 4u, 7u, 8u, 15u, 16u, 31u, 32u, 33u, 63u,
+                          64u, 100u}) {
+    const std::uint64_t h =
+        xx64(reinterpret_cast<const std::uint8_t*>(data.data()), len);
+    for (std::uint64_t prev : seen) EXPECT_NE(h, prev) << "len=" << len;
+    seen.push_back(h);
+  }
+}
+
+TEST(Xx64, AvalancheOnSingleBitFlip) {
+  std::string a(40, 'q');
+  std::string b = a;
+  b[20] ^= 1;
+  const std::uint64_t ha = hash_str(a), hb = hash_str(b);
+  // Count differing bits; a good hash flips roughly half.
+  const int diff = __builtin_popcountll(ha ^ hb);
+  EXPECT_GT(diff, 10);
+  EXPECT_LT(diff, 54);
+}
+
+}  // namespace
+}  // namespace pod

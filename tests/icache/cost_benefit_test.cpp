@@ -1,0 +1,88 @@
+#include "icache/cost_benefit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pod {
+namespace {
+
+TEST(CostBenefit, NoActivityHolds) {
+  const CostBenefit cb = evaluate_cost_benefit({}, {});
+  EXPECT_EQ(cb.decision, PartitionDecision::kHold);
+  EXPECT_DOUBLE_EQ(cb.index_benefit_ns, 0.0);
+  EXPECT_DOUBLE_EQ(cb.read_benefit_ns, 0.0);
+}
+
+TEST(CostBenefit, IndexGhostHitsGrowIndex) {
+  // Index growth counts *all* ghost hits (long-lived dedup knowledge).
+  EpochActivity a;
+  a.index_ghost_hits = 100;
+  a.index_ghost_near_hits = 10;
+  const CostBenefit cb = evaluate_cost_benefit(a, {});
+  EXPECT_EQ(cb.decision, PartitionDecision::kGrowIndex);
+  EXPECT_GT(cb.index_benefit_ns, 0.0);
+}
+
+TEST(CostBenefit, ReadGrowthNeedsNearHits) {
+  // Deep read ghost hits alone do not justify read-cache growth: a step of
+  // extra memory would not have captured them.
+  EpochActivity a;
+  a.read_ghost_hits = 100;
+  a.read_ghost_near_hits = 0;
+  EXPECT_EQ(evaluate_cost_benefit(a, {}).decision, PartitionDecision::kHold);
+  a.read_ghost_near_hits = 100;
+  EXPECT_EQ(evaluate_cost_benefit(a, {}).decision, PartitionDecision::kGrowRead);
+}
+
+TEST(CostBenefit, BenefitsWeightedByCosts) {
+  CostBenefitConfig cfg;
+  cfg.read_miss_cost = ms(10);
+  cfg.write_save_cost = ms(1);
+  cfg.grow_read_hysteresis = 1.0;
+  EpochActivity a;
+  a.read_ghost_hits = 10;
+  a.read_ghost_near_hits = 10;   // 100 ms prospective saving
+  a.index_ghost_hits = 50;       // 50 ms prospective saving
+  const CostBenefit cb = evaluate_cost_benefit(a, cfg);
+  EXPECT_EQ(cb.decision, PartitionDecision::kGrowRead);
+  EXPECT_DOUBLE_EQ(cb.read_benefit_ns, 10.0 * ms(10));
+  EXPECT_DOUBLE_EQ(cb.index_benefit_ns, 50.0 * ms(1));
+}
+
+TEST(CostBenefit, HysteresisPreventsFlapping) {
+  CostBenefitConfig cfg;
+  cfg.read_miss_cost = ms(1);
+  cfg.write_save_cost = ms(1);
+  cfg.hysteresis = 1.5;
+  cfg.grow_read_hysteresis = 1.5;
+  EpochActivity a;
+  a.index_ghost_hits = 110;
+  a.read_ghost_hits = 100;
+  a.read_ghost_near_hits = 100;  // only 10% apart: below hysteresis
+  EXPECT_EQ(evaluate_cost_benefit(a, cfg).decision, PartitionDecision::kHold);
+  a.index_ghost_hits = 200;  // now clearly above
+  EXPECT_EQ(evaluate_cost_benefit(a, cfg).decision,
+            PartitionDecision::kGrowIndex);
+}
+
+TEST(CostBenefit, ReadSideBarIsHigher) {
+  // By default the read side must beat the index side by a larger factor
+  // (shrinking the index forfeits accumulated dedup state).
+  CostBenefitConfig cfg;
+  cfg.read_miss_cost = ms(1);
+  cfg.write_save_cost = ms(1);
+  EpochActivity a;
+  a.index_ghost_hits = 100;
+  a.read_ghost_near_hits = 200;  // 2x index, but grow_read bar is 3x
+  EXPECT_EQ(evaluate_cost_benefit(a, cfg).decision, PartitionDecision::kHold);
+  a.read_ghost_near_hits = 400;
+  EXPECT_EQ(evaluate_cost_benefit(a, cfg).decision, PartitionDecision::kGrowRead);
+}
+
+TEST(CostBenefit, ZeroBenefitNeverWins) {
+  EpochActivity a;
+  a.read_hits = 1000;  // plenty of actual hits but no ghost signal
+  EXPECT_EQ(evaluate_cost_benefit(a, {}).decision, PartitionDecision::kHold);
+}
+
+}  // namespace
+}  // namespace pod

@@ -1,0 +1,128 @@
+#include "core/pod.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pod {
+namespace {
+
+PodConfig small_config() {
+  PodConfig cfg;
+  cfg.logical_blocks = 16 * 1024;
+  cfg.memory_bytes = 2 * kMiB;
+  return cfg;
+}
+
+std::vector<std::uint8_t> block_data(std::uint8_t seed, std::size_t blocks = 1) {
+  std::vector<std::uint8_t> data(blocks * kBlockSize);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(seed + (i % 251));
+  return data;
+}
+
+TEST(PodApi, WriteCompletesWithLatency) {
+  Pod store(small_config());
+  Duration latency = -1;
+  store.write(0, block_data(1), [&](Duration d) { latency = d; });
+  store.run();
+  EXPECT_GT(latency, 0);
+  EXPECT_EQ(store.stats().write_requests, 1u);
+}
+
+TEST(PodApi, DuplicateDataWriteEliminated) {
+  Pod store(small_config());
+  const auto data = block_data(7);
+  store.write(0, data);
+  store.run();
+  Duration dup_latency = -1;
+  store.write(100, data, [&](Duration d) { dup_latency = d; });
+  store.run();
+  EXPECT_EQ(store.stats().writes_eliminated, 1u);
+  // Hash-only latency for an eliminated write.
+  EXPECT_EQ(dup_latency, us(32));
+  EXPECT_EQ(store.physical_blocks_used(), 1u);
+  EXPECT_GT(store.map_table_bytes(), 0u);
+}
+
+TEST(PodApi, FingerprintedWritePath) {
+  Pod store(small_config());
+  std::vector<Fingerprint> fps{Fingerprint::of_content_id(1),
+                               Fingerprint::of_content_id(2)};
+  store.write_fingerprinted(0, fps);
+  store.write_fingerprinted(200, fps);
+  store.run();
+  EXPECT_EQ(store.stats().writes_eliminated, 1u);
+  EXPECT_EQ(store.physical_blocks_used(), 2u);
+}
+
+TEST(PodApi, ReadAfterWrite) {
+  Pod store(small_config());
+  store.write(10, block_data(3, 4));
+  store.run();
+  Duration read_latency = -1;
+  store.read(10, 4, [&](Duration d) { read_latency = d; });
+  store.run();
+  EXPECT_GT(read_latency, 0);
+  EXPECT_EQ(store.stats().read_requests, 1u);
+}
+
+TEST(PodApi, CachedReadIsFree) {
+  Pod store(small_config());
+  store.write(10, block_data(3));
+  store.read(10, 1);
+  store.run();
+  Duration second = -1;
+  store.read(10, 1, [&](Duration d) { second = d; });
+  store.run();
+  EXPECT_EQ(second, 0);
+}
+
+TEST(PodApi, SimulatedTimeAdvances) {
+  Pod store(small_config());
+  EXPECT_EQ(store.now(), 0);
+  store.write(0, block_data(1));
+  store.run();
+  EXPECT_GT(store.now(), 0);
+}
+
+TEST(PodApi, SubmitPrebuiltRequest) {
+  Pod store(small_config());
+  IoRequest req;
+  req.type = OpType::kWrite;
+  req.lba = 5;
+  req.nblocks = 2;
+  req.chunks = {Fingerprint::of_content_id(1), Fingerprint::of_content_id(2)};
+  bool fired = false;
+  store.submit(req, [&](Duration) { fired = true; });
+  store.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(PodApi, IndexFractionWithinBounds) {
+  Pod store(small_config());
+  for (int i = 0; i < 100; ++i) {
+    store.write(static_cast<Lba>(i) * 2, block_data(static_cast<std::uint8_t>(i)));
+  }
+  store.run();
+  EXPECT_GE(store.index_fraction(), 0.05);
+  EXPECT_LE(store.index_fraction(), 0.95);
+}
+
+TEST(PodApi, StatsAccessors) {
+  Pod store(small_config());
+  store.write(0, block_data(1));
+  store.run();
+  EXPECT_EQ(store.logical_blocks(), small_config().logical_blocks);
+  (void)store.icache_stats();
+  EXPECT_EQ(store.stats().write_requests, 1u);
+}
+
+TEST(PodApiDeathTest, RejectsUnalignedWrite) {
+  Pod store(small_config());
+  std::vector<std::uint8_t> bad(100);
+  EXPECT_DEATH(store.write(0, bad), "POD_CHECK");
+}
+
+}  // namespace
+}  // namespace pod

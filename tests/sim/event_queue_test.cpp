@@ -1,0 +1,75 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pod {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(30, [&] { order.push_back(3); });
+  q.push(10, [&] { order.push_back(1); });
+  q.push(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBrokenByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) q.push(42, [&order, i] { order.push_back(i); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, NextTimeReportsEarliest) {
+  EventQueue q;
+  q.push(100, [] {});
+  q.push(50, [] {});
+  EXPECT_EQ(q.next_time(), 50);
+}
+
+TEST(EventQueue, PopReturnsTimestamp) {
+  EventQueue q;
+  q.push(77, [] {});
+  auto [at, fn] = q.pop();
+  EXPECT_EQ(at, 77);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ClearResets) {
+  EventQueue q;
+  q.push(1, [] {});
+  q.push(2, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  // Tie-break sequence restarts after clear.
+  std::vector<int> order;
+  q.push(5, [&] { order.push_back(1); });
+  q.push(5, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, InterleavedPushPop) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(10, [&] { order.push_back(10); });
+  q.push(30, [&] { order.push_back(30); });
+  q.pop().second();
+  q.push(20, [&] { order.push_back(20); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{10, 20, 30}));
+}
+
+}  // namespace
+}  // namespace pod

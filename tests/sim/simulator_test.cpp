@@ -1,0 +1,100 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pod {
+namespace {
+
+TEST(Simulator, StartsAtZeroIdle) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(Simulator, TimeAdvancesToEventTimestamps) {
+  Simulator sim;
+  std::vector<SimTime> seen;
+  sim.schedule_at(100, [&] { seen.push_back(sim.now()); });
+  sim.schedule_at(50, [&] { seen.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(seen, (std::vector<SimTime>{50, 100}));
+  EXPECT_EQ(sim.now(), 100);
+  EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  SimTime fired = -1;
+  sim.schedule_at(10, [&] {
+    sim.schedule_after(5, [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 15);
+}
+
+TEST(Simulator, EventsMayScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&]() {
+    ++count;
+    if (count < 10) sim.schedule_after(1, chain);
+  };
+  sim.schedule_at(0, chain);
+  sim.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(sim.now(), 9);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] { ++fired; });
+  sim.schedule_at(20, [&] { ++fired; });
+  sim.schedule_at(30, [&] { ++fired; });
+  sim.run_until(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20);
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesIdleClock) {
+  Simulator sim;
+  sim.run_until(500);
+  EXPECT_EQ(sim.now(), 500);
+}
+
+TEST(Simulator, StepExecutesOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1, [&] { ++fired; });
+  sim.schedule_at(2, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, ResetRestoresInitialState) {
+  Simulator sim;
+  sim.schedule_at(5, [] {});
+  sim.run();
+  sim.reset();
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(SimulatorDeathTest, SchedulingInPastAborts) {
+  Simulator sim;
+  sim.schedule_at(100, [] {});
+  sim.run();
+  EXPECT_DEATH(sim.schedule_at(50, [] {}), "POD_CHECK");
+}
+
+}  // namespace
+}  // namespace pod

@@ -1,0 +1,93 @@
+#include "synth/burst_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pod {
+namespace {
+
+BurstProfile default_burst() {
+  BurstProfile b;
+  b.cycle = sec(10);
+  b.write_phase_frac = 0.5;
+  b.write_phase_bias = 0.9;
+  b.write_phase_rate_mult = 2.0;
+  return b;
+}
+
+TEST(BurstModel, PhaseAlternates) {
+  BurstModel m(default_burst(), 0.7, ms(1));
+  EXPECT_TRUE(m.in_write_phase(0));
+  EXPECT_TRUE(m.in_write_phase(sec(4.9)));
+  EXPECT_FALSE(m.in_write_phase(sec(5.1)));
+  EXPECT_FALSE(m.in_write_phase(sec(9.9)));
+  EXPECT_TRUE(m.in_write_phase(sec(10.1)));  // next cycle
+}
+
+TEST(BurstModel, WriteProbabilityByPhase) {
+  BurstModel m(default_burst(), 0.7, ms(1));
+  EXPECT_DOUBLE_EQ(m.write_probability(0), 0.9);
+  EXPECT_LT(m.write_probability(sec(6)), 0.9);
+  EXPECT_DOUBLE_EQ(m.write_probability(sec(6)), m.read_phase_write_prob());
+}
+
+TEST(BurstModel, LongRunWriteRatioPreserved) {
+  // Simulate arrivals and check the request-weighted write fraction.
+  const double target = 0.7;
+  BurstModel m(default_burst(), target, ms(1));
+  Rng rng(42);
+  SimTime t = 0;
+  std::uint64_t writes = 0, total = 0;
+  while (t < sec(2000)) {
+    t += m.next_gap(t, rng);
+    ++total;
+    if (rng.chance(m.write_probability(t))) ++writes;
+  }
+  EXPECT_NEAR(static_cast<double>(writes) / static_cast<double>(total), target,
+              0.02);
+}
+
+TEST(BurstModel, LongRunMeanInterarrivalPreserved) {
+  BurstModel m(default_burst(), 0.7, ms(2));
+  Rng rng(7);
+  SimTime t = 0;
+  std::uint64_t n = 0;
+  while (t < sec(1000)) {
+    t += m.next_gap(t, rng);
+    ++n;
+  }
+  const double mean_ns = static_cast<double>(t) / static_cast<double>(n);
+  EXPECT_NEAR(mean_ns, static_cast<double>(ms(2)), static_cast<double>(ms(2)) * 0.05);
+}
+
+TEST(BurstModel, WritePhaseArrivesFaster) {
+  BurstModel m(default_burst(), 0.7, ms(1));
+  Rng rng(9);
+  double write_phase_sum = 0, read_phase_sum = 0;
+  int wn = 0, rn = 0;
+  for (int i = 0; i < 20000; ++i) {
+    write_phase_sum += static_cast<double>(m.next_gap(0, rng));
+    ++wn;
+    read_phase_sum += static_cast<double>(m.next_gap(sec(6), rng));
+    ++rn;
+  }
+  EXPECT_LT(write_phase_sum / wn, read_phase_sum / rn / 1.5);
+}
+
+TEST(BurstModel, GapsArePositive) {
+  BurstModel m(default_burst(), 0.5, us(10));
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(m.next_gap(0, rng), 0);
+}
+
+TEST(BurstModel, ReadPhaseProbClamped) {
+  // Extreme parameters must not yield probabilities outside (0,1).
+  BurstProfile b = default_burst();
+  b.write_phase_bias = 0.99;
+  b.write_phase_frac = 0.9;
+  BurstModel m(b, 0.5, ms(1));
+  EXPECT_GE(m.read_phase_write_prob(), 0.0);
+  EXPECT_LE(m.read_phase_write_prob(), 1.0);
+}
+
+}  // namespace
+}  // namespace pod

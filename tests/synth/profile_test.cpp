@@ -1,0 +1,122 @@
+#include "synth/profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pod {
+namespace {
+
+TEST(SizeDist, SamplesOnlyConfiguredSizes) {
+  Rng rng(1);
+  SizeDist d({{1, 1.0}, {4, 1.0}});
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint32_t s = d.sample(rng);
+    EXPECT_TRUE(s == 1 || s == 4);
+  }
+}
+
+TEST(SizeDist, RespectsWeights) {
+  Rng rng(2);
+  SizeDist d({{1, 9.0}, {8, 1.0}});
+  int ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (d.sample(rng) == 1) ++ones;
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.9, 0.02);
+}
+
+TEST(SizeDist, MeanBlocks) {
+  SizeDist d({{2, 1.0}, {6, 1.0}});
+  EXPECT_DOUBLE_EQ(d.mean_blocks(), 4.0);
+}
+
+TEST(SizeDist, SingleEntryAlwaysSampled) {
+  Rng rng(3);
+  SizeDist d({{7, 1.0}});
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(d.sample(rng), 7u);
+}
+
+TEST(WriteClassMix, UniqueIsRemainder) {
+  WriteClassMix mix;
+  mix.full_dup_seq = 0.5;
+  mix.full_dup_scatter = 0.1;
+  mix.partial_run = 0.1;
+  mix.partial_scatter = 0.1;
+  EXPECT_NEAR(mix.unique(), 0.2, 1e-9);
+}
+
+TEST(PaperProfiles, TableIiParameters) {
+  const auto web = web_vm_profile();
+  EXPECT_EQ(web.name, "web-vm");
+  EXPECT_EQ(web.measured_requests, 154'105u);
+  EXPECT_NEAR(web.write_ratio, 0.698, 1e-9);
+
+  const auto homes = homes_profile();
+  EXPECT_EQ(homes.measured_requests, 64'819u);
+  EXPECT_NEAR(homes.write_ratio, 0.805, 1e-9);
+
+  const auto mail = mail_profile();
+  EXPECT_EQ(mail.measured_requests, 328'145u);
+  EXPECT_NEAR(mail.write_ratio, 0.785, 1e-9);
+}
+
+TEST(PaperProfiles, MixesAreValidProbabilities) {
+  for (const auto& p : paper_profiles()) {
+    EXPECT_GE(p.mix.unique(), 0.0) << p.name;
+    EXPECT_LE(p.mix.full_dup_seq + p.mix.full_dup_scatter + p.mix.partial_run +
+                  p.mix.partial_scatter,
+              1.0)
+        << p.name;
+  }
+}
+
+TEST(PaperProfiles, MailIsMostRedundantHomesMostScattered) {
+  const auto web = web_vm_profile();
+  const auto homes = homes_profile();
+  const auto mail = mail_profile();
+  EXPECT_GT(mail.mix.full_dup_seq, web.mix.full_dup_seq);
+  EXPECT_GT(web.mix.full_dup_seq, homes.mix.full_dup_seq);
+  EXPECT_GT(homes.mix.partial_scatter, mail.mix.partial_scatter);
+}
+
+TEST(PaperProfiles, ScaleShrinksCounts) {
+  const auto full = mail_profile(1.0);
+  const auto half = mail_profile(0.5);
+  EXPECT_NEAR(static_cast<double>(half.measured_requests),
+              static_cast<double>(full.measured_requests) / 2.0, 2.0);
+  EXPECT_LT(half.volume_blocks, full.volume_blocks);
+}
+
+TEST(PaperProfiles, MemoryBudgets) {
+  // web-vm gets 100 MB, homes/mail 500 MB (paper §IV-A), scaled by the
+  // documented pressure factor.
+  const auto web = paper_memory_bytes("web-vm");
+  const auto homes = paper_memory_bytes("homes");
+  const auto mail = paper_memory_bytes("mail");
+  EXPECT_EQ(homes, mail);
+  EXPECT_EQ(homes, 5 * web);
+}
+
+TEST(PaperProfiles, AverageRequestSizeOrdering) {
+  // Table II: mail (40.8 KB) >> web-vm (14.8) > homes (13.1). Verify the
+  // configured size distributions preserve the ordering.
+  auto avg = [](const WorkloadProfile& p) {
+    const double w = p.write_ratio;
+    const double wmean =
+        (p.mix.full_dup_seq + p.mix.full_dup_scatter) *
+            p.full_dup_sizes.mean_blocks() +
+        (p.mix.partial_run + p.mix.partial_scatter) * p.partial_sizes.mean_blocks() +
+        p.mix.unique() * p.unique_sizes.mean_blocks();
+    return w * wmean + (1 - w) * p.read_sizes.mean_blocks();
+  };
+  EXPECT_GT(avg(mail_profile()), 1.5 * avg(web_vm_profile()));
+  EXPECT_GT(avg(web_vm_profile()), 0.8 * avg(homes_profile()));
+}
+
+TEST(TinyProfile, IsSmall) {
+  const auto p = tiny_test_profile();
+  EXPECT_LE(p.measured_requests, 10'000u);
+  EXPECT_LE(p.warmup_requests, 10'000u);
+}
+
+}  // namespace
+}  // namespace pod

@@ -1,0 +1,130 @@
+#include "trace/reconstructor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pod {
+namespace {
+
+IoRequest record(SimTime at, OpType type, Lba lba, std::uint64_t content = 0) {
+  IoRequest r;
+  r.arrival = at;
+  r.type = type;
+  r.lba = lba;
+  r.nblocks = 1;
+  if (type == OpType::kWrite)
+    r.chunks.push_back(Fingerprint::of_content_id(content));
+  return r;
+}
+
+TEST(Reconstructor, MergesContiguousSameTimestamp) {
+  Trace split;
+  split.requests = {record(100, OpType::kWrite, 10, 1),
+                    record(100, OpType::kWrite, 11, 2),
+                    record(100, OpType::kWrite, 12, 3)};
+  const Trace out = reconstruct_requests(split);
+  ASSERT_EQ(out.requests.size(), 1u);
+  EXPECT_EQ(out.requests[0].lba, 10u);
+  EXPECT_EQ(out.requests[0].nblocks, 3u);
+  ASSERT_EQ(out.requests[0].chunks.size(), 3u);
+  EXPECT_EQ(out.requests[0].chunks[2], Fingerprint::of_content_id(3));
+}
+
+TEST(Reconstructor, BreaksOnLbaGap) {
+  Trace split;
+  split.requests = {record(100, OpType::kWrite, 10, 1),
+                    record(100, OpType::kWrite, 12, 2)};
+  const Trace out = reconstruct_requests(split);
+  EXPECT_EQ(out.requests.size(), 2u);
+}
+
+TEST(Reconstructor, BreaksOnOpChange) {
+  Trace split;
+  split.requests = {record(100, OpType::kWrite, 10, 1),
+                    record(100, OpType::kRead, 11)};
+  const Trace out = reconstruct_requests(split);
+  EXPECT_EQ(out.requests.size(), 2u);
+}
+
+TEST(Reconstructor, BreaksOutsideTimestampWindow) {
+  Trace split;
+  split.requests = {record(0, OpType::kWrite, 10, 1),
+                    record(us(500), OpType::kWrite, 11, 2)};
+  ReconstructOptions opts;
+  opts.timestamp_window = us(100);
+  const Trace out = reconstruct_requests(split, opts);
+  EXPECT_EQ(out.requests.size(), 2u);
+}
+
+TEST(Reconstructor, MergesWithinTimestampWindow) {
+  Trace split;
+  split.requests = {record(0, OpType::kWrite, 10, 1),
+                    record(us(50), OpType::kWrite, 11, 2)};
+  const Trace out = reconstruct_requests(split);
+  EXPECT_EQ(out.requests.size(), 1u);
+  EXPECT_EQ(out.requests[0].arrival, 0);  // first record's arrival kept
+}
+
+TEST(Reconstructor, RespectsMaxRequestBlocks) {
+  Trace split;
+  for (int i = 0; i < 10; ++i)
+    split.requests.push_back(record(0, OpType::kWrite, 100 + i, i));
+  ReconstructOptions opts;
+  opts.max_request_blocks = 4;
+  const Trace out = reconstruct_requests(split, opts);
+  ASSERT_EQ(out.requests.size(), 3u);
+  EXPECT_EQ(out.requests[0].nblocks, 4u);
+  EXPECT_EQ(out.requests[1].nblocks, 4u);
+  EXPECT_EQ(out.requests[2].nblocks, 2u);
+}
+
+TEST(Reconstructor, WarmupBoundaryCarriedOver) {
+  Trace split;
+  split.requests = {record(0, OpType::kWrite, 10, 1),
+                    record(0, OpType::kWrite, 11, 2),
+                    record(1000000, OpType::kWrite, 50, 3)};
+  split.warmup_count = 2;  // exactly the first merged request
+  const Trace out = reconstruct_requests(split);
+  ASSERT_EQ(out.requests.size(), 2u);
+  EXPECT_EQ(out.warmup_count, 1u);
+}
+
+TEST(Reconstructor, SplitIsInverseOfReconstruct) {
+  Trace original;
+  IoRequest w;
+  w.arrival = 500;
+  w.type = OpType::kWrite;
+  w.lba = 20;
+  w.nblocks = 4;
+  for (std::uint64_t c = 0; c < 4; ++c)
+    w.chunks.push_back(Fingerprint::of_content_id(c));
+  original.requests.push_back(w);
+
+  const Trace split = split_into_records(original);
+  ASSERT_EQ(split.requests.size(), 4u);
+  for (const auto& r : split.requests) EXPECT_EQ(r.nblocks, 1u);
+
+  const Trace back = reconstruct_requests(split);
+  ASSERT_EQ(back.requests.size(), 1u);
+  EXPECT_EQ(back.requests[0].nblocks, 4u);
+  EXPECT_EQ(back.requests[0].lba, 20u);
+  EXPECT_EQ(back.requests[0].chunks, original.requests[0].chunks);
+}
+
+TEST(Reconstructor, EmptyTrace) {
+  Trace empty;
+  const Trace out = reconstruct_requests(empty);
+  EXPECT_TRUE(out.requests.empty());
+  EXPECT_EQ(out.warmup_count, 0u);
+}
+
+TEST(Reconstructor, ReadsMergeToo) {
+  Trace split;
+  split.requests = {record(0, OpType::kRead, 5), record(0, OpType::kRead, 6)};
+  const Trace out = reconstruct_requests(split);
+  ASSERT_EQ(out.requests.size(), 1u);
+  EXPECT_EQ(out.requests[0].nblocks, 2u);
+  EXPECT_TRUE(out.requests[0].chunks.empty());
+}
+
+}  // namespace
+}  // namespace pod

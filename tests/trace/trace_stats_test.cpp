@@ -1,0 +1,144 @@
+#include "trace/trace_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pod {
+namespace {
+
+IoRequest write_req(SimTime at, Lba lba, std::vector<std::uint64_t> ids) {
+  IoRequest r;
+  r.arrival = at;
+  r.type = OpType::kWrite;
+  r.lba = lba;
+  r.nblocks = static_cast<std::uint32_t>(ids.size());
+  for (std::uint64_t id : ids) r.chunks.push_back(Fingerprint::of_content_id(id));
+  return r;
+}
+
+IoRequest read_req(SimTime at, Lba lba, std::uint32_t n) {
+  IoRequest r;
+  r.arrival = at;
+  r.type = OpType::kRead;
+  r.lba = lba;
+  r.nblocks = n;
+  return r;
+}
+
+TEST(Characterize, BasicCounts) {
+  Trace t;
+  t.requests = {write_req(0, 0, {1, 2}), read_req(1, 0, 2),
+                write_req(2, 10, {3})};
+  const auto c = characterize(t, StatsWindow::kAll);
+  EXPECT_EQ(c.total_requests, 3u);
+  EXPECT_EQ(c.write_requests, 2u);
+  EXPECT_EQ(c.read_requests, 1u);
+  EXPECT_NEAR(c.write_ratio, 2.0 / 3.0, 1e-9);
+  // Sizes: 8KB + 8KB + 4KB over 3 requests.
+  EXPECT_NEAR(c.avg_request_kb, 20.0 / 3.0, 1e-9);
+  EXPECT_NEAR(c.avg_write_kb, 6.0, 1e-9);
+  EXPECT_NEAR(c.avg_read_kb, 8.0, 1e-9);
+  EXPECT_EQ(c.footprint_blocks, 3u);  // LBAs 0,1,10
+}
+
+TEST(Characterize, MeasuredWindowSkipsWarmup) {
+  Trace t;
+  t.requests = {write_req(0, 0, {1}), write_req(1, 5, {2})};
+  t.warmup_count = 1;
+  const auto c = characterize(t);
+  EXPECT_EQ(c.total_requests, 1u);
+  EXPECT_EQ(c.footprint_blocks, 1u);
+}
+
+TEST(Characterize, EmptyTrace) {
+  Trace t;
+  const auto c = characterize(t, StatsWindow::kAll);
+  EXPECT_EQ(c.total_requests, 0u);
+  EXPECT_DOUBLE_EQ(c.write_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(c.avg_request_kb, 0.0);
+}
+
+TEST(RedundancyBySize, DetectsFullAndPartial) {
+  Trace t;
+  t.requests = {
+      write_req(0, 0, {1, 2}),    // first: unique
+      write_req(1, 10, {1, 2}),   // fully redundant
+      write_req(2, 20, {1, 99}),  // partially redundant
+      write_req(3, 30, {7, 8}),   // unique
+  };
+  const auto r = redundancy_by_size(t, StatsWindow::kAll);
+  EXPECT_EQ(r.total.total(), 4u);
+  EXPECT_EQ(r.fully_redundant.total(), 1u);
+  EXPECT_EQ(r.partially_redundant.total(), 1u);
+}
+
+TEST(RedundancyBySize, BucketsBySize) {
+  Trace t;
+  t.requests = {write_req(0, 0, {1}),        // 4 KB
+                write_req(1, 10, {1}),       // 4 KB, redundant
+                write_req(2, 20, {2, 3, 4, 5})};  // 16 KB unique
+  const auto r = redundancy_by_size(t, StatsWindow::kAll);
+  EXPECT_EQ(r.total.count(0), 2u);            // the 4 KB bucket
+  EXPECT_EQ(r.total.count(2), 1u);            // the 16 KB bucket
+  EXPECT_EQ(r.fully_redundant.count(0), 1u);
+  EXPECT_EQ(r.fully_redundant.count(2), 0u);
+}
+
+TEST(RedundancyBySize, WarmupPrimesContent) {
+  Trace t;
+  t.requests = {write_req(0, 0, {1}), write_req(1, 10, {1})};
+  t.warmup_count = 1;
+  // With priming, the single measured request is redundant.
+  const auto r = redundancy_by_size(t);
+  EXPECT_EQ(r.total.total(), 1u);
+  EXPECT_EQ(r.fully_redundant.total(), 1u);
+}
+
+TEST(RedundancyBreakdown, SameVsDifferentLba) {
+  Trace t;
+  t.requests = {
+      write_req(0, 0, {1}),    // unique (lba 0 = content 1)
+      write_req(1, 0, {1}),    // same LBA, same content -> I/O redundancy
+      write_req(2, 50, {1}),   // different LBA, same content -> capacity
+      write_req(3, 60, {9}),   // unique
+  };
+  const auto b = redundancy_breakdown(t, StatsWindow::kAll);
+  EXPECT_EQ(b.write_blocks, 4u);
+  EXPECT_EQ(b.same_lba_redundant_blocks, 1u);
+  EXPECT_EQ(b.diff_lba_redundant_blocks, 1u);
+  EXPECT_DOUBLE_EQ(b.io_redundancy_pct(), 50.0);
+  EXPECT_DOUBLE_EQ(b.capacity_redundancy_pct(), 25.0);
+}
+
+TEST(RedundancyBreakdown, IoAlwaysAtLeastCapacity) {
+  // Property: I/O redundancy >= capacity redundancy by construction.
+  Trace t;
+  for (int i = 0; i < 50; ++i) {
+    t.requests.push_back(write_req(i, static_cast<Lba>(i % 7) * 4,
+                                   {static_cast<std::uint64_t>(i % 5)}));
+  }
+  const auto b = redundancy_breakdown(t, StatsWindow::kAll);
+  EXPECT_GE(b.io_redundancy_pct(), b.capacity_redundancy_pct());
+}
+
+TEST(RedundancyBreakdown, OverwriteChangesCurrent) {
+  Trace t;
+  t.requests = {
+      write_req(0, 0, {1}),
+      write_req(1, 0, {2}),  // overwrites lba 0 with new content
+      write_req(2, 0, {1}),  // content 1 seen before, but lba 0 now holds 2:
+                             // counts as diff-lba (capacity) redundancy
+  };
+  const auto b = redundancy_breakdown(t, StatsWindow::kAll);
+  EXPECT_EQ(b.same_lba_redundant_blocks, 0u);
+  EXPECT_EQ(b.diff_lba_redundant_blocks, 1u);
+}
+
+TEST(RedundancyBreakdown, EmptyIsZero) {
+  Trace t;
+  const auto b = redundancy_breakdown(t, StatsWindow::kAll);
+  EXPECT_DOUBLE_EQ(b.io_redundancy_pct(), 0.0);
+  EXPECT_DOUBLE_EQ(b.capacity_redundancy_pct(), 0.0);
+}
+
+}  // namespace
+}  // namespace pod

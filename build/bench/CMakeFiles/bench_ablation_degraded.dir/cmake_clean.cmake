@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_degraded.dir/bench_ablation_degraded.cpp.o"
+  "CMakeFiles/bench_ablation_degraded.dir/bench_ablation_degraded.cpp.o.d"
+  "bench_ablation_degraded"
+  "bench_ablation_degraded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_degraded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

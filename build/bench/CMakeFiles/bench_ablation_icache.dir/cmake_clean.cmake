@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_icache.dir/bench_ablation_icache.cpp.o"
+  "CMakeFiles/bench_ablation_icache.dir/bench_ablation_icache.cpp.o.d"
+  "bench_ablation_icache"
+  "bench_ablation_icache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_icache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_idedup.dir/bench_ablation_idedup.cpp.o"
+  "CMakeFiles/bench_ablation_idedup.dir/bench_ablation_idedup.cpp.o.d"
+  "bench_ablation_idedup"
+  "bench_ablation_idedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_idedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig02_io_vs_capacity_redundancy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig09_read_write_split.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig09_read_write_split.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pod_bench_util.dir/util/bench_util.cpp.o"
+  "CMakeFiles/pod_bench_util.dir/util/bench_util.cpp.o.d"
+  "libpod_bench_util.a"
+  "libpod_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pod_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpod_bench_util.a"
+)

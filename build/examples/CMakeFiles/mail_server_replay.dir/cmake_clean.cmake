@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mail_server_replay.dir/mail_server_replay.cpp.o"
+  "CMakeFiles/mail_server_replay.dir/mail_server_replay.cpp.o.d"
+  "mail_server_replay"
+  "mail_server_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mail_server_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

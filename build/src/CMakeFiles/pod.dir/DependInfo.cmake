@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/arc_cache.cpp" "src/CMakeFiles/pod.dir/cache/arc_cache.cpp.o" "gcc" "src/CMakeFiles/pod.dir/cache/arc_cache.cpp.o.d"
+  "/root/repo/src/cache/index_cache.cpp" "src/CMakeFiles/pod.dir/cache/index_cache.cpp.o" "gcc" "src/CMakeFiles/pod.dir/cache/index_cache.cpp.o.d"
+  "/root/repo/src/cache/lru_cache.cpp" "src/CMakeFiles/pod.dir/cache/lru_cache.cpp.o" "gcc" "src/CMakeFiles/pod.dir/cache/lru_cache.cpp.o.d"
+  "/root/repo/src/cache/read_cache.cpp" "src/CMakeFiles/pod.dir/cache/read_cache.cpp.o" "gcc" "src/CMakeFiles/pod.dir/cache/read_cache.cpp.o.d"
+  "/root/repo/src/common/histogram.cpp" "src/CMakeFiles/pod.dir/common/histogram.cpp.o" "gcc" "src/CMakeFiles/pod.dir/common/histogram.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/pod.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/pod.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/pod.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/pod.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/pod.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/pod.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/zipf.cpp" "src/CMakeFiles/pod.dir/common/zipf.cpp.o" "gcc" "src/CMakeFiles/pod.dir/common/zipf.cpp.o.d"
+  "/root/repo/src/core/pod.cpp" "src/CMakeFiles/pod.dir/core/pod.cpp.o" "gcc" "src/CMakeFiles/pod.dir/core/pod.cpp.o.d"
+  "/root/repo/src/dedup/allocator.cpp" "src/CMakeFiles/pod.dir/dedup/allocator.cpp.o" "gcc" "src/CMakeFiles/pod.dir/dedup/allocator.cpp.o.d"
+  "/root/repo/src/dedup/categorizer.cpp" "src/CMakeFiles/pod.dir/dedup/categorizer.cpp.o" "gcc" "src/CMakeFiles/pod.dir/dedup/categorizer.cpp.o.d"
+  "/root/repo/src/dedup/chunker.cpp" "src/CMakeFiles/pod.dir/dedup/chunker.cpp.o" "gcc" "src/CMakeFiles/pod.dir/dedup/chunker.cpp.o.d"
+  "/root/repo/src/dedup/map_table.cpp" "src/CMakeFiles/pod.dir/dedup/map_table.cpp.o" "gcc" "src/CMakeFiles/pod.dir/dedup/map_table.cpp.o.d"
+  "/root/repo/src/dedup/ondisk_index.cpp" "src/CMakeFiles/pod.dir/dedup/ondisk_index.cpp.o" "gcc" "src/CMakeFiles/pod.dir/dedup/ondisk_index.cpp.o.d"
+  "/root/repo/src/dedup/rabin_chunker.cpp" "src/CMakeFiles/pod.dir/dedup/rabin_chunker.cpp.o" "gcc" "src/CMakeFiles/pod.dir/dedup/rabin_chunker.cpp.o.d"
+  "/root/repo/src/disk/disk.cpp" "src/CMakeFiles/pod.dir/disk/disk.cpp.o" "gcc" "src/CMakeFiles/pod.dir/disk/disk.cpp.o.d"
+  "/root/repo/src/disk/hdd_model.cpp" "src/CMakeFiles/pod.dir/disk/hdd_model.cpp.o" "gcc" "src/CMakeFiles/pod.dir/disk/hdd_model.cpp.o.d"
+  "/root/repo/src/disk/io_scheduler.cpp" "src/CMakeFiles/pod.dir/disk/io_scheduler.cpp.o" "gcc" "src/CMakeFiles/pod.dir/disk/io_scheduler.cpp.o.d"
+  "/root/repo/src/engines/engine.cpp" "src/CMakeFiles/pod.dir/engines/engine.cpp.o" "gcc" "src/CMakeFiles/pod.dir/engines/engine.cpp.o.d"
+  "/root/repo/src/engines/full_dedupe.cpp" "src/CMakeFiles/pod.dir/engines/full_dedupe.cpp.o" "gcc" "src/CMakeFiles/pod.dir/engines/full_dedupe.cpp.o.d"
+  "/root/repo/src/engines/idedup.cpp" "src/CMakeFiles/pod.dir/engines/idedup.cpp.o" "gcc" "src/CMakeFiles/pod.dir/engines/idedup.cpp.o.d"
+  "/root/repo/src/engines/io_dedup.cpp" "src/CMakeFiles/pod.dir/engines/io_dedup.cpp.o" "gcc" "src/CMakeFiles/pod.dir/engines/io_dedup.cpp.o.d"
+  "/root/repo/src/engines/native.cpp" "src/CMakeFiles/pod.dir/engines/native.cpp.o" "gcc" "src/CMakeFiles/pod.dir/engines/native.cpp.o.d"
+  "/root/repo/src/engines/pod_engine.cpp" "src/CMakeFiles/pod.dir/engines/pod_engine.cpp.o" "gcc" "src/CMakeFiles/pod.dir/engines/pod_engine.cpp.o.d"
+  "/root/repo/src/engines/post_process.cpp" "src/CMakeFiles/pod.dir/engines/post_process.cpp.o" "gcc" "src/CMakeFiles/pod.dir/engines/post_process.cpp.o.d"
+  "/root/repo/src/engines/select_dedupe.cpp" "src/CMakeFiles/pod.dir/engines/select_dedupe.cpp.o" "gcc" "src/CMakeFiles/pod.dir/engines/select_dedupe.cpp.o.d"
+  "/root/repo/src/hash/fingerprint.cpp" "src/CMakeFiles/pod.dir/hash/fingerprint.cpp.o" "gcc" "src/CMakeFiles/pod.dir/hash/fingerprint.cpp.o.d"
+  "/root/repo/src/hash/fnv.cpp" "src/CMakeFiles/pod.dir/hash/fnv.cpp.o" "gcc" "src/CMakeFiles/pod.dir/hash/fnv.cpp.o.d"
+  "/root/repo/src/hash/hash_engine.cpp" "src/CMakeFiles/pod.dir/hash/hash_engine.cpp.o" "gcc" "src/CMakeFiles/pod.dir/hash/hash_engine.cpp.o.d"
+  "/root/repo/src/hash/sha1.cpp" "src/CMakeFiles/pod.dir/hash/sha1.cpp.o" "gcc" "src/CMakeFiles/pod.dir/hash/sha1.cpp.o.d"
+  "/root/repo/src/hash/xx64.cpp" "src/CMakeFiles/pod.dir/hash/xx64.cpp.o" "gcc" "src/CMakeFiles/pod.dir/hash/xx64.cpp.o.d"
+  "/root/repo/src/icache/access_monitor.cpp" "src/CMakeFiles/pod.dir/icache/access_monitor.cpp.o" "gcc" "src/CMakeFiles/pod.dir/icache/access_monitor.cpp.o.d"
+  "/root/repo/src/icache/cost_benefit.cpp" "src/CMakeFiles/pod.dir/icache/cost_benefit.cpp.o" "gcc" "src/CMakeFiles/pod.dir/icache/cost_benefit.cpp.o.d"
+  "/root/repo/src/icache/icache.cpp" "src/CMakeFiles/pod.dir/icache/icache.cpp.o" "gcc" "src/CMakeFiles/pod.dir/icache/icache.cpp.o.d"
+  "/root/repo/src/raid/raid0.cpp" "src/CMakeFiles/pod.dir/raid/raid0.cpp.o" "gcc" "src/CMakeFiles/pod.dir/raid/raid0.cpp.o.d"
+  "/root/repo/src/raid/raid5.cpp" "src/CMakeFiles/pod.dir/raid/raid5.cpp.o" "gcc" "src/CMakeFiles/pod.dir/raid/raid5.cpp.o.d"
+  "/root/repo/src/raid/volume.cpp" "src/CMakeFiles/pod.dir/raid/volume.cpp.o" "gcc" "src/CMakeFiles/pod.dir/raid/volume.cpp.o.d"
+  "/root/repo/src/replay/metrics.cpp" "src/CMakeFiles/pod.dir/replay/metrics.cpp.o" "gcc" "src/CMakeFiles/pod.dir/replay/metrics.cpp.o.d"
+  "/root/repo/src/replay/replayer.cpp" "src/CMakeFiles/pod.dir/replay/replayer.cpp.o" "gcc" "src/CMakeFiles/pod.dir/replay/replayer.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/pod.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/pod.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/pod.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/pod.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/synth/burst_model.cpp" "src/CMakeFiles/pod.dir/synth/burst_model.cpp.o" "gcc" "src/CMakeFiles/pod.dir/synth/burst_model.cpp.o.d"
+  "/root/repo/src/synth/content_pool.cpp" "src/CMakeFiles/pod.dir/synth/content_pool.cpp.o" "gcc" "src/CMakeFiles/pod.dir/synth/content_pool.cpp.o.d"
+  "/root/repo/src/synth/generator.cpp" "src/CMakeFiles/pod.dir/synth/generator.cpp.o" "gcc" "src/CMakeFiles/pod.dir/synth/generator.cpp.o.d"
+  "/root/repo/src/synth/profile.cpp" "src/CMakeFiles/pod.dir/synth/profile.cpp.o" "gcc" "src/CMakeFiles/pod.dir/synth/profile.cpp.o.d"
+  "/root/repo/src/trace/reconstructor.cpp" "src/CMakeFiles/pod.dir/trace/reconstructor.cpp.o" "gcc" "src/CMakeFiles/pod.dir/trace/reconstructor.cpp.o.d"
+  "/root/repo/src/trace/request.cpp" "src/CMakeFiles/pod.dir/trace/request.cpp.o" "gcc" "src/CMakeFiles/pod.dir/trace/request.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/CMakeFiles/pod.dir/trace/trace_io.cpp.o" "gcc" "src/CMakeFiles/pod.dir/trace/trace_io.cpp.o.d"
+  "/root/repo/src/trace/trace_stats.cpp" "src/CMakeFiles/pod.dir/trace/trace_stats.cpp.o" "gcc" "src/CMakeFiles/pod.dir/trace/trace_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

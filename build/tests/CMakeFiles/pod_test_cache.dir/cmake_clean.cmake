@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pod_test_cache.dir/cache/arc_cache_test.cpp.o"
+  "CMakeFiles/pod_test_cache.dir/cache/arc_cache_test.cpp.o.d"
+  "CMakeFiles/pod_test_cache.dir/cache/ghost_cache_test.cpp.o"
+  "CMakeFiles/pod_test_cache.dir/cache/ghost_cache_test.cpp.o.d"
+  "CMakeFiles/pod_test_cache.dir/cache/index_cache_test.cpp.o"
+  "CMakeFiles/pod_test_cache.dir/cache/index_cache_test.cpp.o.d"
+  "CMakeFiles/pod_test_cache.dir/cache/lru_cache_test.cpp.o"
+  "CMakeFiles/pod_test_cache.dir/cache/lru_cache_test.cpp.o.d"
+  "CMakeFiles/pod_test_cache.dir/cache/read_cache_test.cpp.o"
+  "CMakeFiles/pod_test_cache.dir/cache/read_cache_test.cpp.o.d"
+  "pod_test_cache"
+  "pod_test_cache.pdb"
+  "pod_test_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pod_test_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pod_test_common.dir/common/histogram_test.cpp.o"
+  "CMakeFiles/pod_test_common.dir/common/histogram_test.cpp.o.d"
+  "CMakeFiles/pod_test_common.dir/common/rng_test.cpp.o"
+  "CMakeFiles/pod_test_common.dir/common/rng_test.cpp.o.d"
+  "CMakeFiles/pod_test_common.dir/common/stats_test.cpp.o"
+  "CMakeFiles/pod_test_common.dir/common/stats_test.cpp.o.d"
+  "CMakeFiles/pod_test_common.dir/common/zipf_test.cpp.o"
+  "CMakeFiles/pod_test_common.dir/common/zipf_test.cpp.o.d"
+  "pod_test_common"
+  "pod_test_common.pdb"
+  "pod_test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pod_test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dedup/allocator_test.cpp" "tests/CMakeFiles/pod_test_dedup.dir/dedup/allocator_test.cpp.o" "gcc" "tests/CMakeFiles/pod_test_dedup.dir/dedup/allocator_test.cpp.o.d"
+  "/root/repo/tests/dedup/categorizer_test.cpp" "tests/CMakeFiles/pod_test_dedup.dir/dedup/categorizer_test.cpp.o" "gcc" "tests/CMakeFiles/pod_test_dedup.dir/dedup/categorizer_test.cpp.o.d"
+  "/root/repo/tests/dedup/chunker_test.cpp" "tests/CMakeFiles/pod_test_dedup.dir/dedup/chunker_test.cpp.o" "gcc" "tests/CMakeFiles/pod_test_dedup.dir/dedup/chunker_test.cpp.o.d"
+  "/root/repo/tests/dedup/map_table_test.cpp" "tests/CMakeFiles/pod_test_dedup.dir/dedup/map_table_test.cpp.o" "gcc" "tests/CMakeFiles/pod_test_dedup.dir/dedup/map_table_test.cpp.o.d"
+  "/root/repo/tests/dedup/ondisk_index_test.cpp" "tests/CMakeFiles/pod_test_dedup.dir/dedup/ondisk_index_test.cpp.o" "gcc" "tests/CMakeFiles/pod_test_dedup.dir/dedup/ondisk_index_test.cpp.o.d"
+  "/root/repo/tests/dedup/rabin_chunker_test.cpp" "tests/CMakeFiles/pod_test_dedup.dir/dedup/rabin_chunker_test.cpp.o" "gcc" "tests/CMakeFiles/pod_test_dedup.dir/dedup/rabin_chunker_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pod.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pod_test_dedup.dir/dedup/allocator_test.cpp.o"
+  "CMakeFiles/pod_test_dedup.dir/dedup/allocator_test.cpp.o.d"
+  "CMakeFiles/pod_test_dedup.dir/dedup/categorizer_test.cpp.o"
+  "CMakeFiles/pod_test_dedup.dir/dedup/categorizer_test.cpp.o.d"
+  "CMakeFiles/pod_test_dedup.dir/dedup/chunker_test.cpp.o"
+  "CMakeFiles/pod_test_dedup.dir/dedup/chunker_test.cpp.o.d"
+  "CMakeFiles/pod_test_dedup.dir/dedup/map_table_test.cpp.o"
+  "CMakeFiles/pod_test_dedup.dir/dedup/map_table_test.cpp.o.d"
+  "CMakeFiles/pod_test_dedup.dir/dedup/ondisk_index_test.cpp.o"
+  "CMakeFiles/pod_test_dedup.dir/dedup/ondisk_index_test.cpp.o.d"
+  "CMakeFiles/pod_test_dedup.dir/dedup/rabin_chunker_test.cpp.o"
+  "CMakeFiles/pod_test_dedup.dir/dedup/rabin_chunker_test.cpp.o.d"
+  "pod_test_dedup"
+  "pod_test_dedup.pdb"
+  "pod_test_dedup[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pod_test_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pod_test_disk.dir/disk/disk_test.cpp.o"
+  "CMakeFiles/pod_test_disk.dir/disk/disk_test.cpp.o.d"
+  "CMakeFiles/pod_test_disk.dir/disk/hdd_model_test.cpp.o"
+  "CMakeFiles/pod_test_disk.dir/disk/hdd_model_test.cpp.o.d"
+  "CMakeFiles/pod_test_disk.dir/disk/io_scheduler_test.cpp.o"
+  "CMakeFiles/pod_test_disk.dir/disk/io_scheduler_test.cpp.o.d"
+  "pod_test_disk"
+  "pod_test_disk.pdb"
+  "pod_test_disk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pod_test_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

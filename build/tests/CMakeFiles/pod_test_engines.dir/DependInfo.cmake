@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engines/engine_stats_test.cpp" "tests/CMakeFiles/pod_test_engines.dir/engines/engine_stats_test.cpp.o" "gcc" "tests/CMakeFiles/pod_test_engines.dir/engines/engine_stats_test.cpp.o.d"
+  "/root/repo/tests/engines/engine_test_util.cpp" "tests/CMakeFiles/pod_test_engines.dir/engines/engine_test_util.cpp.o" "gcc" "tests/CMakeFiles/pod_test_engines.dir/engines/engine_test_util.cpp.o.d"
+  "/root/repo/tests/engines/full_dedupe_test.cpp" "tests/CMakeFiles/pod_test_engines.dir/engines/full_dedupe_test.cpp.o" "gcc" "tests/CMakeFiles/pod_test_engines.dir/engines/full_dedupe_test.cpp.o.d"
+  "/root/repo/tests/engines/idedup_test.cpp" "tests/CMakeFiles/pod_test_engines.dir/engines/idedup_test.cpp.o" "gcc" "tests/CMakeFiles/pod_test_engines.dir/engines/idedup_test.cpp.o.d"
+  "/root/repo/tests/engines/io_dedup_test.cpp" "tests/CMakeFiles/pod_test_engines.dir/engines/io_dedup_test.cpp.o" "gcc" "tests/CMakeFiles/pod_test_engines.dir/engines/io_dedup_test.cpp.o.d"
+  "/root/repo/tests/engines/native_test.cpp" "tests/CMakeFiles/pod_test_engines.dir/engines/native_test.cpp.o" "gcc" "tests/CMakeFiles/pod_test_engines.dir/engines/native_test.cpp.o.d"
+  "/root/repo/tests/engines/pod_engine_test.cpp" "tests/CMakeFiles/pod_test_engines.dir/engines/pod_engine_test.cpp.o" "gcc" "tests/CMakeFiles/pod_test_engines.dir/engines/pod_engine_test.cpp.o.d"
+  "/root/repo/tests/engines/post_process_test.cpp" "tests/CMakeFiles/pod_test_engines.dir/engines/post_process_test.cpp.o" "gcc" "tests/CMakeFiles/pod_test_engines.dir/engines/post_process_test.cpp.o.d"
+  "/root/repo/tests/engines/select_dedupe_test.cpp" "tests/CMakeFiles/pod_test_engines.dir/engines/select_dedupe_test.cpp.o" "gcc" "tests/CMakeFiles/pod_test_engines.dir/engines/select_dedupe_test.cpp.o.d"
+  "/root/repo/tests/engines/write_path_timing_test.cpp" "tests/CMakeFiles/pod_test_engines.dir/engines/write_path_timing_test.cpp.o" "gcc" "tests/CMakeFiles/pod_test_engines.dir/engines/write_path_timing_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pod.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pod_test_engines.dir/engines/engine_stats_test.cpp.o"
+  "CMakeFiles/pod_test_engines.dir/engines/engine_stats_test.cpp.o.d"
+  "CMakeFiles/pod_test_engines.dir/engines/engine_test_util.cpp.o"
+  "CMakeFiles/pod_test_engines.dir/engines/engine_test_util.cpp.o.d"
+  "CMakeFiles/pod_test_engines.dir/engines/full_dedupe_test.cpp.o"
+  "CMakeFiles/pod_test_engines.dir/engines/full_dedupe_test.cpp.o.d"
+  "CMakeFiles/pod_test_engines.dir/engines/idedup_test.cpp.o"
+  "CMakeFiles/pod_test_engines.dir/engines/idedup_test.cpp.o.d"
+  "CMakeFiles/pod_test_engines.dir/engines/io_dedup_test.cpp.o"
+  "CMakeFiles/pod_test_engines.dir/engines/io_dedup_test.cpp.o.d"
+  "CMakeFiles/pod_test_engines.dir/engines/native_test.cpp.o"
+  "CMakeFiles/pod_test_engines.dir/engines/native_test.cpp.o.d"
+  "CMakeFiles/pod_test_engines.dir/engines/pod_engine_test.cpp.o"
+  "CMakeFiles/pod_test_engines.dir/engines/pod_engine_test.cpp.o.d"
+  "CMakeFiles/pod_test_engines.dir/engines/post_process_test.cpp.o"
+  "CMakeFiles/pod_test_engines.dir/engines/post_process_test.cpp.o.d"
+  "CMakeFiles/pod_test_engines.dir/engines/select_dedupe_test.cpp.o"
+  "CMakeFiles/pod_test_engines.dir/engines/select_dedupe_test.cpp.o.d"
+  "CMakeFiles/pod_test_engines.dir/engines/write_path_timing_test.cpp.o"
+  "CMakeFiles/pod_test_engines.dir/engines/write_path_timing_test.cpp.o.d"
+  "pod_test_engines"
+  "pod_test_engines.pdb"
+  "pod_test_engines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pod_test_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

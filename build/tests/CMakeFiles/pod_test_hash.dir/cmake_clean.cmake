@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pod_test_hash.dir/hash/fingerprint_test.cpp.o"
+  "CMakeFiles/pod_test_hash.dir/hash/fingerprint_test.cpp.o.d"
+  "CMakeFiles/pod_test_hash.dir/hash/fnv_test.cpp.o"
+  "CMakeFiles/pod_test_hash.dir/hash/fnv_test.cpp.o.d"
+  "CMakeFiles/pod_test_hash.dir/hash/hash_engine_test.cpp.o"
+  "CMakeFiles/pod_test_hash.dir/hash/hash_engine_test.cpp.o.d"
+  "CMakeFiles/pod_test_hash.dir/hash/sha1_test.cpp.o"
+  "CMakeFiles/pod_test_hash.dir/hash/sha1_test.cpp.o.d"
+  "CMakeFiles/pod_test_hash.dir/hash/xx64_test.cpp.o"
+  "CMakeFiles/pod_test_hash.dir/hash/xx64_test.cpp.o.d"
+  "pod_test_hash"
+  "pod_test_hash.pdb"
+  "pod_test_hash[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pod_test_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pod_test_icache.dir/icache/access_monitor_test.cpp.o"
+  "CMakeFiles/pod_test_icache.dir/icache/access_monitor_test.cpp.o.d"
+  "CMakeFiles/pod_test_icache.dir/icache/cost_benefit_test.cpp.o"
+  "CMakeFiles/pod_test_icache.dir/icache/cost_benefit_test.cpp.o.d"
+  "CMakeFiles/pod_test_icache.dir/icache/icache_test.cpp.o"
+  "CMakeFiles/pod_test_icache.dir/icache/icache_test.cpp.o.d"
+  "pod_test_icache"
+  "pod_test_icache.pdb"
+  "pod_test_icache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pod_test_icache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/consistency_test.cpp" "tests/CMakeFiles/pod_test_integration.dir/integration/consistency_test.cpp.o" "gcc" "tests/CMakeFiles/pod_test_integration.dir/integration/consistency_test.cpp.o.d"
+  "/root/repo/tests/integration/cross_engine_test.cpp" "tests/CMakeFiles/pod_test_integration.dir/integration/cross_engine_test.cpp.o" "gcc" "tests/CMakeFiles/pod_test_integration.dir/integration/cross_engine_test.cpp.o.d"
+  "/root/repo/tests/integration/pod_api_test.cpp" "tests/CMakeFiles/pod_test_integration.dir/integration/pod_api_test.cpp.o" "gcc" "tests/CMakeFiles/pod_test_integration.dir/integration/pod_api_test.cpp.o.d"
+  "/root/repo/tests/integration/property_sweep_test.cpp" "tests/CMakeFiles/pod_test_integration.dir/integration/property_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/pod_test_integration.dir/integration/property_sweep_test.cpp.o.d"
+  "/root/repo/tests/integration/replayer_test.cpp" "tests/CMakeFiles/pod_test_integration.dir/integration/replayer_test.cpp.o" "gcc" "tests/CMakeFiles/pod_test_integration.dir/integration/replayer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pod.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pod_test_integration.dir/integration/consistency_test.cpp.o"
+  "CMakeFiles/pod_test_integration.dir/integration/consistency_test.cpp.o.d"
+  "CMakeFiles/pod_test_integration.dir/integration/cross_engine_test.cpp.o"
+  "CMakeFiles/pod_test_integration.dir/integration/cross_engine_test.cpp.o.d"
+  "CMakeFiles/pod_test_integration.dir/integration/pod_api_test.cpp.o"
+  "CMakeFiles/pod_test_integration.dir/integration/pod_api_test.cpp.o.d"
+  "CMakeFiles/pod_test_integration.dir/integration/property_sweep_test.cpp.o"
+  "CMakeFiles/pod_test_integration.dir/integration/property_sweep_test.cpp.o.d"
+  "CMakeFiles/pod_test_integration.dir/integration/replayer_test.cpp.o"
+  "CMakeFiles/pod_test_integration.dir/integration/replayer_test.cpp.o.d"
+  "pod_test_integration"
+  "pod_test_integration.pdb"
+  "pod_test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pod_test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/raid/raid0_test.cpp" "tests/CMakeFiles/pod_test_raid.dir/raid/raid0_test.cpp.o" "gcc" "tests/CMakeFiles/pod_test_raid.dir/raid/raid0_test.cpp.o.d"
+  "/root/repo/tests/raid/raid5_degraded_test.cpp" "tests/CMakeFiles/pod_test_raid.dir/raid/raid5_degraded_test.cpp.o" "gcc" "tests/CMakeFiles/pod_test_raid.dir/raid/raid5_degraded_test.cpp.o.d"
+  "/root/repo/tests/raid/raid5_test.cpp" "tests/CMakeFiles/pod_test_raid.dir/raid/raid5_test.cpp.o" "gcc" "tests/CMakeFiles/pod_test_raid.dir/raid/raid5_test.cpp.o.d"
+  "/root/repo/tests/raid/volume_test.cpp" "tests/CMakeFiles/pod_test_raid.dir/raid/volume_test.cpp.o" "gcc" "tests/CMakeFiles/pod_test_raid.dir/raid/volume_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pod.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pod_test_raid.dir/raid/raid0_test.cpp.o"
+  "CMakeFiles/pod_test_raid.dir/raid/raid0_test.cpp.o.d"
+  "CMakeFiles/pod_test_raid.dir/raid/raid5_degraded_test.cpp.o"
+  "CMakeFiles/pod_test_raid.dir/raid/raid5_degraded_test.cpp.o.d"
+  "CMakeFiles/pod_test_raid.dir/raid/raid5_test.cpp.o"
+  "CMakeFiles/pod_test_raid.dir/raid/raid5_test.cpp.o.d"
+  "CMakeFiles/pod_test_raid.dir/raid/volume_test.cpp.o"
+  "CMakeFiles/pod_test_raid.dir/raid/volume_test.cpp.o.d"
+  "pod_test_raid"
+  "pod_test_raid.pdb"
+  "pod_test_raid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pod_test_raid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pod_test_sim.dir/sim/event_queue_test.cpp.o"
+  "CMakeFiles/pod_test_sim.dir/sim/event_queue_test.cpp.o.d"
+  "CMakeFiles/pod_test_sim.dir/sim/simulator_test.cpp.o"
+  "CMakeFiles/pod_test_sim.dir/sim/simulator_test.cpp.o.d"
+  "pod_test_sim"
+  "pod_test_sim.pdb"
+  "pod_test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pod_test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pod_test_synth.dir/synth/burst_model_test.cpp.o"
+  "CMakeFiles/pod_test_synth.dir/synth/burst_model_test.cpp.o.d"
+  "CMakeFiles/pod_test_synth.dir/synth/generator_test.cpp.o"
+  "CMakeFiles/pod_test_synth.dir/synth/generator_test.cpp.o.d"
+  "CMakeFiles/pod_test_synth.dir/synth/profile_test.cpp.o"
+  "CMakeFiles/pod_test_synth.dir/synth/profile_test.cpp.o.d"
+  "pod_test_synth"
+  "pod_test_synth.pdb"
+  "pod_test_synth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pod_test_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

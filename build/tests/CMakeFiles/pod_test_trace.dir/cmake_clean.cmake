@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pod_test_trace.dir/trace/reconstructor_test.cpp.o"
+  "CMakeFiles/pod_test_trace.dir/trace/reconstructor_test.cpp.o.d"
+  "CMakeFiles/pod_test_trace.dir/trace/trace_io_test.cpp.o"
+  "CMakeFiles/pod_test_trace.dir/trace/trace_io_test.cpp.o.d"
+  "CMakeFiles/pod_test_trace.dir/trace/trace_stats_test.cpp.o"
+  "CMakeFiles/pod_test_trace.dir/trace/trace_stats_test.cpp.o.d"
+  "pod_test_trace"
+  "pod_test_trace.pdb"
+  "pod_test_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pod_test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/pod_test_common[1]_include.cmake")
+include("/root/repo/build/tests/pod_test_hash[1]_include.cmake")
+include("/root/repo/build/tests/pod_test_sim[1]_include.cmake")
+include("/root/repo/build/tests/pod_test_disk[1]_include.cmake")
+include("/root/repo/build/tests/pod_test_raid[1]_include.cmake")
+include("/root/repo/build/tests/pod_test_cache[1]_include.cmake")
+include("/root/repo/build/tests/pod_test_trace[1]_include.cmake")
+include("/root/repo/build/tests/pod_test_synth[1]_include.cmake")
+include("/root/repo/build/tests/pod_test_dedup[1]_include.cmake")
+include("/root/repo/build/tests/pod_test_engines[1]_include.cmake")
+include("/root/repo/build/tests/pod_test_icache[1]_include.cmake")
+include("/root/repo/build/tests/pod_test_integration[1]_include.cmake")

@@ -6,8 +6,10 @@
 #include <vector>
 
 #include "cache/arc_cache.hpp"
+#include "cache/flat_lru_map.hpp"
 #include "cache/index_cache.hpp"
 #include "cache/lru_cache.hpp"
+#include "common/flat_hash_map.hpp"
 #include "common/rng.hpp"
 #include "common/zipf.hpp"
 #include "dedup/categorizer.hpp"
@@ -17,6 +19,7 @@
 #include "hash/sha1.hpp"
 #include "hash/xx64.hpp"
 #include "raid/raid5.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
 #include "synth/generator.hpp"
 
@@ -63,6 +66,36 @@ void BM_LruMapPutGet(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LruMapPutGet)->Arg(1024)->Arg(65536);
+
+// Same access pattern as BM_LruMapPutGet — the flat map's win over the
+// node-based LruMap is this pair's ratio.
+void BM_FlatLruMapPutGet(benchmark::State& state) {
+  FlatLruMap<std::uint64_t, std::uint64_t> map(
+      static_cast<std::size_t>(state.range(0)));
+  Rng rng(1);
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    map.put(k, k);
+    benchmark::DoNotOptimize(map.get(rng.uniform(0, k)));
+    ++k;
+  }
+}
+BENCHMARK(BM_FlatLruMapPutGet)->Arg(1024)->Arg(65536);
+
+// Fingerprint -> Pba probe against the flat on-disk-index table: half the
+// probes hit, half miss (the bloom-negative path's companion case).
+void BM_FingerprintIndexProbe(benchmark::State& state) {
+  FlatHashMap<Fingerprint, Pba, FingerprintHash> table;
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  for (std::uint64_t i = 0; i < n; ++i)
+    table.insert_or_assign(Fingerprint::of_content_id(i), i);
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table.find(Fingerprint::of_content_id(rng.uniform(0, 2 * n))));
+  }
+}
+BENCHMARK(BM_FingerprintIndexProbe)->Arg(65536)->Arg(1 << 20);
 
 void BM_IndexCacheLookup(benchmark::State& state) {
   IndexCache cache(static_cast<std::uint64_t>(state.range(0)) *
@@ -178,6 +211,26 @@ void BM_TraceGeneration(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2000);
 }
 BENCHMARK(BM_TraceGeneration);
+
+// Raw event push/pop throughput at a steady queue depth — isolates the
+// binary-heap + pooled-slot event path from simulator bookkeeping.
+void BM_EventQueuePushPop(benchmark::State& state) {
+  EventQueue q;
+  const int depth = static_cast<int>(state.range(0));
+  SimTime now = 0;
+  std::uint64_t counter = 0;
+  for (int i = 0; i < depth; ++i)
+    q.push(now + i, [&counter] { ++counter; });
+  for (auto _ : state) {
+    auto [at, fn] = q.pop();
+    fn();
+    now = at;
+    q.push(now + depth, [&counter] { ++counter; });
+  }
+  benchmark::DoNotOptimize(counter);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(16)->Arg(1024);
 
 void BM_SimulatorEventThroughput(benchmark::State& state) {
   for (auto _ : state) {

@@ -58,16 +58,29 @@ RunSpec paper_spec(EngineKind engine, const WorkloadProfile& profile,
   return spec;
 }
 
+std::size_t bench_jobs() { return ThreadPool::jobs_from_env(); }
+
 std::map<EngineKind, ReplayResult> run_engine_set(
     const std::vector<EngineKind>& engines, const WorkloadProfile& profile,
     double scale) {
-  std::map<EngineKind, ReplayResult> results;
+  // Generate the trace before fanning out: trace_for's memo map is not
+  // thread-safe to populate, and every run shares the trace read-only.
   const Trace& trace = trace_for(profile);
+
+  std::vector<ParallelRunner::RunItem> items;
+  items.reserve(engines.size());
   for (EngineKind kind : engines) {
     std::fprintf(stderr, "[bench] %-9s x %s...\n", profile.name.c_str(),
                  to_string(kind));
-    results.emplace(kind, run_replay(paper_spec(kind, profile, scale), trace));
+    items.push_back({paper_spec(kind, profile, scale), &trace});
   }
+
+  const ParallelRunner runner(bench_jobs());
+  std::vector<ReplayResult> run_results = runner.run(items);
+
+  std::map<EngineKind, ReplayResult> results;
+  for (std::size_t i = 0; i < engines.size(); ++i)
+    results.emplace(engines[i], std::move(run_results[i]));
   return results;
 }
 

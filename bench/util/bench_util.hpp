@@ -5,12 +5,18 @@
 //   POD_SCALE  — trace scale factor in (0,1]; default 0.25. Scale 1.0
 //                reproduces the paper's full day-15 request counts.
 //   POD_TRACE  — restrict to one workload ("web-vm", "homes", "mail").
+//   POD_JOBS   — parallel replay jobs per engine set; default = hardware
+//                concurrency. Per-run results are byte-identical to serial
+//                (each run owns its simulator); only wall-clock changes.
 #pragma once
 
+#include <cstddef>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.hpp"
+#include "replay/parallel_runner.hpp"
 #include "replay/replayer.hpp"
 #include "synth/generator.hpp"
 #include "synth/profile.hpp"
@@ -38,7 +44,11 @@ std::vector<EngineKind> figure11_engines();
 RunSpec paper_spec(EngineKind engine, const WorkloadProfile& profile,
                    double scale);
 
-/// Runs every engine over one trace; results keyed by engine.
+/// Parallel job count from POD_JOBS (default: hardware concurrency).
+std::size_t bench_jobs();
+
+/// Runs every engine over one trace, fanning runs across bench_jobs()
+/// workers; results keyed by engine.
 std::map<EngineKind, ReplayResult> run_engine_set(
     const std::vector<EngineKind>& engines, const WorkloadProfile& profile,
     double scale);

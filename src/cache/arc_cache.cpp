@@ -46,9 +46,8 @@ bool ArcCache::lookup(Pba block) {
     ++misses_;
     return false;
   }
-  if (t1_.contains(block)) {
+  if (t1_.erase(block)) {
     // Second access: promote from recency to frequency.
-    t1_.erase(block);
     t2_.put(block, Unit{});
     ++hits_;
     return true;

@@ -1,0 +1,288 @@
+// Open-addressing LRU map: LruMap's interface over a flat probe table.
+//
+// LruMap (std::list + std::unordered_map) performs two node allocations per
+// insert and chases three pointers per lookup; profiled replays spend more
+// time in those maps than in the disks. FlatLruMap keeps entries in a
+// stable slot pool threaded onto an intrusive MRU..LRU list and locates
+// them through a linear-probe index table of 32-bit slot numbers:
+//
+//   table_  : power-of-two vector of slot indices (kEmpty when free)
+//   slots_  : entry pool; erased slots are recycled via free_, and the
+//             intrusive list is threaded by index, so index-table rehashes
+//             never move entries. Value pointers follow vector rules:
+//             valid until an insert grows the pool (use them immediately,
+//             as all callers here do; LruMap remains for callers that need
+//             unconditional stability).
+//
+// Erasures use backward-shift deletion on the index table (only 32-bit
+// indices move; entries stay put), so steady LRU churn leaves no
+// tombstones and never forces compaction rebuilds. Keys are scrambled
+// with a Fibonacci multiplier so identity hashes (std::hash<uint64_t>,
+// FingerprintHash) do not cluster under linear probing.
+//
+// Semantics match LruMap exactly — same eviction order, same callback
+// signature — so callers can switch per-map. Hot fixed-size maps
+// (index cache, ghost lists, read cache) use FlatLruMap; LruMap remains
+// for the cold/irregular callers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace pod {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class FlatLruMap {
+ public:
+  explicit FlatLruMap(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Looks up `key`; promotes to MRU on hit.
+  V* get(const K& key) {
+    const std::uint32_t s = find_slot(key);
+    if (s == kNil) return nullptr;
+    promote(s);
+    return &slots_[s].value;
+  }
+
+  /// Looks up without promoting.
+  const V* peek(const K& key) const {
+    const std::uint32_t s = find_slot(key);
+    return s == kNil ? nullptr : &slots_[s].value;
+  }
+
+  bool contains(const K& key) const { return find_slot(key) != kNil; }
+
+  /// Inserts or overwrites; promotes to MRU. Evictions (if over capacity)
+  /// are reported through `on_evict`. A capacity of 0 means nothing is
+  /// retained: the insert is dropped (and reported as evicted).
+  template <typename EvictFn>
+  void put(const K& key, V value, EvictFn&& on_evict) {
+    if (capacity_ == 0) {
+      on_evict(key, std::move(value));
+      return;
+    }
+    const std::uint32_t s = find_slot(key);
+    if (s != kNil) {
+      slots_[s].value = std::move(value);
+      promote(s);
+      return;
+    }
+    insert_new(key, std::move(value));
+    while (size_ > capacity_) evict_lru(on_evict);
+  }
+
+  void put(const K& key, V value) {
+    put(key, std::move(value), [](const K&, V&&) {});
+  }
+
+  /// Removes a specific key; returns true if it was present.
+  bool erase(const K& key) {
+    const std::uint32_t s = find_slot(key);
+    if (s == kNil) return false;
+    remove_slot(s);
+    return true;
+  }
+
+  /// Removes `key` and returns its value (single probe — the contains()
+  /// + get() + erase() replacement).
+  std::optional<V> take(const K& key) {
+    const std::uint32_t s = find_slot(key);
+    if (s == kNil) return std::nullopt;
+    std::optional<V> out{std::move(slots_[s].value)};
+    remove_slot(s);
+    return out;
+  }
+
+  /// Pops the LRU entry (requires non-empty).
+  std::pair<K, V> pop_lru() {
+    POD_CHECK(size_ > 0);
+    const std::uint32_t s = tail_;
+    std::pair<K, V> out{slots_[s].key, std::move(slots_[s].value)};
+    remove_slot(s);
+    return out;
+  }
+
+  /// Shrinks/extends the capacity; evicts LRU entries as needed.
+  template <typename EvictFn>
+  void set_capacity(std::size_t capacity, EvictFn&& on_evict) {
+    capacity_ = capacity;
+    while (size_ > capacity_) evict_lru(on_evict);
+  }
+
+  void set_capacity(std::size_t capacity) {
+    set_capacity(capacity, [](const K&, V&&) {});
+  }
+
+  /// Iterates entries from MRU to LRU.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::uint32_t s = head_; s != kNil; s = slots_[s].next)
+      fn(slots_[s].key, slots_[s].value);
+  }
+
+  void clear() {
+    table_.clear();
+    slots_.clear();
+    free_.clear();
+    mask_ = 0;
+    size_ = 0;
+    head_ = tail_ = kNil;
+  }
+
+  /// Key of the LRU entry (requires non-empty).
+  const K& lru_key() const {
+    POD_CHECK(size_ > 0);
+    return slots_[tail_].key;
+  }
+
+ private:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kEmpty = 0xFFFFFFFFu;
+
+  struct Slot {
+    K key;
+    V value;
+    std::uint32_t prev;
+    std::uint32_t next;
+    std::uint32_t tpos;  // current position in table_ (updated on rehash)
+  };
+
+  std::size_t home_of(const K& key) const {
+    // Fibonacci scramble: spreads identity hashes across the table.
+    return static_cast<std::size_t>(
+               (static_cast<std::uint64_t>(Hash{}(key)) *
+                0x9E3779B97F4A7C15ull) >>
+               32) &
+           mask_;
+  }
+
+  std::uint32_t find_slot(const K& key) const {
+    if (table_.empty()) return kNil;
+    std::size_t i = home_of(key);
+    for (;;) {
+      const std::uint32_t t = table_[i];
+      if (t == kEmpty) return kNil;
+      if (slots_[t].key == key) return t;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  void unlink(std::uint32_t s) {
+    Slot& slot = slots_[s];
+    if (slot.prev != kNil) slots_[slot.prev].next = slot.next;
+    else head_ = slot.next;
+    if (slot.next != kNil) slots_[slot.next].prev = slot.prev;
+    else tail_ = slot.prev;
+  }
+
+  void push_front(std::uint32_t s) {
+    Slot& slot = slots_[s];
+    slot.prev = kNil;
+    slot.next = head_;
+    if (head_ != kNil) slots_[head_].prev = s;
+    head_ = s;
+    if (tail_ == kNil) tail_ = s;
+  }
+
+  void promote(std::uint32_t s) {
+    if (head_ == s) return;
+    unlink(s);
+    push_front(s);
+  }
+
+  /// Places slot `s` (whose key is known absent) into the index table.
+  void place(std::uint32_t s) {
+    std::size_t i = home_of(slots_[s].key);
+    while (table_[i] != kEmpty) i = (i + 1) & mask_;
+    table_[i] = s;
+    slots_[s].tpos = static_cast<std::uint32_t>(i);
+  }
+
+  void rebuild_table(std::size_t new_size) {
+    table_.assign(new_size, kEmpty);
+    mask_ = new_size - 1;
+    for (std::uint32_t s = head_; s != kNil; s = slots_[s].next) place(s);
+  }
+
+  void ensure_table_space() {
+    // Keep live entries under half the table.
+    std::size_t required = 16;
+    while (required < 2 * (size_ + 1)) required <<= 1;
+    if (table_.size() < required) rebuild_table(required);
+  }
+
+  void insert_new(const K& key, V&& value) {
+    ensure_table_space();
+    std::uint32_t s;
+    if (!free_.empty()) {
+      s = free_.back();
+      free_.pop_back();
+      slots_[s].key = key;
+      slots_[s].value = std::move(value);
+    } else {
+      s = static_cast<std::uint32_t>(slots_.size());
+      POD_CHECK(s < kNil);
+      slots_.push_back(Slot{key, std::move(value), kNil, kNil, kNil});
+    }
+    place(s);
+    push_front(s);
+    ++size_;
+  }
+
+  void remove_slot(std::uint32_t s) {
+    std::size_t i = slots_[s].tpos;
+    unlink(s);
+    free_.push_back(s);
+    --size_;
+    // Backward-shift deletion: slide displaced successors toward their
+    // home slots so the probe chain stays tombstone-free.
+    bool shifting = true;
+    while (shifting) {
+      table_[i] = kEmpty;
+      shifting = false;
+      std::size_t j = i;
+      for (;;) {
+        j = (j + 1) & mask_;
+        const std::uint32_t t = table_[j];
+        if (t == kEmpty) break;
+        const std::size_t h = home_of(slots_[t].key);
+        if (((i - h) & mask_) < ((j - h) & mask_)) {
+          table_[i] = t;
+          slots_[t].tpos = static_cast<std::uint32_t>(i);
+          i = j;
+          shifting = true;
+          break;
+        }
+      }
+    }
+  }
+
+  template <typename EvictFn>
+  void evict_lru(EvictFn&& on_evict) {
+    const std::uint32_t s = tail_;
+    K key = slots_[s].key;
+    V value = std::move(slots_[s].value);
+    remove_slot(s);
+    on_evict(key, std::move(value));
+  }
+
+  std::size_t capacity_;
+  std::vector<std::uint32_t> table_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+  std::uint32_t head_ = kNil;
+  std::uint32_t tail_ = kNil;
+};
+
+}  // namespace pod

@@ -8,8 +8,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
-#include "cache/lru_cache.hpp"
+#include "cache/flat_lru_map.hpp"
 
 namespace pod {
 
@@ -29,11 +30,10 @@ class GhostCache {
   /// the entry was remembered — i.e. the access would have been an actual
   /// hit had the cache been near_threshold entries larger (exact for LRU).
   bool probe_and_consume(const K& key) {
-    const std::uint64_t* stored = entries_.peek(key);
-    if (stored == nullptr) return false;
+    const std::optional<std::uint64_t> stored = entries_.take(key);
+    if (!stored.has_value()) return false;
     const std::uint64_t age = seq_ - *stored;
     if (age <= near_threshold_) ++near_hits_;
-    entries_.erase(key);
     ++hits_;
     return true;
   }
@@ -67,7 +67,7 @@ class GhostCache {
 
  private:
   // Value = eviction sequence number (for hit-age estimation).
-  LruMap<K, std::uint64_t, Hash> entries_;
+  FlatLruMap<K, std::uint64_t, Hash> entries_;
   std::uint64_t seq_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t near_hits_ = 0;

@@ -13,8 +13,8 @@
 #include <cstdint>
 #include <functional>
 
+#include "cache/flat_lru_map.hpp"
 #include "cache/ghost_cache.hpp"
-#include "cache/lru_cache.hpp"
 #include "common/types.hpp"
 #include "hash/fingerprint.hpp"
 
@@ -77,7 +77,7 @@ class IndexCache {
     return static_cast<std::size_t>(bytes / kEntryBytes);
   }
 
-  LruMap<Fingerprint, IndexEntry, FingerprintHash> entries_;
+  FlatLruMap<Fingerprint, IndexEntry, FingerprintHash> entries_;
   GhostCache<Fingerprint, FingerprintHash> ghost_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

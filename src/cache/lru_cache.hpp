@@ -48,14 +48,16 @@ class LruMap {
       on_evict(key, std::move(value));
       return;
     }
-    auto it = map_.find(key);
-    if (it != map_.end()) {
+    // Single hash lookup for both the hit and the miss path (the old
+    // find + operator[] pair hashed twice on every insert).
+    auto [it, inserted] = map_.try_emplace(key);
+    if (!inserted) {
       it->second->second = std::move(value);
       order_.splice(order_.begin(), order_, it->second);
       return;
     }
     order_.emplace_front(key, std::move(value));
-    map_[key] = order_.begin();
+    it->second = order_.begin();
     while (map_.size() > capacity_) evict_lru(on_evict);
   }
 
@@ -70,6 +72,17 @@ class LruMap {
     order_.erase(it->second);
     map_.erase(it);
     return true;
+  }
+
+  /// Removes `key` and returns its value with a single lookup (replaces
+  /// contains()/get() followed by erase()).
+  std::optional<V> take(const K& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    std::optional<V> out{std::move(it->second->second)};
+    order_.erase(it->second);
+    map_.erase(it);
+    return out;
   }
 
   /// Pops the LRU entry (requires non-empty).

@@ -9,8 +9,8 @@
 
 #include <cstdint>
 
+#include "cache/flat_lru_map.hpp"
 #include "cache/ghost_cache.hpp"
-#include "cache/lru_cache.hpp"
 #include "common/types.hpp"
 
 namespace pod {
@@ -54,7 +54,7 @@ class ReadCache {
 
  private:
   struct Unit {};
-  LruMap<Pba, Unit> entries_;
+  FlatLruMap<Pba, Unit> entries_;
   GhostCache<Pba> ghost_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

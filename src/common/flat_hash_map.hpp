@@ -1,0 +1,141 @@
+// Minimal open-addressing hash map for trivially-small key/value pairs.
+//
+// Backs the Map table's Lba -> Pba redirections (and similar flat integer
+// maps) without std::unordered_map's per-node allocation. Linear probing
+// over a power-of-two table with one state byte per slot; erasures use
+// backward-shift deletion, so the table carries no tombstones and never
+// needs compaction rebuilds under steady insert/erase churn. Keys are
+// scrambled with a Fibonacci multiplier so identity hashes do not cluster.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace pod {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class FlatHashMap {
+ public:
+  FlatHashMap() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Pointer to the value for `key`, or nullptr.
+  const V* find(const K& key) const {
+    const std::size_t i = find_index(key);
+    return i == kNpos ? nullptr : &slots_[i].second;
+  }
+  V* find(const K& key) {
+    const std::size_t i = find_index(key);
+    return i == kNpos ? nullptr : &slots_[i].second;
+  }
+
+  bool contains(const K& key) const { return find_index(key) != kNpos; }
+
+  /// Inserts or overwrites.
+  void insert_or_assign(const K& key, V value) {
+    const std::size_t i = find_index(key);
+    if (i != kNpos) {
+      slots_[i].second = std::move(value);
+      return;
+    }
+    ensure_space();
+    std::size_t j = home_of(key);
+    while (state_[j] == kFull) j = (j + 1) & mask_;
+    state_[j] = kFull;
+    slots_[j] = {key, std::move(value)};
+    ++size_;
+  }
+
+  /// Removes `key`; returns true if it was present. Backward-shift
+  /// deletion: displaced entries slide back toward their home slot so no
+  /// tombstone is left behind.
+  bool erase(const K& key) {
+    std::size_t i = find_index(key);
+    if (i == kNpos) return false;
+    --size_;
+    for (;;) {
+      state_[i] = kEmpty;
+      std::size_t j = i;
+      for (;;) {
+        j = (j + 1) & mask_;
+        if (state_[j] != kFull) return true;
+        const std::size_t h = home_of(slots_[j].first);
+        // Move j back only if its probe path from h passes through i.
+        if (((i - h) & mask_) < ((j - h) & mask_)) {
+          slots_[i] = std::move(slots_[j]);
+          state_[i] = kFull;
+          i = j;
+          break;
+        }
+      }
+    }
+  }
+
+  void clear() {
+    slots_.clear();
+    state_.clear();
+    mask_ = 0;
+    size_ = 0;
+  }
+
+  /// Iterates all entries (unspecified order).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < state_.size(); ++i)
+      if (state_[i] == kFull) fn(slots_[i].first, slots_[i].second);
+  }
+
+ private:
+  static constexpr std::size_t kNpos = ~std::size_t{0};
+  static constexpr std::uint8_t kEmpty = 0;
+  static constexpr std::uint8_t kFull = 1;
+
+  std::size_t home_of(const K& key) const {
+    return static_cast<std::size_t>(
+               (static_cast<std::uint64_t>(Hash{}(key)) *
+                0x9E3779B97F4A7C15ull) >>
+               32) &
+           mask_;
+  }
+
+  std::size_t find_index(const K& key) const {
+    if (state_.empty()) return kNpos;
+    std::size_t i = home_of(key);
+    for (;;) {
+      if (state_[i] == kEmpty) return kNpos;
+      if (state_[i] == kFull && slots_[i].first == key) return i;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  void ensure_space() {
+    std::size_t required = 16;
+    while (required < 2 * (size_ + 1)) required <<= 1;
+    if (state_.size() < required) rebuild(required);
+  }
+
+  void rebuild(std::size_t new_size) {
+    std::vector<std::pair<K, V>> old_slots = std::move(slots_);
+    std::vector<std::uint8_t> old_state = std::move(state_);
+    slots_.assign(new_size, {});
+    state_.assign(new_size, kEmpty);
+    mask_ = new_size - 1;
+    for (std::size_t i = 0; i < old_state.size(); ++i) {
+      if (old_state[i] != kFull) continue;
+      std::size_t j = home_of(old_slots[i].first);
+      while (state_[j] == kFull) j = (j + 1) & mask_;
+      state_[j] = kFull;
+      slots_[j] = std::move(old_slots[i]);
+    }
+  }
+
+  std::vector<std::pair<K, V>> slots_;
+  std::vector<std::uint8_t> state_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace pod

@@ -64,35 +64,39 @@ BlockStore::BlockStore(const Config& cfg)
                           static_cast<double>(cfg.logical_blocks) *
                           cfg.pool_fraction))) {
   POD_CHECK(logical_blocks_ > 0);
+  identity_live_.assign(static_cast<std::size_t>(logical_blocks_), false);
 }
 
 bool BlockStore::is_live(Lba lba) const {
-  return identity_live_.count(lba) > 0 || map_.is_redirected(lba);
+  return identity_live(lba) || map_.is_redirected(lba);
 }
 
 Pba BlockStore::resolve(Lba lba) const {
   const Pba redirected = map_.lookup(lba);
   if (redirected != kInvalidPba) return redirected;
-  return identity_live_.count(lba) > 0 ? static_cast<Pba>(lba) : kInvalidPba;
+  return identity_live(lba) ? static_cast<Pba>(lba) : kInvalidPba;
 }
 
 std::uint32_t BlockStore::refcount(Pba pba) const {
-  const auto it = pba_state_.find(pba);
-  return it == pba_state_.end() ? 0 : it->second.refs;
+  const PbaState* st = pba_state_.find(pba);
+  return st == nullptr ? 0 : st->refs;
 }
 
 const Fingerprint* BlockStore::fingerprint_of(Pba pba) const {
-  const auto it = pba_state_.find(pba);
-  return it == pba_state_.end() ? nullptr : &it->second.fp;
+  const PbaState* st = pba_state_.find(pba);
+  return st == nullptr ? nullptr : &st->fp;
 }
 
 void BlockStore::unref(Pba pba) {
-  const auto it = pba_state_.find(pba);
-  POD_CHECK(it != pba_state_.end());
-  POD_CHECK(it->second.refs > 0);
-  if (--it->second.refs == 0) {
-    if (on_content_gone) on_content_gone(pba, it->second.fp);
-    pba_state_.erase(it);
+  PbaState* st = pba_state_.find(pba);
+  POD_CHECK(st != nullptr);
+  POD_CHECK(st->refs > 0);
+  if (--st->refs == 0) {
+    // Copy the fingerprint out: the content-gone observers may insert into
+    // pba_state_ indirectly, which can rehash the table under `st`.
+    const Fingerprint fp = st->fp;
+    if (on_content_gone) on_content_gone(pba, fp);
+    pba_state_.erase(pba);
     if (pool_.in_pool(pba)) pool_.free_block(pba);
   }
 }
@@ -100,9 +104,9 @@ void BlockStore::unref(Pba pba) {
 void BlockStore::bind(Lba lba, Pba pba) {
   if (pba == static_cast<Pba>(lba)) {
     map_.clear(lba);
-    identity_live_.insert(lba);
+    identity_live_[static_cast<std::size_t>(lba)] = true;
   } else {
-    identity_live_.erase(lba);
+    identity_live_[static_cast<std::size_t>(lba)] = false;
     map_.set(lba, pba);
   }
 }
@@ -131,21 +135,19 @@ Pba BlockStore::place_write(Lba lba, const Fingerprint& fp, Pba prev_pba) {
   // The target block may hold stale content from a previous life (refcount
   // zero but a cached fingerprint association elsewhere); announce the
   // overwrite so index/read caches can invalidate.
-  auto& state = pba_state_[target];
-  POD_CHECK(state.refs == 0);
-  state.refs = 1;
-  state.fp = fp;
+  POD_CHECK(pba_state_.find(target) == nullptr);
+  pba_state_.insert_or_assign(target, PbaState{1, fp});
   bind(lba, target);
   return target;
 }
 
 void BlockStore::dedup_to(Lba lba, Pba pba) {
   POD_CHECK(lba < logical_blocks_);
-  const auto it = pba_state_.find(pba);
-  POD_CHECK(it != pba_state_.end() && it->second.refs > 0);
+  PbaState* st = pba_state_.find(pba);
+  POD_CHECK(st != nullptr && st->refs > 0);
   const Pba old = resolve(lba);
   if (old == pba) return;  // already mapped there (same-content overwrite)
-  ++it->second.refs;
+  ++st->refs;
   if (old != kInvalidPba) {
     unref(old);
   } else {
@@ -158,7 +160,7 @@ void BlockStore::discard(Lba lba) {
   const Pba old = resolve(lba);
   if (old == kInvalidPba) return;
   unref(old);
-  identity_live_.erase(lba);
+  if (lba < logical_blocks_) identity_live_[static_cast<std::size_t>(lba)] = false;
   map_.clear(lba);
   POD_CHECK(live_count_ > 0);
   --live_count_;

@@ -15,10 +15,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_hash_map.hpp"
 #include "common/types.hpp"
 #include "dedup/map_table.hpp"
 #include "hash/fingerprint.hpp"
@@ -111,9 +110,14 @@ class BlockStore {
   std::uint64_t logical_blocks_;
   PoolAllocator pool_;
   MapTable map_;
-  // Live LBAs that map to their identity home (no MapTable entry).
-  std::unordered_set<Lba> identity_live_;
-  std::unordered_map<Pba, PbaState> pba_state_;
+  bool identity_live(Lba lba) const {
+    return lba < logical_blocks_ && identity_live_[static_cast<std::size_t>(lba)];
+  }
+
+  // Live LBAs that map to their identity home (no MapTable entry). The
+  // logical space is dense and bounded, so one bit per LBA beats a hash set.
+  std::vector<bool> identity_live_;
+  FlatHashMap<Pba, PbaState> pba_state_;
   std::uint64_t live_count_ = 0;
 };
 

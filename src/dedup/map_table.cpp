@@ -5,12 +5,12 @@
 namespace pod {
 
 Pba MapTable::lookup(Lba lba) const {
-  const auto it = entries_.find(lba);
-  return it == entries_.end() ? kInvalidPba : it->second;
+  const Pba* p = entries_.find(lba);
+  return p == nullptr ? kInvalidPba : *p;
 }
 
 void MapTable::set(Lba lba, Pba pba) {
-  entries_[lba] = pba;
+  entries_.insert_or_assign(lba, pba);
   max_entries_ = std::max(max_entries_, entries_.size());
 }
 

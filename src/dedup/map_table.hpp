@@ -8,8 +8,8 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/flat_hash_map.hpp"
 #include "common/types.hpp"
 
 namespace pod {
@@ -21,7 +21,7 @@ class MapTable {
   /// PBA an LBA redirects to, or kInvalidPba when unredirected.
   Pba lookup(Lba lba) const;
 
-  bool is_redirected(Lba lba) const { return entries_.count(lba) > 0; }
+  bool is_redirected(Lba lba) const { return entries_.contains(lba); }
 
   /// Installs/overwrites a redirection.
   void set(Lba lba, Pba pba);
@@ -36,7 +36,7 @@ class MapTable {
   std::uint64_t max_bytes() const { return max_entries_ * kEntryBytes; }
 
  private:
-  std::unordered_map<Lba, Pba> entries_;
+  FlatHashMap<Lba, Pba> entries_;
   std::size_t max_entries_ = 0;
 };
 

@@ -29,8 +29,13 @@ Pba OnDiskIndex::bucket_of(const Fingerprint& fp) const {
 bool OnDiskIndex::bloom_maybe(const Fingerprint& fp) const {
   const std::uint64_t base = fp.prefix64();
   const std::uint64_t bits = bloom_.size() * 64;
+  // Power-of-two bit counts (the default) reduce to a mask; the modulo
+  // fallback keeps identical positions for arbitrary sizes.
+  const bool pow2 = (bits & (bits - 1)) == 0;
   for (int k = 0; k < 4; ++k) {
-    const std::uint64_t pos = mix(base + 0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(k + 1)) % bits;
+    const std::uint64_t h =
+        mix(base + 0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(k + 1));
+    const std::uint64_t pos = pow2 ? (h & (bits - 1)) : h % bits;
     if ((bloom_[pos >> 6] & (1ULL << (pos & 63))) == 0) return false;
   }
   return true;
@@ -39,8 +44,11 @@ bool OnDiskIndex::bloom_maybe(const Fingerprint& fp) const {
 void OnDiskIndex::bloom_set(const Fingerprint& fp) {
   const std::uint64_t base = fp.prefix64();
   const std::uint64_t bits = bloom_.size() * 64;
+  const bool pow2 = (bits & (bits - 1)) == 0;
   for (int k = 0; k < 4; ++k) {
-    const std::uint64_t pos = mix(base + 0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(k + 1)) % bits;
+    const std::uint64_t h =
+        mix(base + 0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(k + 1));
+    const std::uint64_t pos = pow2 ? (h & (bits - 1)) : h % bits;
     bloom_[pos >> 6] |= 1ULL << (pos & 63);
   }
 }
@@ -54,16 +62,16 @@ OnDiskIndex::Lookup OnDiskIndex::lookup(const Fingerprint& fp) const {
   ++disk_lookups_;
   out.needs_disk_read = true;
   out.bucket = bucket_of(fp);
-  const auto it = table_.find(fp);
-  if (it != table_.end()) {
+  const Pba* p = table_.find(fp);
+  if (p != nullptr) {
     out.found = true;
-    out.pba = it->second;
+    out.pba = *p;
   }
   return out;
 }
 
 std::optional<Pba> OnDiskIndex::insert(const Fingerprint& fp, Pba pba) {
-  table_[fp] = pba;
+  table_.insert_or_assign(fp, pba);
   bloom_set(fp);
   if (++pending_inserts_ >= cfg_.insert_batch) {
     pending_inserts_ = 0;
@@ -74,8 +82,7 @@ std::optional<Pba> OnDiskIndex::insert(const Fingerprint& fp, Pba pba) {
 }
 
 const Pba* OnDiskIndex::peek(const Fingerprint& fp) const {
-  const auto it = table_.find(fp);
-  return it == table_.end() ? nullptr : &it->second;
+  return table_.find(fp);
 }
 
 void OnDiskIndex::erase(const Fingerprint& fp) { table_.erase(fp); }

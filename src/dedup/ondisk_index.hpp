@@ -14,9 +14,9 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash_map.hpp"
 #include "common/types.hpp"
 #include "hash/fingerprint.hpp"
 
@@ -82,7 +82,7 @@ class OnDiskIndex {
   void bloom_set(const Fingerprint& fp);
 
   Config cfg_;
-  std::unordered_map<Fingerprint, Pba, FingerprintHash> table_;
+  FlatHashMap<Fingerprint, Pba, FingerprintHash> table_;
   std::vector<std::uint64_t> bloom_;
   std::uint32_t pending_inserts_ = 0;
   mutable std::uint64_t bloom_negatives_ = 0;

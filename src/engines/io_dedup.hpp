@@ -10,7 +10,7 @@
 // cache alone; DESIGN.md documents the simplification.)
 #pragma once
 
-#include "cache/lru_cache.hpp"
+#include "cache/flat_lru_map.hpp"
 #include "engines/engine.hpp"
 
 namespace pod {
@@ -32,7 +32,7 @@ class IoDedupEngine : public DedupEngine {
   struct Unit {};
   /// Content-addressed cache: key = fingerprint prefix (or home PBA for
   /// never-written blocks).
-  LruMap<std::uint64_t, Unit> content_cache_;
+  FlatLruMap<std::uint64_t, Unit> content_cache_;
   std::uint64_t content_hits_ = 0;
   std::uint64_t content_misses_ = 0;
 };

@@ -1,0 +1,33 @@
+#include "replay/parallel_runner.hpp"
+
+#include <exception>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+
+namespace pod {
+
+std::vector<ReplayResult> ParallelRunner::run(
+    const std::vector<RunItem>& items) const {
+  std::vector<ReplayResult> results(items.size());
+  std::vector<std::exception_ptr> errors(items.size());
+
+  ThreadPool pool(jobs_ > items.size() ? items.size() : jobs_);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    POD_CHECK(items[i].trace != nullptr);
+    pool.submit([&, i] {
+      try {
+        results[i] = run_replay(items[i].spec, *items[i].trace);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  pool.wait_idle();
+
+  for (std::exception_ptr& err : errors)
+    if (err) std::rethrow_exception(err);
+  return results;
+}
+
+}  // namespace pod

@@ -5,27 +5,65 @@
 namespace pod {
 
 void EventQueue::push(SimTime at, EventFn fn) {
-  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    pool_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(pool_.size());
+    pool_.push_back(std::move(fn));
+  }
+  heap_.push_back(HeapEntry{at, next_seq_++, slot});
+  sift_up(heap_.size() - 1);
 }
 
 SimTime EventQueue::next_time() const {
   POD_CHECK(!heap_.empty());
-  return heap_.top().at;
+  return heap_.front().at;
 }
 
 std::pair<SimTime, EventFn> EventQueue::pop() {
   POD_CHECK(!heap_.empty());
-  // priority_queue::top() is const; the Entry must be moved out via a cast
-  // because EventFn is move-only in spirit (copies would be wasteful).
-  Entry& top = const_cast<Entry&>(heap_.top());
-  std::pair<SimTime, EventFn> out{top.at, std::move(top.fn)};
-  heap_.pop();
+  const HeapEntry top = heap_.front();
+  std::pair<SimTime, EventFn> out{top.at, std::move(pool_[top.slot])};
+  free_slots_.push_back(top.slot);
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
   return out;
 }
 
 void EventQueue::clear() {
-  while (!heap_.empty()) heap_.pop();
+  heap_.clear();
+  pool_.clear();
+  free_slots_.clear();
   next_seq_ = 0;
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  HeapEntry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  HeapEntry e = heap_[i];
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && before(heap_[child + 1], heap_[child])) ++child;
+    if (!before(heap_[child], e)) break;
+    heap_[i] = heap_[child];
+    i = child;
+  }
+  heap_[i] = e;
 }
 
 }  // namespace pod

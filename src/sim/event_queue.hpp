@@ -1,18 +1,27 @@
 // Priority queue of timestamped events for the discrete-event simulator.
 //
 // Ties are broken by insertion order so simulations are fully deterministic.
+//
+// Layout: the heap itself orders trivially-copyable 24-byte HeapEntry
+// records (time, sequence, slot index); the callables live in a pool of
+// small-buffer-optimized InlineEvent slots recycled through a freelist.
+// Sift operations therefore move plain integers — never callables — and a
+// steady-state push/pop cycle performs zero heap allocations. This replaces
+// the old std::priority_queue<Entry> + std::function design, which paid a
+// malloc per event and needed a const_cast to move the callable out of
+// top().
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
+#include "sim/inline_event.hpp"
 
 namespace pod {
 
-using EventFn = std::function<void()>;
+using EventFn = InlineEvent;
 
 class EventQueue {
  public:
@@ -28,18 +37,24 @@ class EventQueue {
   void clear();
 
  private:
-  struct Entry {
+  struct HeapEntry {
     SimTime at;
     std::uint64_t seq;
-    EventFn fn;
+    std::uint32_t slot;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+
+  /// True when `a` fires strictly before `b` (earlier time, FIFO on ties).
+  static bool before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  std::vector<HeapEntry> heap_;
+  std::vector<InlineEvent> pool_;
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -1,0 +1,119 @@
+// Small-buffer-optimized event callable for the simulator hot path.
+//
+// The discrete-event core executes tens of millions of callbacks per trace
+// replay. std::function<void()> heap-allocates for every capture larger
+// than its tiny internal buffer (and libstdc++'s buffer is 16 bytes), so
+// the old EventQueue paid one malloc/free per event. InlineEvent stores
+// captures up to kInlineBytes in place — sized so every callback the
+// engines, disks and replayer schedule today fits inline — and falls back
+// to the heap only for oversized captures.
+//
+// InlineEvent is move-only (moves are a bounded memcpy plus pointer fixup,
+// dispatched through a single manage function per callable type), which is
+// what lets EventQueue keep events in a reusable slot pool instead of
+// const_cast-ing them out of a std::priority_queue.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace pod {
+
+class InlineEvent {
+ public:
+  /// Inline capture budget. The largest scheduler today is the engine
+  /// write-path continuation (~80 bytes of captures); 88 covers it with a
+  /// little headroom while keeping a pooled slot close to two cache lines.
+  static constexpr std::size_t kInlineBytes = 88;
+
+  InlineEvent() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineEvent> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineEvent(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(storage_.buf)) Fn(std::forward<F>(fn));
+      invoke_ = [](InlineEvent& self) {
+        (*std::launder(reinterpret_cast<Fn*>(self.storage_.buf)))();
+      };
+      manage_ = [](InlineEvent& self, InlineEvent* dest) {
+        Fn* fn_ptr = std::launder(reinterpret_cast<Fn*>(self.storage_.buf));
+        if (dest != nullptr)
+          ::new (static_cast<void*>(dest->storage_.buf)) Fn(std::move(*fn_ptr));
+        fn_ptr->~Fn();
+      };
+    } else {
+      storage_.heap = new Fn(std::forward<F>(fn));
+      invoke_ = [](InlineEvent& self) {
+        (*static_cast<Fn*>(self.storage_.heap))();
+      };
+      manage_ = [](InlineEvent& self, InlineEvent* dest) {
+        if (dest != nullptr) {
+          dest->storage_.heap = self.storage_.heap;
+        } else {
+          delete static_cast<Fn*>(self.storage_.heap);
+        }
+      };
+    }
+  }
+
+  InlineEvent(InlineEvent&& other) noexcept { move_from(other); }
+
+  InlineEvent& operator=(InlineEvent&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineEvent(const InlineEvent&) = delete;
+  InlineEvent& operator=(const InlineEvent&) = delete;
+
+  ~InlineEvent() { reset(); }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  void operator()() { invoke_(*this); }
+
+  void reset() noexcept {
+    if (manage_ != nullptr) {
+      manage_(*this, nullptr);
+      invoke_ = nullptr;
+      manage_ = nullptr;
+    }
+  }
+
+ private:
+  using InvokeFn = void (*)(InlineEvent&);
+  /// Moves the callable into `dest` (when non-null) and destroys the source
+  /// representation. One function pointer covers move and destroy so a slot
+  /// costs two words of dispatch state, not three.
+  using ManageFn = void (*)(InlineEvent&, InlineEvent*);
+
+  void move_from(InlineEvent& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (manage_ != nullptr) manage_(other, this);
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  union Storage {
+    alignas(std::max_align_t) unsigned char buf[kInlineBytes];
+    void* heap;
+  };
+
+  Storage storage_;
+  InvokeFn invoke_ = nullptr;
+  ManageFn manage_ = nullptr;
+};
+
+}  // namespace pod

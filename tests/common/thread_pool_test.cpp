@@ -1,0 +1,92 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace pod {
+namespace {
+
+TEST(ThreadPool, InlineModeRunsOnSubmit) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  std::vector<int> order;
+  pool.submit([&] { order.push_back(1); });
+  // Inline mode executes before submit returns; nothing is pending.
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  pool.wait_idle();
+}
+
+TEST(ThreadPool, SingleJobAlsoInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 0u);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.submit([&] { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDone) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i)
+    pool.submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ++done;
+    });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPool, ReusableAfterWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&] { ++count; });
+  pool.wait_idle();
+  pool.submit([&] { ++count; });
+  pool.submit([&] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.submit([&] { ++count; });
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, JobsFromEnvParsesPositive) {
+  setenv("POD_JOBS", "3", 1);
+  EXPECT_EQ(ThreadPool::jobs_from_env(8), 3u);
+  unsetenv("POD_JOBS");
+}
+
+TEST(ThreadPool, JobsFromEnvFallsBack) {
+  unsetenv("POD_JOBS");
+  EXPECT_EQ(ThreadPool::jobs_from_env(8), 8u);
+  setenv("POD_JOBS", "0", 1);
+  EXPECT_EQ(ThreadPool::jobs_from_env(8), 8u);
+  setenv("POD_JOBS", "junk", 1);
+  EXPECT_EQ(ThreadPool::jobs_from_env(8), 8u);
+  unsetenv("POD_JOBS");
+  // Default fallback is the hardware concurrency, at least 1.
+  EXPECT_GE(ThreadPool::jobs_from_env(), 1u);
+}
+
+}  // namespace
+}  // namespace pod

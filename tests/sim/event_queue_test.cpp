@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 namespace pod {
@@ -69,6 +70,67 @@ TEST(EventQueue, InterleavedPushPop) {
   q.push(20, [&] { order.push_back(20); });
   while (!q.empty()) q.pop().second();
   EXPECT_EQ(order, (std::vector<int>{10, 20, 30}));
+}
+
+// Regression: same-timestamp events pushed across pop boundaries must
+// still drain in global insertion order — the tie-break sequence may not
+// reset or reorder when the heap shrinks and regrows (slot recycling).
+TEST(EventQueue, TiesStableAcrossInterleavedPushPop) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(5, [&] { order.push_back(0); });
+  q.push(5, [&] { order.push_back(1); });
+  q.pop().second();  // runs 0; its slot is recycled
+  q.push(5, [&] { order.push_back(2); });
+  q.push(5, [&] { order.push_back(3); });
+  q.pop().second();  // runs 1
+  q.push(5, [&] { order.push_back(4); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+// Regression: randomized-shape churn with equal timestamps — every batch
+// must drain strictly FIFO no matter how pushes and pops interleave.
+TEST(EventQueue, FifoUnderChurn) {
+  EventQueue q;
+  std::vector<int> order;
+  int next = 0;
+  // Deterministic interleavings: push k events, pop k-1, repeat.
+  for (int k = 1; k <= 32; ++k) {
+    for (int i = 0; i < k; ++i) {
+      q.push(7, [&order, v = next] { order.push_back(v); });
+      ++next;
+    }
+    for (int i = 0; i + 1 < k; ++i) q.pop().second();
+  }
+  while (!q.empty()) q.pop().second();
+  std::vector<int> expected(static_cast<std::size_t>(next));
+  for (int i = 0; i < next; ++i) expected[static_cast<std::size_t>(i)] = i;
+  EXPECT_EQ(order, expected);
+}
+
+// Callables bigger than the inline buffer take the heap path; both paths
+// must move correctly through slot recycling.
+TEST(EventQueue, LargeCallablesSurviveRecycling) {
+  EventQueue q;
+  std::vector<std::uint64_t> seen;
+  struct Big {
+    std::uint64_t payload[24];  // 192 bytes — exceeds the inline buffer
+    std::vector<std::uint64_t>* out;
+    void operator()() const { out->push_back(payload[23]); }
+  };
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    Big big{};
+    big.payload[23] = i;
+    big.out = &seen;
+    q.push(static_cast<SimTime>(i % 3), big);
+    if (i % 2 == 1) q.pop().second();
+  }
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(seen.size(), 100u);
+  std::uint64_t sum = 0;
+  for (std::uint64_t v : seen) sum += v;
+  EXPECT_EQ(sum, 99u * 100u / 2);
 }
 
 }  // namespace

@@ -15,6 +15,7 @@ int main() {
   using namespace pod::bench;
 
   const double scale = scale_from_env();
+  prefetch_traces(selected_profiles(scale));
   print_header("Figure 1 — I/O redundancy distribution by request size",
                "write requests on the measured day, primed with warm-up "
                "history; scale=" + std::to_string(scale));

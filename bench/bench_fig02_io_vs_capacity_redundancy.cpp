@@ -15,6 +15,7 @@ int main() {
   using namespace pod::bench;
 
   const double scale = scale_from_env();
+  prefetch_traces(selected_profiles(scale));
   print_header("Figure 2 — I/O redundancy vs capacity redundancy",
                "percentage of write data (blocks); scale=" +
                    std::to_string(scale));

@@ -14,6 +14,7 @@ int main() {
   using namespace pod::bench;
 
   const double scale = scale_from_env();
+  prefetch_traces(selected_profiles(scale));
   print_header("Figure 8 — normalized overall response time (Native = 100)",
                "4-disk RAID5, 64 KB stripe unit, 50/50 cache split; scale=" +
                    std::to_string(scale));

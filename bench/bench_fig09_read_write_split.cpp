@@ -15,6 +15,7 @@ int main() {
   using namespace pod::bench;
 
   const double scale = scale_from_env();
+  prefetch_traces(selected_profiles(scale));
   print_header("Figure 9 — normalized write / read response times "
                "(Native = 100)",
                "4-disk RAID5; scale=" + std::to_string(scale));

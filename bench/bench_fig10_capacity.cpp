@@ -12,6 +12,7 @@ int main() {
   using namespace pod::bench;
 
   const double scale = scale_from_env();
+  prefetch_traces(selected_profiles(scale));
   print_header("Figure 10 — normalized storage capacity used (Native = 100)",
                "distinct live physical blocks at the end of the replay; "
                "scale=" + std::to_string(scale));

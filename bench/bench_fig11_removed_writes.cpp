@@ -14,6 +14,7 @@ int main() {
   using namespace pod::bench;
 
   const double scale = scale_from_env();
+  prefetch_traces(selected_profiles(scale));
   print_header("Figure 11 — % of write requests removed",
                "4-disk RAID5; scale=" + std::to_string(scale));
 

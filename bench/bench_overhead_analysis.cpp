@@ -13,6 +13,7 @@ int main() {
   using namespace pod::bench;
 
   const double scale = scale_from_env();
+  prefetch_traces(selected_profiles(scale));
   print_header("§IV-D — POD overhead analysis",
                "computational + NVRAM overheads of the POD engine; scale=" +
                    std::to_string(scale));

@@ -13,6 +13,7 @@ int main() {
   using namespace pod::bench;
 
   const double scale = scale_from_env();
+  prefetch_traces(selected_profiles(scale));
   print_header("Table II — characteristics of the three traces",
                "day-15 (measured) segment; scale=" + std::to_string(scale));
 

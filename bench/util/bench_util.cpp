@@ -1,16 +1,29 @@
 #include "bench_util.hpp"
 
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+
+#include "common/resource.hpp"
+#include "trace/trace_cache.hpp"
 
 namespace pod::bench {
 
 double scale_from_env() {
   const char* env = std::getenv("POD_SCALE");
   if (env == nullptr) return 0.25;
-  const double v = std::atof(env);
-  return v > 0.0 && v <= 1.0 ? v : 0.25;
+  double v = 0.0;
+  const char* end = env + std::strlen(env);
+  const auto [ptr, ec] = std::from_chars(env, end, v);
+  if (ec != std::errc{} || ptr != end || !(v > 0.0) || v > 1.0) {
+    std::fprintf(stderr,
+                 "[bench] POD_SCALE='%s' is not a number in (0,1]; aborting\n",
+                 env);
+    std::exit(2);
+  }
+  return v;
 }
 
 std::vector<WorkloadProfile> selected_profiles(double scale) {
@@ -23,17 +36,62 @@ std::vector<WorkloadProfile> selected_profiles(double scale) {
   return out.empty() ? all : out;
 }
 
+namespace {
+
+/// Per-process trace memo, guarded for concurrent first-population. Keyed
+/// by the full cache key (name + param hash), so two profiles sharing a
+/// name but differing in scale/seed never alias within one process.
+struct TraceMemo {
+  std::mutex mu;
+  std::map<std::string, Trace> traces;
+};
+
+TraceMemo& trace_memo() {
+  static TraceMemo memo;
+  return memo;
+}
+
+/// Unlocked lookup-or-adopt; caller holds memo.mu.
+const Trace* memo_find(TraceMemo& memo, const std::string& key) {
+  auto it = memo.traces.find(key);
+  return it == memo.traces.end() ? nullptr : &it->second;
+}
+
+}  // namespace
+
 const Trace& trace_for(const WorkloadProfile& profile) {
-  static std::map<std::string, Trace> cache;
-  auto it = cache.find(profile.name);
-  if (it == cache.end()) {
+  TraceMemo& memo = trace_memo();
+  const std::string key = trace_cache_key(profile);
+  std::lock_guard<std::mutex> lock(memo.mu);
+  if (const Trace* hit = memo_find(memo, key)) return *hit;
+  // Generation (or cache load) runs under the lock: concurrent callers of
+  // the same profile wait instead of duplicating multi-second work.
+  if (trace_cache_dir().empty()) {
     std::fprintf(stderr, "[bench] generating trace %s (%llu requests)...\n",
                  profile.name.c_str(),
                  static_cast<unsigned long long>(profile.warmup_requests +
                                                  profile.measured_requests));
-    it = cache.emplace(profile.name, TraceGenerator(profile).generate()).first;
   }
-  return it->second;
+  return memo.traces.emplace(key, obtain_trace(profile)).first->second;
+}
+
+void prefetch_traces(const std::vector<WorkloadProfile>& profiles) {
+  TraceMemo& memo = trace_memo();
+  std::vector<WorkloadProfile> missing;
+  {
+    std::lock_guard<std::mutex> lock(memo.mu);
+    for (const WorkloadProfile& p : profiles)
+      if (memo_find(memo, trace_cache_key(p)) == nullptr)
+        missing.push_back(p);
+  }
+  if (missing.empty()) return;
+  std::vector<Trace> traces = obtain_traces(missing, bench_jobs());
+  std::lock_guard<std::mutex> lock(memo.mu);
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    const std::string key = trace_cache_key(missing[i]);
+    if (memo_find(memo, key) == nullptr)
+      memo.traces.emplace(key, std::move(traces[i]));
+  }
 }
 
 std::vector<EngineKind> figure8_engines() {
@@ -63,8 +121,9 @@ std::size_t bench_jobs() { return ThreadPool::jobs_from_env(); }
 std::map<EngineKind, ReplayResult> run_engine_set(
     const std::vector<EngineKind>& engines, const WorkloadProfile& profile,
     double scale) {
-  // Generate the trace before fanning out: trace_for's memo map is not
-  // thread-safe to populate, and every run shares the trace read-only.
+  // Populate the memo before fanning out; every run shares the trace
+  // read-only. (trace_for itself is now thread-safe, but resolving it here
+  // keeps generation cost out of the first worker's run.)
   const Trace& trace = trace_for(profile);
 
   std::vector<ParallelRunner::RunItem> items;
@@ -81,7 +140,31 @@ std::map<EngineKind, ReplayResult> run_engine_set(
   std::map<EngineKind, ReplayResult> results;
   for (std::size_t i = 0; i < engines.size(); ++i)
     results.emplace(engines[i], std::move(run_results[i]));
+  emit_replay_counters_json(results);
   return results;
+}
+
+void emit_replay_counters_json(
+    const std::map<EngineKind, ReplayResult>& results) {
+  const char* path = std::getenv("POD_BENCH_JSON");
+  if (path == nullptr) return;
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot append to POD_BENCH_JSON=%s\n", path);
+    return;
+  }
+  for (const auto& [kind, r] : results) {
+    std::fprintf(
+        f,
+        "{\"trace\":\"%s\",\"engine\":\"%s\",\"mean_ms\":%.6f,"
+        "\"events_scheduled\":%llu,\"peak_event_depth\":%llu,"
+        "\"peak_rss_bytes\":%llu}\n",
+        r.trace_name.c_str(), to_string(kind), r.mean_ms(),
+        static_cast<unsigned long long>(r.events_scheduled),
+        static_cast<unsigned long long>(r.peak_event_depth),
+        static_cast<unsigned long long>(r.peak_rss_bytes));
+  }
+  std::fclose(f);
 }
 
 void print_header(const std::string& title, const std::string& what) {
@@ -92,12 +175,9 @@ void print_header(const std::string& title, const std::string& what) {
 }
 
 void print_row(const std::string& label, const std::vector<double>& values,
-               const std::vector<std::string>& columns, const char* unit) {
+               const char* unit) {
   std::printf("%-16s", label.c_str());
-  for (std::size_t i = 0; i < values.size(); ++i) {
-    std::printf("  %10.2f%s", values[i], unit);
-    (void)columns;
-  }
+  for (const double v : values) std::printf("  %10.2f%s", v, unit);
   std::printf("\n");
 }
 

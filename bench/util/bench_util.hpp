@@ -4,10 +4,18 @@
 // Environment knobs:
 //   POD_SCALE  — trace scale factor in (0,1]; default 0.25. Scale 1.0
 //                reproduces the paper's full day-15 request counts.
+//                Malformed values abort the bench rather than silently
+//                running at a default scale.
 //   POD_TRACE  — restrict to one workload ("web-vm", "homes", "mail").
 //   POD_JOBS   — parallel replay jobs per engine set; default = hardware
 //                concurrency. Per-run results are byte-identical to serial
 //                (each run owns its simulator); only wall-clock changes.
+//   POD_TRACE_CACHE — directory for the persistent trace cache; when set,
+//                generated traces are stored there in binary PODTRC form
+//                and later runs bulk-load them instead of regenerating.
+//   POD_BENCH_JSON  — file to append per-run replay counters to, one JSON
+//                object per line (mean latency, events scheduled, peak
+//                event-heap depth, peak RSS).
 #pragma once
 
 #include <cstddef>
@@ -29,8 +37,16 @@ double scale_from_env();
 /// Paper workloads honouring POD_TRACE.
 std::vector<WorkloadProfile> selected_profiles(double scale);
 
-/// Generates (and memoises per process) the trace for a profile.
+/// Returns the trace for a profile: per-process memo first, then the
+/// persistent POD_TRACE_CACHE, then generation. Thread-safe — concurrent
+/// callers of the same profile block on one generation instead of
+/// duplicating it.
 const Trace& trace_for(const WorkloadProfile& profile);
+
+/// Warms the per-process memo for every profile, generating uncached
+/// traces in parallel on bench_jobs() workers. Call once at bench startup
+/// so per-figure loops hit only memoised traces.
+void prefetch_traces(const std::vector<WorkloadProfile>& profiles);
 
 /// The evaluation engine set of Figures 8-10 (no POD: the paper's §IV-B
 /// compares the fixed-partition schemes first).
@@ -53,9 +69,13 @@ std::map<EngineKind, ReplayResult> run_engine_set(
     const std::vector<EngineKind>& engines, const WorkloadProfile& profile,
     double scale);
 
+/// Appends one JSON line per run to POD_BENCH_JSON (no-op when unset).
+void emit_replay_counters_json(
+    const std::map<EngineKind, ReplayResult>& results);
+
 /// Table formatting helpers.
 void print_header(const std::string& title, const std::string& what);
 void print_row(const std::string& label, const std::vector<double>& values,
-               const std::vector<std::string>& columns, const char* unit);
+               const char* unit);
 
 }  // namespace pod::bench

@@ -1,0 +1,13 @@
+// Process resource probes used by the replay/bench counters.
+#pragma once
+
+#include <cstdint>
+
+namespace pod {
+
+/// Peak resident-set size of the current process in bytes (VmHWM), or 0
+/// when the platform offers no probe. Process-wide and monotone: useful as
+/// a high-water trajectory across a bench run, not as a per-run delta.
+std::uint64_t current_peak_rss_bytes();
+
+}  // namespace pod

@@ -24,10 +24,10 @@ Pod::Pod(const PodConfig& cfg) : cfg_(cfg), sim_(std::make_unique<Simulator>()) 
 Pod::~Pod() = default;
 
 void Pod::submit(const IoRequest& req, Completion done) {
-  auto owned = std::make_unique<IoRequest>(req);
-  owned->id = next_id_++;
-  if (owned->arrival < sim_->now()) owned->arrival = sim_->now();
-  IoRequest* ptr = owned.get();
+  auto owned = std::make_unique<OwnedRequest>(req);  // deep-copies the chunks
+  owned->req().id = next_id_++;
+  if (owned->req().arrival < sim_->now()) owned->req().arrival = sim_->now();
+  const IoRequest* ptr = &owned->req();
   inflight_.push_back(std::move(owned));
   const SimTime arrival = ptr->arrival;
   sim_->schedule_at(arrival,
@@ -46,9 +46,11 @@ void Pod::write(Lba lba, std::span<const std::uint8_t> data, Completion done) {
   req.lba = lba;
   req.nblocks = static_cast<std::uint32_t>(data.size() / kBlockSize);
   const FixedChunker chunker(kBlockSize);
+  std::vector<Fingerprint> fps;
   for (const DataChunk& c : chunker.chunk(data, engine_->hash_engine()))
-    req.chunks.push_back(c.fp);
-  submit(req, std::move(done));
+    fps.push_back(c.fp);
+  req.chunks = fps;
+  submit(req, std::move(done));  // submit deep-copies fps into inflight_
 }
 
 void Pod::write_fingerprinted(Lba lba, std::span<const Fingerprint> chunks,
@@ -58,7 +60,7 @@ void Pod::write_fingerprinted(Lba lba, std::span<const Fingerprint> chunks,
   req.type = OpType::kWrite;
   req.lba = lba;
   req.nblocks = static_cast<std::uint32_t>(chunks.size());
-  req.chunks.assign(chunks.begin(), chunks.end());
+  req.chunks = chunks;
   submit(req, std::move(done));
 }
 

@@ -82,8 +82,9 @@ class Pod {
   std::unique_ptr<Volume> volume_;
   std::unique_ptr<PodEngine> engine_;
   std::uint64_t next_id_ = 0;
-  // Requests must stay alive until their completion fires.
-  std::vector<std::unique_ptr<IoRequest>> inflight_;
+  // Requests (and their fingerprint storage) must stay alive until their
+  // completion fires.
+  std::vector<std::unique_ptr<OwnedRequest>> inflight_;
 };
 
 }  // namespace pod

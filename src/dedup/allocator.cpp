@@ -65,6 +65,9 @@ BlockStore::BlockStore(const Config& cfg)
                           cfg.pool_fraction))) {
   POD_CHECK(logical_blocks_ > 0);
   identity_live_.assign(static_cast<std::size_t>(logical_blocks_), false);
+  refs_.assign(static_cast<std::size_t>(data_region_blocks()), 0);
+  fps_.resize(static_cast<std::size_t>(data_region_blocks()));
+  map_.reserve(logical_blocks_);
 }
 
 bool BlockStore::is_live(Lba lba) const {
@@ -77,26 +80,17 @@ Pba BlockStore::resolve(Lba lba) const {
   return identity_live(lba) ? static_cast<Pba>(lba) : kInvalidPba;
 }
 
-std::uint32_t BlockStore::refcount(Pba pba) const {
-  const PbaState* st = pba_state_.find(pba);
-  return st == nullptr ? 0 : st->refs;
-}
-
-const Fingerprint* BlockStore::fingerprint_of(Pba pba) const {
-  const PbaState* st = pba_state_.find(pba);
-  return st == nullptr ? nullptr : &st->fp;
-}
-
 void BlockStore::unref(Pba pba) {
-  PbaState* st = pba_state_.find(pba);
-  POD_CHECK(st != nullptr);
-  POD_CHECK(st->refs > 0);
-  if (--st->refs == 0) {
-    // Copy the fingerprint out: the content-gone observers may insert into
-    // pba_state_ indirectly, which can rehash the table under `st`.
-    const Fingerprint fp = st->fp;
+  POD_CHECK(pba < refs_.size());
+  std::uint32_t& refs = refs_[static_cast<std::size_t>(pba)];
+  POD_CHECK(refs > 0);
+  if (--refs == 0) {
+    POD_CHECK(live_physical_ > 0);
+    --live_physical_;
+    // Copy the fingerprint out: the content-gone observers may place new
+    // content indirectly, which can overwrite fps_[pba] under us.
+    const Fingerprint fp = fps_[static_cast<std::size_t>(pba)];
     if (on_content_gone) on_content_gone(pba, fp);
-    pba_state_.erase(pba);
     if (pool_.in_pool(pba)) pool_.free_block(pba);
   }
 }
@@ -132,22 +126,21 @@ Pba BlockStore::place_write(Lba lba, const Fingerprint& fp, Pba prev_pba) {
     target = pool_.allocate(hint);
   }
 
-  // The target block may hold stale content from a previous life (refcount
-  // zero but a cached fingerprint association elsewhere); announce the
-  // overwrite so index/read caches can invalidate.
-  POD_CHECK(pba_state_.find(target) == nullptr);
-  pba_state_.insert_or_assign(target, PbaState{1, fp});
+  POD_CHECK(target < refs_.size());
+  POD_CHECK(refs_[static_cast<std::size_t>(target)] == 0);
+  refs_[static_cast<std::size_t>(target)] = 1;
+  fps_[static_cast<std::size_t>(target)] = fp;
+  ++live_physical_;
   bind(lba, target);
   return target;
 }
 
 void BlockStore::dedup_to(Lba lba, Pba pba) {
   POD_CHECK(lba < logical_blocks_);
-  PbaState* st = pba_state_.find(pba);
-  POD_CHECK(st != nullptr && st->refs > 0);
+  POD_CHECK(pba < refs_.size() && refs_[static_cast<std::size_t>(pba)] > 0);
   const Pba old = resolve(lba);
   if (old == pba) return;  // already mapped there (same-content overwrite)
-  ++st->refs;
+  ++refs_[static_cast<std::size_t>(pba)];
   if (old != kInvalidPba) {
     unref(old);
   } else {

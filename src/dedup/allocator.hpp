@@ -17,7 +17,6 @@
 #include <functional>
 #include <vector>
 
-#include "common/flat_hash_map.hpp"
 #include "common/types.hpp"
 #include "dedup/map_table.hpp"
 #include "hash/fingerprint.hpp"
@@ -82,13 +81,17 @@ class BlockStore {
   /// Invalidates an LBA (e.g. TRIM); releases its physical reference.
   void discard(Lba lba);
 
-  std::uint32_t refcount(Pba pba) const;
+  std::uint32_t refcount(Pba pba) const {
+    return pba < refs_.size() ? refs_[static_cast<std::size_t>(pba)] : 0;
+  }
   /// Fingerprint of the live content at `pba`, or nullptr.
-  const Fingerprint* fingerprint_of(Pba pba) const;
+  const Fingerprint* fingerprint_of(Pba pba) const {
+    return refcount(pba) > 0 ? &fps_[static_cast<std::size_t>(pba)] : nullptr;
+  }
 
   /// Number of distinct physical blocks holding live data (Figure 10's
   /// "storage capacity used").
-  std::uint64_t live_physical_blocks() const { return pba_state_.size(); }
+  std::uint64_t live_physical_blocks() const { return live_physical_; }
   std::uint64_t live_logical_blocks() const { return live_count_; }
 
   MapTable& map_table() { return map_; }
@@ -99,11 +102,6 @@ class BlockStore {
   std::function<void(Pba, const Fingerprint&)> on_content_gone;
 
  private:
-  struct PbaState {
-    std::uint32_t refs = 0;
-    Fingerprint fp;
-  };
-
   void unref(Pba pba);
   void bind(Lba lba, Pba pba);
 
@@ -117,7 +115,14 @@ class BlockStore {
   // Live LBAs that map to their identity home (no MapTable entry). The
   // logical space is dense and bounded, so one bit per LBA beats a hash set.
   std::vector<bool> identity_live_;
-  FlatHashMap<Pba, PbaState> pba_state_;
+  // Per-PBA state, direct-indexed over the dense data region
+  // [0, data_region_blocks()): refcount and fingerprint of live content
+  // (fps_[pba] is meaningful only while refs_[pba] > 0). The flat layout
+  // keeps the replay write path — refcount/unref/place_write are its
+  // hottest calls — free of hashing, probing and rehash pauses.
+  std::vector<std::uint32_t> refs_;
+  std::vector<Fingerprint> fps_;
+  std::uint64_t live_physical_ = 0;
   std::uint64_t live_count_ = 0;
 };
 

@@ -4,16 +4,29 @@
 
 namespace pod {
 
-Pba MapTable::lookup(Lba lba) const {
-  const Pba* p = entries_.find(lba);
-  return p == nullptr ? kInvalidPba : *p;
+void MapTable::reserve(std::uint64_t logical_blocks) {
+  if (table_.size() < logical_blocks)
+    table_.resize(static_cast<std::size_t>(logical_blocks), kInvalidPba);
 }
 
 void MapTable::set(Lba lba, Pba pba) {
-  entries_.insert_or_assign(lba, pba);
-  max_entries_ = std::max(max_entries_, entries_.size());
+  if (lba >= table_.size())
+    table_.resize(static_cast<std::size_t>(lba) + 1, kInvalidPba);
+  Pba& slot = table_[static_cast<std::size_t>(lba)];
+  if (slot == kInvalidPba) {
+    ++entries_;
+    max_entries_ = std::max(max_entries_, entries_);
+  }
+  slot = pba;
 }
 
-void MapTable::clear(Lba lba) { entries_.erase(lba); }
+void MapTable::clear(Lba lba) {
+  if (lba >= table_.size()) return;
+  Pba& slot = table_[static_cast<std::size_t>(lba)];
+  if (slot != kInvalidPba) {
+    slot = kInvalidPba;
+    --entries_;
+  }
+}
 
 }  // namespace pod

@@ -40,6 +40,16 @@ struct ReplayResult {
   /// Simulated completion time of the last request.
   SimTime makespan = 0;
 
+  /// Host-side replay-core counters (memory-regression tripwires):
+  /// events pushed onto the simulator heap during the measured phase …
+  std::uint64_t events_scheduled = 0;
+  /// … the heap's high-water mark (streaming admission keeps this at
+  /// O(in-flight I/O) instead of O(trace)) …
+  std::uint64_t peak_event_depth = 0;
+  /// … and the process peak RSS (bytes, process-wide high-water mark) at
+  /// the end of the run. 0 when unavailable.
+  std::uint64_t peak_rss_bytes = 0;
+
   double mean_ms() const { return all.mean_ms(); }
   double read_mean_ms() const { return reads.mean_ms(); }
   double write_mean_ms() const { return writes.mean_ms(); }

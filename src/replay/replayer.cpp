@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/resource.hpp"
 #include "engines/full_dedupe.hpp"
 #include "engines/idedup.hpp"
 #include "engines/io_dedup.hpp"
@@ -41,27 +42,59 @@ ReplayResult Replayer::replay(Simulator& sim, DedupEngine& engine,
   engine.begin_measured();
 
   const std::size_t first = trace.warmup_count;
-  const std::size_t count = trace.requests.size() - first;
+  const std::size_t total = trace.requests.size();
+  const std::size_t count = total - first;
   if (count == 0) return result;
   const SimTime t0 = trace.requests[first].arrival;
+  const std::uint64_t scheduled_before = sim.events_scheduled();
 
-  for (std::size_t i = first; i < trace.requests.size(); ++i) {
-    const IoRequest& req = trace.requests[i];
-    const SimTime arrival = req.arrival - t0;
-    POD_CHECK(arrival >= 0);
-    sim.schedule_at(arrival, [&sim, &engine, &req, arrival, &result]() {
-      engine.submit(req, [&sim, &result, arrival, type = req.type]() {
-        const Duration latency = sim.now() - arrival;
-        result.all.add(latency);
-        if (type == OpType::kWrite) result.writes.add(latency);
-        else result.reads.add(latency);
+  auto record = [&sim, &result](SimTime arrival, OpType type) {
+    return [&sim, &result, arrival, type]() {
+      const Duration latency = sim.now() - arrival;
+      result.all.add(latency);
+      if (type == OpType::kWrite) result.writes.add(latency);
+      else result.reads.add(latency);
+    };
+  };
+
+  if (mode_ == AdmissionMode::kPrescheduled) {
+    for (std::size_t i = first; i < total; ++i) {
+      const IoRequest& req = trace.requests[i];
+      const SimTime arrival = req.arrival - t0;
+      POD_CHECK(arrival >= 0);
+      sim.schedule_at(arrival, [&engine, &req, arrival, record]() {
+        engine.submit(req, record(arrival, req.type));
       });
-    });
+    }
+    sim.run();
+  } else {
+    // Streaming admission: the next arrival is submitted as soon as it is
+    // not later than every pending simulation event (ties admit the
+    // arrival first — see AdmissionMode::kStreaming for why this matches
+    // the prescheduled order exactly). Trace arrivals never enter the
+    // event heap at all.
+    std::size_t next = first;
+    SimTime last_arrival = 0;
+    while (true) {
+      if (next < total) {
+        const IoRequest& req = trace.requests[next];
+        const SimTime arrival = req.arrival - t0;
+        POD_CHECK(arrival >= last_arrival);  // trace must be time-ordered
+        if (sim.idle() || arrival <= sim.next_event_time()) {
+          sim.advance_to(arrival);
+          last_arrival = arrival;
+          engine.submit(req, record(arrival, req.type));
+          ++next;
+          continue;
+        }
+      }
+      if (!sim.step()) break;
+    }
   }
 
-  sim.run();
-
   result.measured = EngineStats::delta(engine.stats(), before);
+  result.events_scheduled = sim.events_scheduled() - scheduled_before;
+  result.peak_event_depth = sim.peak_event_depth();
   result.physical_blocks_used = engine.physical_blocks_used();
   result.map_table_bytes = engine.map_table_bytes();
   result.map_table_max_bytes = engine.map_table_max_bytes();
@@ -114,13 +147,15 @@ std::unique_ptr<DedupEngine> make_engine(Simulator& sim, Volume& volume,
   POD_CHECK(false);
 }
 
-ReplayResult run_replay(const RunSpec& spec, const Trace& trace) {
+ReplayResult run_replay(const RunSpec& spec, const Trace& trace,
+                        AdmissionMode mode) {
   Simulator sim;
   std::unique_ptr<Volume> volume = make_volume(sim, spec);
   std::unique_ptr<DedupEngine> engine = make_engine(sim, *volume, spec);
 
-  Replayer replayer;
+  Replayer replayer(mode);
   ReplayResult result = replayer.replay(sim, *engine, trace);
+  result.peak_rss_bytes = current_peak_rss_bytes();
 
   for (std::size_t d = 0; d < volume->num_disks(); ++d) {
     const DiskStats& ds = volume->disk(d).stats();

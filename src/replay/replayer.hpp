@@ -15,14 +15,37 @@
 
 namespace pod {
 
+/// How measured-phase arrivals enter the simulator.
+enum class AdmissionMode {
+  /// Arrivals are pulled from the trace one at a time, each submitted the
+  /// moment simulated time reaches it: the event heap only ever holds
+  /// in-flight simulation events (O(outstanding I/O)), not the whole trace.
+  /// Event ordering — and therefore every result byte — is identical to
+  /// kPrescheduled: an arrival is admitted iff its time is <= the earliest
+  /// pending event, which reproduces exactly the (time, seq) order the
+  /// prescheduled heap produces (all arrival events carry smaller sequence
+  /// numbers than any event scheduled during the run, so at equal times
+  /// arrivals fire first, in trace order).
+  kStreaming,
+  /// Legacy: schedule every measured request up front, then run. Heap depth
+  /// equals the remaining trace size. Kept as the equivalence baseline.
+  kPrescheduled,
+};
+
 class Replayer {
  public:
+  explicit Replayer(AdmissionMode mode = AdmissionMode::kStreaming)
+      : mode_(mode) {}
+
   /// Replays `trace` against `engine`:
   ///  1. the warm-up prefix runs functionally (state only, no timing) —
   ///     the paper's "cache ... warmed up by the first 14 days";
   ///  2. the measured suffix runs on the simulator at original (rebased)
   ///     arrival times; response time = completion - arrival.
   ReplayResult replay(Simulator& sim, DedupEngine& engine, const Trace& trace);
+
+ private:
+  AdmissionMode mode_;
 };
 
 /// Which engine to build for a run.
@@ -59,6 +82,7 @@ std::unique_ptr<DedupEngine> make_engine(Simulator& sim, Volume& volume,
                                          const RunSpec& spec);
 
 /// One-stop: fresh simulator + volume + engine, replay, return results.
-ReplayResult run_replay(const RunSpec& spec, const Trace& trace);
+ReplayResult run_replay(const RunSpec& spec, const Trace& trace,
+                        AdmissionMode mode = AdmissionMode::kStreaming);
 
 }  // namespace pod

@@ -16,6 +16,8 @@ void EventQueue::push(SimTime at, EventFn fn) {
   }
   heap_.push_back(HeapEntry{at, next_seq_++, slot});
   sift_up(heap_.size() - 1);
+  ++pushes_;
+  if (heap_.size() > peak_size_) peak_size_ = heap_.size();
 }
 
 SimTime EventQueue::next_time() const {
@@ -39,6 +41,8 @@ void EventQueue::clear() {
   pool_.clear();
   free_slots_.clear();
   next_seq_ = 0;
+  pushes_ = 0;
+  peak_size_ = 0;
 }
 
 void EventQueue::sift_up(std::size_t i) {

@@ -31,6 +31,12 @@ class EventQueue {
   std::size_t size() const { return heap_.size(); }
   SimTime next_time() const;
 
+  /// Total push() calls since construction/clear() (events scheduled).
+  std::uint64_t pushes() const { return pushes_; }
+  /// High-water mark of size() — the scheduled-event backlog a replay
+  /// actually needed (streaming admission keeps this at O(in-flight)).
+  std::size_t peak_size() const { return peak_size_; }
+
   /// Pops and returns the earliest event. Requires !empty().
   std::pair<SimTime, EventFn> pop();
 
@@ -56,6 +62,8 @@ class EventQueue {
   std::vector<InlineEvent> pool_;
   std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t pushes_ = 0;
+  std::size_t peak_size_ = 0;
 };
 
 }  // namespace pod

@@ -29,6 +29,12 @@ void Simulator::run() {
   }
 }
 
+void Simulator::advance_to(SimTime t) {
+  POD_CHECK(t >= now_);
+  POD_CHECK(events_.empty() || t <= events_.next_time());
+  now_ = t;
+}
+
 void Simulator::run_until(SimTime until) {
   while (!events_.empty() && events_.next_time() <= until) step();
   if (now_ < until) now_ = until;

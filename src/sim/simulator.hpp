@@ -31,8 +31,20 @@ class Simulator {
   /// Executes a single event if one exists; returns false when drained.
   bool step();
 
+  /// Fire time of the earliest pending event. Requires !idle().
+  SimTime next_event_time() const { return events_.next_time(); }
+
+  /// Advances now() to `t` without executing anything. `t` must not be
+  /// after the earliest pending event (used by streaming admission to
+  /// inject external arrivals between events).
+  void advance_to(SimTime t);
+
   bool idle() const { return events_.empty(); }
   std::uint64_t events_executed() const { return events_executed_; }
+  /// Total events scheduled since construction/reset.
+  std::uint64_t events_scheduled() const { return events_.pushes(); }
+  /// High-water mark of the pending-event heap.
+  std::size_t peak_event_depth() const { return events_.peak_size(); }
 
   void reset();
 

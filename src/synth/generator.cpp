@@ -80,7 +80,7 @@ void TraceGenerator::remember(Lba lba, const std::vector<std::uint64_t>& ids,
   history_filled_ = std::min(history_filled_ + 1, history_.size());
 }
 
-IoRequest TraceGenerator::make_write(SimTime arrival) {
+void TraceGenerator::emit_write(Trace& trace, SimTime arrival) {
   IoRequest req;
   req.id = next_id_++;
   req.arrival = arrival;
@@ -98,7 +98,8 @@ IoRequest TraceGenerator::make_write(SimTime arrival) {
     if (src == nullptr) cls = WriteClass::kUnique;  // cold start
   }
 
-  std::vector<std::uint64_t> ids;
+  std::vector<std::uint64_t>& ids = ids_scratch_;
+  ids.clear();
   switch (cls) {
     case WriteClass::kUnique: {
       const std::uint32_t n = profile_.unique_sizes.sample(rng_);
@@ -182,18 +183,20 @@ IoRequest TraceGenerator::make_write(SimTime arrival) {
     }
   }
 
-  req.chunks.reserve(ids.size());
-  for (std::uint64_t id : ids) req.chunks.push_back(Fingerprint::of_content_id(id));
+  fp_scratch_.clear();
+  fp_scratch_.reserve(ids.size());
+  for (std::uint64_t id : ids)
+    fp_scratch_.push_back(Fingerprint::of_content_id(id));
+  trace.append(req, fp_scratch_);
   // A record is a valid future dup source iff its content sits (or already
   // sat) contiguously on disk: fresh unique extents and full replays of
   // clean records qualify.
   const bool clean =
       cls == WriteClass::kUnique || cls == WriteClass::kFullDupSeq;
   remember(req.lba, ids, clean);
-  return req;
 }
 
-IoRequest TraceGenerator::make_read(SimTime arrival) {
+void TraceGenerator::emit_read(Trace& trace, SimTime arrival) {
   IoRequest req;
   req.id = next_id_++;
   req.arrival = arrival;
@@ -206,7 +209,8 @@ IoRequest TraceGenerator::make_read(SimTime arrival) {
         std::min<std::uint64_t>(want, high_water_lba_));
     req.lba = rng_.uniform(0, high_water_lba_ - n);
     req.nblocks = n;
-    return req;
+    trace.append(req);
+    return;
   }
   // Locality read: revisit a recently written extent.
   const std::uint64_t rank =
@@ -220,7 +224,7 @@ IoRequest TraceGenerator::make_read(SimTime arrival) {
       src_n > 1 ? static_cast<std::uint32_t>(rng_.uniform(0, src_n - 1)) : 0;
   req.lba = src.lba + off;
   req.nblocks = std::max<std::uint32_t>(1, std::min(want, src_n - off));
-  return req;
+  trace.append(req);
 }
 
 Trace TraceGenerator::generate() {
@@ -235,7 +239,8 @@ Trace TraceGenerator::generate() {
     t += burst_.next_gap(t, rng_);
     const bool write =
         history_filled_ == 0 || rng_.chance(burst_.write_probability(t));
-    trace.requests.push_back(write ? make_write(t) : make_read(t));
+    if (write) emit_write(trace, t);
+    else emit_read(trace, t);
   }
   return trace;
 }

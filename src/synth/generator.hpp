@@ -34,8 +34,10 @@ class TraceGenerator {
     bool clean = false;
   };
 
-  IoRequest make_write(SimTime arrival);
-  IoRequest make_read(SimTime arrival);
+  /// Appends one generated request to `trace` (fingerprints go straight
+  /// into the trace arena; no per-request allocation).
+  void emit_write(Trace& trace, SimTime arrival);
+  void emit_read(Trace& trace, SimTime arrival);
 
   WriteClass pick_class();
   /// Picks a dup source among recent writes, Zipf-skewed toward recency.
@@ -61,6 +63,9 @@ class TraceGenerator {
   Lba high_water_lba_ = 0;
   std::uint64_t next_content_ = 0;
   std::uint64_t next_id_ = 0;
+  /// Reused per-request scratch buffers (content ids / fingerprints).
+  std::vector<std::uint64_t> ids_scratch_;
+  std::vector<Fingerprint> fp_scratch_;
 };
 
 /// Convenience: generate a paper trace by name ("web-vm", "homes", "mail").

@@ -22,10 +22,12 @@ Trace reconstruct_requests(const Trace& split, const ReconstructOptions& opts) {
 
   std::size_t i = 0;
   std::uint64_t next_id = 0;
+  std::vector<Fingerprint> scratch;
   while (i < split.requests.size()) {
     const IoRequest& head = split.requests[i];
     IoRequest merged = head;
     merged.id = next_id++;
+    scratch.assign(head.chunks.begin(), head.chunks.end());
     const std::size_t first_index = i;
     std::size_t records = 1;
     ++i;
@@ -38,14 +40,13 @@ Trace reconstruct_requests(const Trace& split, const ReconstructOptions& opts) {
           merged.nblocks + next.nblocks > opts.max_request_blocks)
         break;
       merged.nblocks += next.nblocks;
-      merged.chunks.insert(merged.chunks.end(), next.chunks.begin(),
-                           next.chunks.end());
+      scratch.insert(scratch.end(), next.chunks.begin(), next.chunks.end());
       ++records;
       ++i;
     }
-    POD_CHECK(!merged.is_write() || merged.chunks.size() == merged.nblocks);
+    POD_CHECK(!merged.is_write() || scratch.size() == merged.nblocks);
     flush_warmup(records, first_index);
-    out.requests.push_back(std::move(merged));
+    out.append(merged, scratch);
   }
   out.warmup_count = warmup_requests;
   (void)consumed_warmup_records;
@@ -66,8 +67,8 @@ Trace split_into_records(const Trace& trace) {
       rec.type = req.type;
       rec.lba = req.lba + b;
       rec.nblocks = 1;
-      if (req.is_write()) rec.chunks.push_back(req.chunks[b]);
-      out.requests.push_back(std::move(rec));
+      if (req.is_write()) out.append(rec, req.chunks.subspan(b, 1));
+      else out.append(rec);
       if (r < trace.warmup_count) ++warmup_records;
     }
   }

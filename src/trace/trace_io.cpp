@@ -7,6 +7,7 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
 #include "common/check.hpp"
 
@@ -14,7 +15,23 @@ namespace pod {
 
 namespace {
 
-constexpr char kBinaryMagic[8] = {'P', 'O', 'D', 'T', 'R', 'C', '0', '1'};
+// v1: per-request records with inline fingerprints (read-compatibility).
+constexpr char kBinaryMagicV1[8] = {'P', 'O', 'D', 'T', 'R', 'C', '0', '1'};
+// v2: structure-of-arrays — fixed-size request records followed by one
+// contiguous fingerprint blob, loaded straight into the trace arena.
+constexpr char kBinaryMagicV2[8] = {'P', 'O', 'D', 'T', 'R', 'C', '0', '2'};
+
+/// Fixed-size on-disk request record of the v2 format.
+#pragma pack(push, 1)
+struct DiskRecord {
+  SimTime arrival;
+  std::uint8_t type;
+  Lba lba;
+  std::uint32_t nblocks;
+  std::uint32_t nfp;
+};
+#pragma pack(pop)
+static_assert(sizeof(DiskRecord) == 25);
 
 std::string hex16(std::uint64_t v) {
   static constexpr char kHex[] = "0123456789abcdef";
@@ -63,6 +80,98 @@ T read_pod(std::istream& in) {
   return v;
 }
 
+OpType op_from_byte(std::uint8_t b) {
+  if (b != static_cast<std::uint8_t>(OpType::kRead) &&
+      b != static_cast<std::uint8_t>(OpType::kWrite))
+    throw std::runtime_error("bad op byte in binary trace");
+  return static_cast<OpType>(b);
+}
+
+/// v1 body: per-request records with inline fingerprint bytes.
+Trace read_trace_binary_v1(std::istream& in) {
+  Trace trace;
+  const auto name_len = read_pod<std::uint32_t>(in);
+  trace.name.resize(name_len);
+  in.read(trace.name.data(), name_len);
+  const auto count = read_pod<std::uint64_t>(in);
+  trace.warmup_count = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+  if (trace.warmup_count > count) throw std::runtime_error("bad warmup count");
+  trace.requests.reserve(count);
+  std::vector<Fingerprint> scratch;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    IoRequest r;
+    r.id = i;
+    r.arrival = read_pod<SimTime>(in);
+    r.type = op_from_byte(read_pod<std::uint8_t>(in));
+    r.lba = read_pod<Lba>(in);
+    r.nblocks = read_pod<std::uint32_t>(in);
+    const auto nfp = read_pod<std::uint32_t>(in);
+    scratch.clear();
+    scratch.reserve(nfp);
+    for (std::uint32_t c = 0; c < nfp; ++c) {
+      std::array<std::uint8_t, Fingerprint::kSize> bytes{};
+      in.read(reinterpret_cast<char*>(bytes.data()), bytes.size());
+      if (!in) throw std::runtime_error("truncated binary trace");
+      Fingerprint fp;
+      static_assert(sizeof(Fingerprint) == Fingerprint::kSize);
+      std::memcpy(&fp, bytes.data(), bytes.size());
+      scratch.push_back(fp);
+    }
+    trace.append(r, scratch);
+  }
+  return trace;
+}
+
+/// v2 body: bulk-read request records, then the fingerprint arena in one
+/// contiguous read; spans are assigned by walking per-request counts.
+Trace read_trace_binary_v2(std::istream& in) {
+  Trace trace;
+  const auto name_len = read_pod<std::uint32_t>(in);
+  trace.name.resize(name_len);
+  in.read(trace.name.data(), name_len);
+  if (!in) throw std::runtime_error("truncated binary trace");
+  const auto count = read_pod<std::uint64_t>(in);
+  trace.warmup_count = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+  const auto total_fps = read_pod<std::uint64_t>(in);
+  if (trace.warmup_count > count) throw std::runtime_error("bad warmup count");
+
+  std::vector<DiskRecord> records(count);
+  in.read(reinterpret_cast<char*>(records.data()),
+          static_cast<std::streamsize>(count * sizeof(DiskRecord)));
+  if (!in) throw std::runtime_error("truncated binary trace");
+
+  trace.arena().reserve(total_fps);
+  const std::span<Fingerprint> arena = trace.arena().alloc(total_fps);
+  in.read(reinterpret_cast<char*>(arena.data()),
+          static_cast<std::streamsize>(arena.size_bytes()));
+  if (!in) throw std::runtime_error("truncated binary trace");
+
+  trace.requests.reserve(count);
+  std::uint64_t offset = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const DiskRecord& rec = records[i];
+    IoRequest r;
+    r.id = i;
+    r.arrival = rec.arrival;
+    r.type = op_from_byte(rec.type);
+    r.lba = rec.lba;
+    r.nblocks = rec.nblocks;
+    if (r.nblocks == 0) throw std::runtime_error("zero-length request");
+    if (r.is_write() && rec.nfp != rec.nblocks)
+      throw std::runtime_error("write fingerprint count != nblocks");
+    if (r.is_read() && rec.nfp != 0)
+      throw std::runtime_error("read request carries fingerprints");
+    if (offset + rec.nfp > total_fps)
+      throw std::runtime_error("fingerprint blob overrun");
+    r.chunks = arena.subspan(offset, rec.nfp);
+    offset += rec.nfp;
+    trace.requests.push_back(r);
+  }
+  if (offset != total_fps)
+    throw std::runtime_error("fingerprint blob underrun");
+  return trace;
+}
+
 }  // namespace
 
 void write_trace_csv(std::ostream& out, const Trace& trace) {
@@ -82,6 +191,7 @@ Trace read_trace_csv(std::istream& in, std::string name) {
   trace.name = std::move(name);
   std::string line;
   std::uint64_t next_id = 0;
+  std::vector<Fingerprint> scratch;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     if (line[0] == '#') {
@@ -112,14 +222,15 @@ Trace read_trace_csv(std::istream& in, std::string name) {
     if (!std::getline(ss, field, ',')) throw std::runtime_error("missing nblocks");
     r.nblocks = parse_uint<std::uint32_t>(field);
     if (r.nblocks == 0) throw std::runtime_error("zero-length request");
+    scratch.clear();
     while (std::getline(ss, field, ',')) {
-      r.chunks.push_back(Fingerprint::of_prefix(parse_hex16(field)));
+      scratch.push_back(Fingerprint::of_prefix(parse_hex16(field)));
     }
-    if (r.is_write() && r.chunks.size() != r.nblocks)
+    if (r.is_write() && scratch.size() != r.nblocks)
       throw std::runtime_error("write fingerprint count != nblocks");
-    if (r.is_read() && !r.chunks.empty())
+    if (r.is_read() && !scratch.empty())
       throw std::runtime_error("read request carries fingerprints");
-    trace.requests.push_back(std::move(r));
+    trace.append(r, scratch);
   }
   if (trace.warmup_count > trace.requests.size())
     throw std::runtime_error("warmup count exceeds request count");
@@ -127,69 +238,43 @@ Trace read_trace_csv(std::istream& in, std::string name) {
 }
 
 void write_trace_binary(std::ostream& out, const Trace& trace) {
-  out.write(kBinaryMagic, sizeof(kBinaryMagic));
+  out.write(kBinaryMagicV2, sizeof(kBinaryMagicV2));
   const std::uint32_t name_len = static_cast<std::uint32_t>(trace.name.size());
   write_pod(out, name_len);
   out.write(trace.name.data(), name_len);
   write_pod(out, static_cast<std::uint64_t>(trace.requests.size()));
   write_pod(out, static_cast<std::uint64_t>(trace.warmup_count));
+  std::uint64_t total_fps = 0;
+  for (const IoRequest& r : trace.requests) total_fps += r.chunks.size();
+  write_pod(out, total_fps);
+
+  std::vector<DiskRecord> records;
+  records.reserve(trace.requests.size());
   for (const IoRequest& r : trace.requests) {
-    write_pod(out, r.arrival);
-    write_pod(out, static_cast<std::uint8_t>(r.type));
-    write_pod(out, r.lba);
-    write_pod(out, r.nblocks);
-    write_pod(out, static_cast<std::uint32_t>(r.chunks.size()));
-    for (const Fingerprint& fp : r.chunks) {
-      out.write(reinterpret_cast<const char*>(fp.bytes().data()),
-                Fingerprint::kSize);
-    }
+    records.push_back(DiskRecord{r.arrival, static_cast<std::uint8_t>(r.type),
+                                 r.lba, r.nblocks,
+                                 static_cast<std::uint32_t>(r.chunks.size())});
+  }
+  out.write(reinterpret_cast<const char*>(records.data()),
+            static_cast<std::streamsize>(records.size() * sizeof(DiskRecord)));
+  // Fingerprint blob, in request order (== arena order for traces built
+  // append-only, but written from the spans so any layout serializes
+  // correctly).
+  for (const IoRequest& r : trace.requests) {
+    out.write(reinterpret_cast<const char*>(r.chunks.data()),
+              static_cast<std::streamsize>(r.chunks.size_bytes()));
   }
 }
 
 Trace read_trace_binary(std::istream& in) {
   char magic[8];
   in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0)
-    throw std::runtime_error("not a pod binary trace");
-  Trace trace;
-  const auto name_len = read_pod<std::uint32_t>(in);
-  trace.name.resize(name_len);
-  in.read(trace.name.data(), name_len);
-  const auto count = read_pod<std::uint64_t>(in);
-  trace.warmup_count = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
-  trace.requests.reserve(count);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    IoRequest r;
-    r.id = i;
-    r.arrival = read_pod<SimTime>(in);
-    r.type = static_cast<OpType>(read_pod<std::uint8_t>(in));
-    r.lba = read_pod<Lba>(in);
-    r.nblocks = read_pod<std::uint32_t>(in);
-    const auto nfp = read_pod<std::uint32_t>(in);
-    r.chunks.reserve(nfp);
-    for (std::uint32_t c = 0; c < nfp; ++c) {
-      std::array<std::uint8_t, Fingerprint::kSize> bytes{};
-      in.read(reinterpret_cast<char*>(bytes.data()), bytes.size());
-      if (!in) throw std::runtime_error("truncated binary trace");
-      std::uint64_t prefix;
-      std::memcpy(&prefix, bytes.data(), 8);
-      // Reconstruct via the canonical expansion, then verify the stored hi
-      // lane matched (detects corruption for canonical traces).
-      Fingerprint fp = Fingerprint::of_prefix(prefix);
-      if (std::memcmp(fp.bytes().data(), bytes.data(), bytes.size()) != 0) {
-        // Non-canonical (e.g. real-data SHA-1) fingerprint: keep raw bytes.
-        struct Raw {
-          std::array<std::uint8_t, Fingerprint::kSize> b;
-        };
-        static_assert(sizeof(Fingerprint) == Fingerprint::kSize);
-        std::memcpy(&fp, bytes.data(), bytes.size());
-      }
-      r.chunks.push_back(fp);
-    }
-    if (trace.warmup_count > count) throw std::runtime_error("bad warmup count");
-    trace.requests.push_back(std::move(r));
-  }
-  return trace;
+  if (!in) throw std::runtime_error("not a pod binary trace");
+  if (std::memcmp(magic, kBinaryMagicV2, sizeof(magic)) == 0)
+    return read_trace_binary_v2(in);
+  if (std::memcmp(magic, kBinaryMagicV1, sizeof(magic)) == 0)
+    return read_trace_binary_v1(in);
+  throw std::runtime_error("not a pod binary trace");
 }
 
 namespace {
@@ -218,6 +303,7 @@ Trace load_trace_csv(const std::string& path) {
 void save_trace_binary(const std::string& path, const Trace& trace) {
   auto out = open_out(path, std::ios::out | std::ios::binary);
   write_trace_binary(out, trace);
+  if (!out) throw std::runtime_error("short write to " + path);
 }
 
 Trace load_trace_binary(const std::string& path) {

@@ -11,17 +11,18 @@ EngineConfig small_engine_config() {
   return cfg;
 }
 
-IoRequest make_write(Lba lba, const std::vector<std::uint64_t>& content_ids,
-                     SimTime arrival) {
+OwnedRequest make_write(Lba lba, const std::vector<std::uint64_t>& content_ids,
+                        SimTime arrival) {
   IoRequest r;
   r.arrival = arrival;
   r.type = OpType::kWrite;
   r.lba = lba;
   r.nblocks = static_cast<std::uint32_t>(content_ids.size());
-  r.chunks.reserve(content_ids.size());
+  std::vector<Fingerprint> fps;
+  fps.reserve(content_ids.size());
   for (std::uint64_t id : content_ids)
-    r.chunks.push_back(Fingerprint::of_content_id(id));
-  return r;
+    fps.push_back(Fingerprint::of_content_id(id));
+  return OwnedRequest(r, std::move(fps));
 }
 
 IoRequest make_read(Lba lba, std::uint32_t nblocks, SimTime arrival) {
@@ -42,7 +43,7 @@ EngineHarness::EngineHarness(EngineKind kind, EngineConfig cfg, RaidLevel raid) 
   engine_ = make_engine(sim_, *volume_, spec);
 }
 
-Duration EngineHarness::run(IoRequest req) {
+Duration EngineHarness::run(const IoRequest& req) {
   const SimTime start = sim_.now();
   Duration latency = -1;
   engine_->submit(req, [this, start, &latency]() { latency = sim_.now() - start; });

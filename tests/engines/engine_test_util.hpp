@@ -12,8 +12,10 @@ namespace pod::testutil {
 
 EngineConfig small_engine_config();
 
-IoRequest make_write(Lba lba, const std::vector<std::uint64_t>& content_ids,
-                     SimTime arrival = 0);
+/// Writes carry fingerprints, so they come back as an OwnedRequest that
+/// keeps the chunk storage alive alongside the request's span.
+OwnedRequest make_write(Lba lba, const std::vector<std::uint64_t>& content_ids,
+                        SimTime arrival = 0);
 IoRequest make_read(Lba lba, std::uint32_t nblocks, SimTime arrival = 0);
 
 class EngineHarness {
@@ -22,8 +24,10 @@ class EngineHarness {
                          EngineConfig cfg = small_engine_config(),
                          RaidLevel raid = RaidLevel::kRaid5);
 
-  /// Submits at the current simulated time and runs to completion.
-  Duration run(IoRequest req);
+  /// Submits at the current simulated time and runs to completion. The
+  /// request (and any storage backing its chunk span) must outlive the
+  /// call; both helpers above satisfy this for temporaries.
+  Duration run(const IoRequest& req);
 
   /// Convenience wrappers.
   Duration write(Lba lba, const std::vector<std::uint64_t>& ids);

@@ -38,10 +38,11 @@ TEST(PodEngine, AdaptationRunsOnIntervalBoundaries) {
   // Submit requests spaced beyond the adaptation interval (500 ms default).
   Simulator& sim = h.sim();
   for (int i = 0; i < 5; ++i) {
-    IoRequest req = make_write(static_cast<Lba>(i) * 4,
-                               {static_cast<std::uint64_t>(i)});
-    req.arrival = sim.now() + sec(1);
-    sim.schedule_at(req.arrival, [&, req]() { h.engine().submit(req, nullptr); });
+    OwnedRequest req = make_write(static_cast<Lba>(i) * 4,
+                                  {static_cast<std::uint64_t>(i)});
+    req.req().arrival = sim.now() + sec(1);
+    sim.schedule_at(req.req().arrival,
+                    [&, req]() { h.engine().submit(req, nullptr); });
     sim.run();
   }
   EXPECT_GE(pod_engine(h).icache().stats().adaptations, 4u);
@@ -61,7 +62,7 @@ TEST(PodEngine, WriteBurstGrowsIndexCache) {
   for (int round = 0; round < 40; ++round) {
     for (std::uint64_t i = 0; i < 200; ++i) {
       t += ms(20);
-      IoRequest req = make_write(i * 2, {1000 + i}, t);
+      OwnedRequest req = make_write(i * 2, {1000 + i}, t);
       sim.schedule_at(t, [&h, req]() { h.engine().submit(req, nullptr); });
     }
   }
@@ -125,7 +126,7 @@ TEST(PodEngine, AdjustmentsNeverExceedAdaptations) {
   SimTime t = 0;
   for (std::uint64_t i = 0; i < 200; ++i) {
     t += ms(30);
-    IoRequest req = testutil::make_write(i, {i}, t);
+    OwnedRequest req = testutil::make_write(i, {i}, t);
     sim.schedule_at(t, [&h, req]() { h.engine().submit(req, nullptr); });
   }
   sim.run();

@@ -92,7 +92,9 @@ TEST(PodApi, SubmitPrebuiltRequest) {
   req.type = OpType::kWrite;
   req.lba = 5;
   req.nblocks = 2;
-  req.chunks = {Fingerprint::of_content_id(1), Fingerprint::of_content_id(2)};
+  const std::vector<Fingerprint> fps = {Fingerprint::of_content_id(1),
+                                        Fingerprint::of_content_id(2)};
+  req.chunks = fps;  // Pod::submit deep-copies, so local storage is fine
   bool fired = false;
   store.submit(req, [&](Duration) { fired = true; });
   store.run();

@@ -1,0 +1,178 @@
+// FingerprintArena invariants, and the arena-span contract of the binary
+// trace reader: every request's chunk span must point into the trace's own
+// arena, bulk loads must land in one flat block, and truncated inputs must
+// fail loudly instead of yielding short spans.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/request.hpp"
+#include "trace/trace_io.hpp"
+
+namespace pod {
+namespace {
+
+Fingerprint fp(std::uint64_t id) { return Fingerprint::of_content_id(id); }
+
+TEST(FingerprintArena, AppendReturnsStableViews) {
+  FingerprintArena arena;
+  std::vector<std::span<const Fingerprint>> views;
+  // Enough appends to force several growth blocks.
+  for (std::uint64_t i = 0; i < 200'000; i += 4) {
+    const Fingerprint batch[] = {fp(i), fp(i + 1), fp(i + 2), fp(i + 3)};
+    views.push_back(arena.append(batch));
+  }
+  EXPECT_EQ(arena.size(), 200'000u);
+  EXPECT_GT(arena.block_count(), 1u);
+  for (std::size_t v = 0; v < views.size(); ++v) {
+    ASSERT_TRUE(arena.owns(views[v]));
+    ASSERT_EQ(views[v][0], fp(v * 4)) << "view " << v;
+    ASSERT_EQ(views[v][3], fp(v * 4 + 3)) << "view " << v;
+  }
+}
+
+TEST(FingerprintArena, ViewsSurviveArenaMove) {
+  FingerprintArena arena;
+  const Fingerprint batch[] = {fp(1), fp(2)};
+  const std::span<const Fingerprint> view = arena.append(batch);
+  const Fingerprint* data = view.data();
+  FingerprintArena moved = std::move(arena);
+  EXPECT_EQ(view.data(), data);
+  EXPECT_TRUE(moved.owns(view));
+  EXPECT_EQ(view[1], fp(2));
+}
+
+TEST(FingerprintArena, ReserveYieldsSingleFlatBlock) {
+  FingerprintArena arena;
+  arena.reserve(300'000);  // larger than the minimum block size
+  const Fingerprint one[] = {fp(7)};
+  const Fingerprint* first = arena.append(one).data();
+  for (std::uint64_t i = 0; i < 299'999; ++i) {
+    const Fingerprint next[] = {fp(i)};
+    arena.append(next);
+  }
+  EXPECT_EQ(arena.block_count(), 1u);
+  EXPECT_EQ(arena.size(), 300'000u);
+  // One flat block means fingerprint i lives at base + i.
+  EXPECT_EQ(*(first + 1), fp(0));
+}
+
+TEST(FingerprintArena, OwnsRejectsForeignSpans) {
+  FingerprintArena arena;
+  const Fingerprint batch[] = {fp(1)};
+  arena.append(batch);
+  const std::vector<Fingerprint> foreign = {fp(1)};
+  EXPECT_FALSE(arena.owns(foreign));
+  EXPECT_TRUE(arena.owns({}));  // empty spans belong to everyone
+}
+
+Trace mixed_trace(std::size_t writes) {
+  Trace t;
+  t.name = "arena";
+  std::vector<Fingerprint> fps;
+  for (std::size_t i = 0; i < writes; ++i) {
+    IoRequest w;
+    w.arrival = static_cast<SimTime>(i) * 100;
+    w.type = OpType::kWrite;
+    w.lba = i * 8;
+    w.nblocks = static_cast<std::uint32_t>(1 + i % 4);
+    fps.clear();
+    for (std::uint32_t b = 0; b < w.nblocks; ++b) fps.push_back(fp(i * 8 + b));
+    t.append(w, fps);
+
+    IoRequest r;
+    r.arrival = static_cast<SimTime>(i) * 100 + 50;
+    r.type = OpType::kRead;
+    r.lba = i * 8;
+    r.nblocks = 2;
+    t.append(r);
+  }
+  t.warmup_count = writes / 2;
+  return t;
+}
+
+TEST(BinaryTraceArena, LoadedSpansPointIntoLoadedArena) {
+  std::stringstream ss;
+  write_trace_binary(ss, mixed_trace(500));
+  const Trace back = read_trace_binary(ss);
+
+  std::size_t total_fps = 0;
+  for (const IoRequest& r : back.requests) {
+    ASSERT_TRUE(back.arena().owns(r.chunks));
+    if (r.is_write()) {
+      ASSERT_EQ(r.chunks.size(), r.nblocks);
+    } else {
+      ASSERT_TRUE(r.chunks.empty());
+    }
+    total_fps += r.chunks.size();
+  }
+  EXPECT_EQ(back.arena().size(), total_fps);
+  // The reader reserves the exact total before the bulk read: flat arena.
+  EXPECT_EQ(back.arena().block_count(), 1u);
+}
+
+TEST(BinaryTraceArena, RoundTripPreservesChunks) {
+  const Trace t = mixed_trace(300);
+  std::stringstream ss;
+  write_trace_binary(ss, t);
+  const Trace back = read_trace_binary(ss);
+  ASSERT_EQ(back.requests.size(), t.requests.size());
+  for (std::size_t i = 0; i < t.requests.size(); ++i)
+    ASSERT_TRUE(same_chunks(back.requests[i].chunks, t.requests[i].chunks))
+        << "req " << i;
+}
+
+TEST(BinaryTraceArena, EveryTruncationPointThrows) {
+  std::stringstream full;
+  write_trace_binary(full, mixed_trace(40));
+  const std::string bytes = full.str();
+  // Cut in the magic, the header, the record array, and the fingerprint
+  // blob; all must throw, never produce a short trace.
+  for (const std::size_t cut :
+       {std::size_t{4}, std::size_t{20}, bytes.size() / 3, bytes.size() / 2,
+        bytes.size() - 1}) {
+    std::stringstream truncated(bytes.substr(0, cut));
+    EXPECT_THROW(read_trace_binary(truncated), std::runtime_error)
+        << "cut at " << cut << " of " << bytes.size();
+  }
+}
+
+// v2 layout: 8B magic, u32 name_len, name bytes, u64 count, u64 warmup,
+// u64 total_fps, then 25-byte records {i64 arrival, u8 type, u64 lba,
+// u32 nblocks, u32 nfp}, then the fingerprint blob. mixed_trace interleaves
+// write,read so record 0 is a write and record 1 a read.
+std::size_t record_offset(const std::string& name, std::size_t index) {
+  return 8 + 4 + name.size() + 3 * 8 + index * 25;
+}
+
+TEST(BinaryTraceArena, RejectsCorruptOpByte) {
+  std::stringstream ss;
+  write_trace_binary(ss, mixed_trace(10));
+  std::string bytes = ss.str();
+  bytes[record_offset("arena", 0) + 8] = 77;  // type byte: neither R nor W
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW(read_trace_binary(corrupted), std::runtime_error);
+}
+
+TEST(BinaryTraceArena, RejectsReadRecordClaimingFingerprints) {
+  std::stringstream ss;
+  write_trace_binary(ss, mixed_trace(10));
+  std::string bytes = ss.str();
+  // Record 1 is a read; give its little-endian nfp field a nonzero value.
+  bytes[record_offset("arena", 1) + 21] = 2;
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW(read_trace_binary(corrupted), std::runtime_error);
+}
+
+TEST(BinaryTraceArena, RejectsWriteFingerprintCountMismatch) {
+  std::stringstream ss;
+  write_trace_binary(ss, mixed_trace(10));
+  std::string bytes = ss.str();
+  // Record 0 is a 1-block write (nfp == 1); claim an extra fingerprint.
+  bytes[record_offset("arena", 0) + 21] = 2;
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW(read_trace_binary(corrupted), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pod

@@ -5,22 +5,26 @@
 namespace pod {
 namespace {
 
-IoRequest record(SimTime at, OpType type, Lba lba, std::uint64_t content = 0) {
+void add_record(Trace& t, SimTime at, OpType type, Lba lba,
+                std::uint64_t content = 0) {
   IoRequest r;
   r.arrival = at;
   r.type = type;
   r.lba = lba;
   r.nblocks = 1;
-  if (type == OpType::kWrite)
-    r.chunks.push_back(Fingerprint::of_content_id(content));
-  return r;
+  if (type == OpType::kWrite) {
+    const Fingerprint fp[] = {Fingerprint::of_content_id(content)};
+    t.append(r, fp);
+  } else {
+    t.append(r);
+  }
 }
 
 TEST(Reconstructor, MergesContiguousSameTimestamp) {
   Trace split;
-  split.requests = {record(100, OpType::kWrite, 10, 1),
-                    record(100, OpType::kWrite, 11, 2),
-                    record(100, OpType::kWrite, 12, 3)};
+  add_record(split, 100, OpType::kWrite, 10, 1);
+  add_record(split, 100, OpType::kWrite, 11, 2);
+  add_record(split, 100, OpType::kWrite, 12, 3);
   const Trace out = reconstruct_requests(split);
   ASSERT_EQ(out.requests.size(), 1u);
   EXPECT_EQ(out.requests[0].lba, 10u);
@@ -31,24 +35,24 @@ TEST(Reconstructor, MergesContiguousSameTimestamp) {
 
 TEST(Reconstructor, BreaksOnLbaGap) {
   Trace split;
-  split.requests = {record(100, OpType::kWrite, 10, 1),
-                    record(100, OpType::kWrite, 12, 2)};
+  add_record(split, 100, OpType::kWrite, 10, 1);
+  add_record(split, 100, OpType::kWrite, 12, 2);
   const Trace out = reconstruct_requests(split);
   EXPECT_EQ(out.requests.size(), 2u);
 }
 
 TEST(Reconstructor, BreaksOnOpChange) {
   Trace split;
-  split.requests = {record(100, OpType::kWrite, 10, 1),
-                    record(100, OpType::kRead, 11)};
+  add_record(split, 100, OpType::kWrite, 10, 1);
+  add_record(split, 100, OpType::kRead, 11);
   const Trace out = reconstruct_requests(split);
   EXPECT_EQ(out.requests.size(), 2u);
 }
 
 TEST(Reconstructor, BreaksOutsideTimestampWindow) {
   Trace split;
-  split.requests = {record(0, OpType::kWrite, 10, 1),
-                    record(us(500), OpType::kWrite, 11, 2)};
+  add_record(split, 0, OpType::kWrite, 10, 1);
+  add_record(split, us(500), OpType::kWrite, 11, 2);
   ReconstructOptions opts;
   opts.timestamp_window = us(100);
   const Trace out = reconstruct_requests(split, opts);
@@ -57,8 +61,8 @@ TEST(Reconstructor, BreaksOutsideTimestampWindow) {
 
 TEST(Reconstructor, MergesWithinTimestampWindow) {
   Trace split;
-  split.requests = {record(0, OpType::kWrite, 10, 1),
-                    record(us(50), OpType::kWrite, 11, 2)};
+  add_record(split, 0, OpType::kWrite, 10, 1);
+  add_record(split, us(50), OpType::kWrite, 11, 2);
   const Trace out = reconstruct_requests(split);
   EXPECT_EQ(out.requests.size(), 1u);
   EXPECT_EQ(out.requests[0].arrival, 0);  // first record's arrival kept
@@ -67,7 +71,8 @@ TEST(Reconstructor, MergesWithinTimestampWindow) {
 TEST(Reconstructor, RespectsMaxRequestBlocks) {
   Trace split;
   for (int i = 0; i < 10; ++i)
-    split.requests.push_back(record(0, OpType::kWrite, 100 + i, i));
+    add_record(split, 0, OpType::kWrite, 100 + i,
+               static_cast<std::uint64_t>(i));
   ReconstructOptions opts;
   opts.max_request_blocks = 4;
   const Trace out = reconstruct_requests(split, opts);
@@ -79,9 +84,9 @@ TEST(Reconstructor, RespectsMaxRequestBlocks) {
 
 TEST(Reconstructor, WarmupBoundaryCarriedOver) {
   Trace split;
-  split.requests = {record(0, OpType::kWrite, 10, 1),
-                    record(0, OpType::kWrite, 11, 2),
-                    record(1000000, OpType::kWrite, 50, 3)};
+  add_record(split, 0, OpType::kWrite, 10, 1);
+  add_record(split, 0, OpType::kWrite, 11, 2);
+  add_record(split, 1000000, OpType::kWrite, 50, 3);
   split.warmup_count = 2;  // exactly the first merged request
   const Trace out = reconstruct_requests(split);
   ASSERT_EQ(out.requests.size(), 2u);
@@ -95,9 +100,10 @@ TEST(Reconstructor, SplitIsInverseOfReconstruct) {
   w.type = OpType::kWrite;
   w.lba = 20;
   w.nblocks = 4;
+  std::vector<Fingerprint> fps;
   for (std::uint64_t c = 0; c < 4; ++c)
-    w.chunks.push_back(Fingerprint::of_content_id(c));
-  original.requests.push_back(w);
+    fps.push_back(Fingerprint::of_content_id(c));
+  original.append(w, fps);
 
   const Trace split = split_into_records(original);
   ASSERT_EQ(split.requests.size(), 4u);
@@ -107,7 +113,7 @@ TEST(Reconstructor, SplitIsInverseOfReconstruct) {
   ASSERT_EQ(back.requests.size(), 1u);
   EXPECT_EQ(back.requests[0].nblocks, 4u);
   EXPECT_EQ(back.requests[0].lba, 20u);
-  EXPECT_EQ(back.requests[0].chunks, original.requests[0].chunks);
+  EXPECT_TRUE(same_chunks(back.requests[0].chunks, original.requests[0].chunks));
 }
 
 TEST(Reconstructor, EmptyTrace) {
@@ -119,7 +125,8 @@ TEST(Reconstructor, EmptyTrace) {
 
 TEST(Reconstructor, ReadsMergeToo) {
   Trace split;
-  split.requests = {record(0, OpType::kRead, 5), record(0, OpType::kRead, 6)};
+  add_record(split, 0, OpType::kRead, 5);
+  add_record(split, 0, OpType::kRead, 6);
   const Trace out = reconstruct_requests(split);
   ASSERT_EQ(out.requests.size(), 1u);
   EXPECT_EQ(out.requests[0].nblocks, 2u);

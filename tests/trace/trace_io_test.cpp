@@ -16,8 +16,9 @@ Trace sample_trace() {
   w.type = OpType::kWrite;
   w.lba = 64;
   w.nblocks = 2;
-  w.chunks = {Fingerprint::of_content_id(11), Fingerprint::of_content_id(22)};
-  t.requests.push_back(w);
+  const Fingerprint fps[] = {Fingerprint::of_content_id(11),
+                             Fingerprint::of_content_id(22)};
+  t.append(w, fps);
 
   IoRequest r;
   r.id = 1;
@@ -25,7 +26,7 @@ Trace sample_trace() {
   r.type = OpType::kRead;
   r.lba = 64;
   r.nblocks = 2;
-  t.requests.push_back(r);
+  t.append(r);
   t.warmup_count = 1;
   return t;
 }

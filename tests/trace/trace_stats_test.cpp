@@ -5,29 +5,33 @@
 namespace pod {
 namespace {
 
-IoRequest write_req(SimTime at, Lba lba, std::vector<std::uint64_t> ids) {
+void add_write(Trace& t, SimTime at, Lba lba,
+               const std::vector<std::uint64_t>& ids) {
   IoRequest r;
   r.arrival = at;
   r.type = OpType::kWrite;
   r.lba = lba;
   r.nblocks = static_cast<std::uint32_t>(ids.size());
-  for (std::uint64_t id : ids) r.chunks.push_back(Fingerprint::of_content_id(id));
-  return r;
+  std::vector<Fingerprint> fps;
+  fps.reserve(ids.size());
+  for (std::uint64_t id : ids) fps.push_back(Fingerprint::of_content_id(id));
+  t.append(r, fps);
 }
 
-IoRequest read_req(SimTime at, Lba lba, std::uint32_t n) {
+void add_read(Trace& t, SimTime at, Lba lba, std::uint32_t n) {
   IoRequest r;
   r.arrival = at;
   r.type = OpType::kRead;
   r.lba = lba;
   r.nblocks = n;
-  return r;
+  t.append(r);
 }
 
 TEST(Characterize, BasicCounts) {
   Trace t;
-  t.requests = {write_req(0, 0, {1, 2}), read_req(1, 0, 2),
-                write_req(2, 10, {3})};
+  add_write(t, 0, 0, {1, 2});
+  add_read(t, 1, 0, 2);
+  add_write(t, 2, 10, {3});
   const auto c = characterize(t, StatsWindow::kAll);
   EXPECT_EQ(c.total_requests, 3u);
   EXPECT_EQ(c.write_requests, 2u);
@@ -42,7 +46,8 @@ TEST(Characterize, BasicCounts) {
 
 TEST(Characterize, MeasuredWindowSkipsWarmup) {
   Trace t;
-  t.requests = {write_req(0, 0, {1}), write_req(1, 5, {2})};
+  add_write(t, 0, 0, {1});
+  add_write(t, 1, 5, {2});
   t.warmup_count = 1;
   const auto c = characterize(t);
   EXPECT_EQ(c.total_requests, 1u);
@@ -59,12 +64,10 @@ TEST(Characterize, EmptyTrace) {
 
 TEST(RedundancyBySize, DetectsFullAndPartial) {
   Trace t;
-  t.requests = {
-      write_req(0, 0, {1, 2}),    // first: unique
-      write_req(1, 10, {1, 2}),   // fully redundant
-      write_req(2, 20, {1, 99}),  // partially redundant
-      write_req(3, 30, {7, 8}),   // unique
-  };
+  add_write(t, 0, 0, {1, 2});    // first: unique
+  add_write(t, 1, 10, {1, 2});   // fully redundant
+  add_write(t, 2, 20, {1, 99});  // partially redundant
+  add_write(t, 3, 30, {7, 8});   // unique
   const auto r = redundancy_by_size(t, StatsWindow::kAll);
   EXPECT_EQ(r.total.total(), 4u);
   EXPECT_EQ(r.fully_redundant.total(), 1u);
@@ -73,9 +76,9 @@ TEST(RedundancyBySize, DetectsFullAndPartial) {
 
 TEST(RedundancyBySize, BucketsBySize) {
   Trace t;
-  t.requests = {write_req(0, 0, {1}),        // 4 KB
-                write_req(1, 10, {1}),       // 4 KB, redundant
-                write_req(2, 20, {2, 3, 4, 5})};  // 16 KB unique
+  add_write(t, 0, 0, {1});            // 4 KB
+  add_write(t, 1, 10, {1});           // 4 KB, redundant
+  add_write(t, 2, 20, {2, 3, 4, 5});  // 16 KB unique
   const auto r = redundancy_by_size(t, StatsWindow::kAll);
   EXPECT_EQ(r.total.count(0), 2u);            // the 4 KB bucket
   EXPECT_EQ(r.total.count(2), 1u);            // the 16 KB bucket
@@ -85,7 +88,8 @@ TEST(RedundancyBySize, BucketsBySize) {
 
 TEST(RedundancyBySize, WarmupPrimesContent) {
   Trace t;
-  t.requests = {write_req(0, 0, {1}), write_req(1, 10, {1})};
+  add_write(t, 0, 0, {1});
+  add_write(t, 1, 10, {1});
   t.warmup_count = 1;
   // With priming, the single measured request is redundant.
   const auto r = redundancy_by_size(t);
@@ -95,12 +99,10 @@ TEST(RedundancyBySize, WarmupPrimesContent) {
 
 TEST(RedundancyBreakdown, SameVsDifferentLba) {
   Trace t;
-  t.requests = {
-      write_req(0, 0, {1}),    // unique (lba 0 = content 1)
-      write_req(1, 0, {1}),    // same LBA, same content -> I/O redundancy
-      write_req(2, 50, {1}),   // different LBA, same content -> capacity
-      write_req(3, 60, {9}),   // unique
-  };
+  add_write(t, 0, 0, {1});    // unique (lba 0 = content 1)
+  add_write(t, 1, 0, {1});    // same LBA, same content -> I/O redundancy
+  add_write(t, 2, 50, {1});   // different LBA, same content -> capacity
+  add_write(t, 3, 60, {9});   // unique
   const auto b = redundancy_breakdown(t, StatsWindow::kAll);
   EXPECT_EQ(b.write_blocks, 4u);
   EXPECT_EQ(b.same_lba_redundant_blocks, 1u);
@@ -113,8 +115,8 @@ TEST(RedundancyBreakdown, IoAlwaysAtLeastCapacity) {
   // Property: I/O redundancy >= capacity redundancy by construction.
   Trace t;
   for (int i = 0; i < 50; ++i) {
-    t.requests.push_back(write_req(i, static_cast<Lba>(i % 7) * 4,
-                                   {static_cast<std::uint64_t>(i % 5)}));
+    add_write(t, i, static_cast<Lba>(i % 7) * 4,
+              {static_cast<std::uint64_t>(i % 5)});
   }
   const auto b = redundancy_breakdown(t, StatsWindow::kAll);
   EXPECT_GE(b.io_redundancy_pct(), b.capacity_redundancy_pct());
@@ -122,12 +124,10 @@ TEST(RedundancyBreakdown, IoAlwaysAtLeastCapacity) {
 
 TEST(RedundancyBreakdown, OverwriteChangesCurrent) {
   Trace t;
-  t.requests = {
-      write_req(0, 0, {1}),
-      write_req(1, 0, {2}),  // overwrites lba 0 with new content
-      write_req(2, 0, {1}),  // content 1 seen before, but lba 0 now holds 2:
-                             // counts as diff-lba (capacity) redundancy
-  };
+  add_write(t, 0, 0, {1});
+  add_write(t, 1, 0, {2});  // overwrites lba 0 with new content
+  add_write(t, 2, 0, {1});  // content 1 seen before, but lba 0 now holds 2:
+                            // counts as diff-lba (capacity) redundancy
   const auto b = redundancy_breakdown(t, StatsWindow::kAll);
   EXPECT_EQ(b.same_lba_redundant_blocks, 0u);
   EXPECT_EQ(b.diff_lba_redundant_blocks, 1u);

@@ -62,17 +62,27 @@ const Trace* memo_find(TraceMemo& memo, const std::string& key) {
 const Trace& trace_for(const WorkloadProfile& profile) {
   TraceMemo& memo = trace_memo();
   const std::string key = trace_cache_key(profile);
-  std::lock_guard<std::mutex> lock(memo.mu);
-  if (const Trace* hit = memo_find(memo, key)) return *hit;
-  // Generation (or cache load) runs under the lock: concurrent callers of
-  // the same profile wait instead of duplicating multi-second work.
+  {
+    std::lock_guard<std::mutex> lock(memo.mu);
+    if (const Trace* hit = memo_find(memo, key)) return *hit;
+  }
+  // Generate (or cache-load) OUTSIDE the lock: holding the memo mutex
+  // across multi-second trace generation serializes every *other* profile's
+  // first access behind this one. Concurrent callers of the same profile
+  // may race and generate twice; the loser's copy is discarded below
+  // (insert-or-discard), which costs duplicate work only in that narrow
+  // race instead of a global stall on every cold start.
   if (trace_cache_dir().empty()) {
     std::fprintf(stderr, "[bench] generating trace %s (%llu requests)...\n",
                  profile.name.c_str(),
                  static_cast<unsigned long long>(profile.warmup_requests +
                                                  profile.measured_requests));
   }
-  return memo.traces.emplace(key, obtain_trace(profile)).first->second;
+  Trace generated = obtain_trace(profile);
+  std::lock_guard<std::mutex> lock(memo.mu);
+  if (const Trace* hit = memo_find(memo, key)) return *hit;
+  // std::map nodes are stable: the reference outlives later insertions.
+  return memo.traces.emplace(key, std::move(generated)).first->second;
 }
 
 void prefetch_traces(const std::vector<WorkloadProfile>& profiles) {
@@ -158,11 +168,14 @@ void emit_replay_counters_json(
         f,
         "{\"trace\":\"%s\",\"engine\":\"%s\",\"mean_ms\":%.6f,"
         "\"events_scheduled\":%llu,\"peak_event_depth\":%llu,"
-        "\"peak_rss_bytes\":%llu}\n",
+        "\"peak_rss_bytes\":%llu,\"batch_probes\":%llu,"
+        "\"scratch_bytes\":%llu}\n",
         r.trace_name.c_str(), to_string(kind), r.mean_ms(),
         static_cast<unsigned long long>(r.events_scheduled),
         static_cast<unsigned long long>(r.peak_event_depth),
-        static_cast<unsigned long long>(r.peak_rss_bytes));
+        static_cast<unsigned long long>(r.peak_rss_bytes),
+        static_cast<unsigned long long>(r.batch_probes),
+        static_cast<unsigned long long>(r.scratch_bytes));
   }
   std::fclose(f);
 }

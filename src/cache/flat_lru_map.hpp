@@ -26,6 +26,7 @@
 // for the cold/irregular callers.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -33,6 +34,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/prefetch.hpp"
 
 namespace pod {
 
@@ -60,6 +62,52 @@ class FlatLruMap {
   }
 
   bool contains(const K& key) const { return find_slot(key) != kNil; }
+
+  /// Issues a software prefetch for `key`'s home bucket in the index
+  /// table. Purely a hint: useful before a probe whose exact slot cannot
+  /// be precomputed (e.g. ghost probes, whose erasures shift the table).
+  void prefetch(const K& key) const {
+    if (table_.empty()) return;
+    prefetch_read(&table_[home_of(key)]);
+  }
+
+  /// Two-phase batched lookup: equivalent to `out[i] = get(keys[i])` for
+  /// every i in order (same promotions, same LRU end state). Keys are
+  /// processed in fixed windows: phase 1 hashes the window and prefetches
+  /// every home bucket of the index table, phase 2 prefetches the slot
+  /// entries those buckets name, phase 3 resolves the probes and promotes
+  /// hits in order. Lookups never mutate the index table (only the
+  /// intrusive LRU list), so the precomputed homes stay valid across the
+  /// window even with duplicate keys. Returned pointers follow the same
+  /// vector rules as get().
+  void get_batch(const K* keys, std::size_t n, V** out) {
+    if (table_.empty()) {
+      std::fill(out, out + n, nullptr);
+      return;
+    }
+    std::size_t homes[kBatchWindow];
+    for (std::size_t done = 0; done < n; done += kBatchWindow) {
+      const std::size_t m = std::min(kBatchWindow, n - done);
+      for (std::size_t j = 0; j < m; ++j) {
+        const std::size_t h = home_of(keys[done + j]);
+        homes[j] = h;
+        prefetch_read(&table_[h]);
+      }
+      for (std::size_t j = 0; j < m; ++j) {
+        const std::uint32_t t = table_[homes[j]];
+        if (t != kEmpty) prefetch_read(&slots_[t]);
+      }
+      for (std::size_t j = 0; j < m; ++j) {
+        const std::uint32_t s = find_slot_from(homes[j], keys[done + j]);
+        if (s == kNil) {
+          out[done + j] = nullptr;
+        } else {
+          promote(s);
+          out[done + j] = &slots_[s].value;
+        }
+      }
+    }
+  }
 
   /// Inserts or overwrites; promotes to MRU. Evictions (if over capacity)
   /// are reported through `on_evict`. A capacity of 0 means nothing is
@@ -147,6 +195,8 @@ class FlatLruMap {
  private:
   static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
   static constexpr std::uint32_t kEmpty = 0xFFFFFFFFu;
+  /// Batch window for get_batch (see FlatHashMap::kBatchWindow).
+  static constexpr std::size_t kBatchWindow = 16;
 
   struct Slot {
     K key;
@@ -167,7 +217,11 @@ class FlatLruMap {
 
   std::uint32_t find_slot(const K& key) const {
     if (table_.empty()) return kNil;
-    std::size_t i = home_of(key);
+    return find_slot_from(home_of(key), key);
+  }
+
+  std::uint32_t find_slot_from(std::size_t home, const K& key) const {
+    std::size_t i = home;
     for (;;) {
       const std::uint32_t t = table_[i];
       if (t == kEmpty) return kNil;

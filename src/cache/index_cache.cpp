@@ -22,6 +22,29 @@ const IndexEntry* IndexCache::peek(const Fingerprint& fp) const {
   return entries_.peek(fp);
 }
 
+void IndexCache::lookup_batch(std::span<const Fingerprint> fps,
+                              const IndexEntry** out) {
+  const std::size_t n = fps.size();
+  batch_probes_ += n;
+  if (probe_scratch_.size() < n) probe_scratch_.resize(n);
+  entries_.get_batch(fps.data(), n, probe_scratch_.data());
+
+  miss_scratch_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    IndexEntry* e = probe_scratch_[i];
+    out[i] = e;
+    if (e != nullptr) {
+      ++hits_;
+      ++e->count;
+    } else {
+      ++misses_;
+      miss_scratch_.push_back(fps[i]);
+    }
+  }
+  if (!miss_scratch_.empty())
+    ghost_.probe_and_consume_batch(miss_scratch_.data(), miss_scratch_.size());
+}
+
 void IndexCache::insert(const Fingerprint& fp, Pba pba) {
   entries_.put(fp, IndexEntry{pba, 0},
                [this](const Fingerprint& evicted, IndexEntry&& entry) {

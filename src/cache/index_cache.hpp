@@ -12,6 +12,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
+#include <vector>
 
 #include "cache/flat_lru_map.hpp"
 #include "cache/ghost_cache.hpp"
@@ -37,6 +39,31 @@ class IndexCache {
 
   /// Looks up without counting a request hit (administrative reads).
   const IndexEntry* peek(const Fingerprint& fp) const;
+
+  /// Batched two-phase lookup over a request's fingerprint span.
+  /// Equivalent to, for every i in order: `out[i] = lookup(fps[i])`, then
+  /// `ghost_probe(fps[i])` for every miss in order — the exact per-chunk
+  /// sequence of the scalar engine probe loop. The reorder is
+  /// state-identical because lookups touch only the entry map (no ghost
+  /// state) and ghost probes touch only the ghost list (whose eviction
+  /// sequence number cannot advance during lookups). What it buys: the
+  /// per-chunk dependent cache misses of both probe passes are pipelined
+  /// behind software prefetches. Returned pointers are valid until the
+  /// next insert.
+  void lookup_batch(std::span<const Fingerprint> fps, const IndexEntry** out);
+
+  /// Prefetches the home buckets `fp` would probe (entry map and ghost
+  /// list). For callers whose probe loop interleaves inserts with lookups
+  /// (Full-Dedupe promotes on-disk hits mid-request) and therefore cannot
+  /// reorder into lookup_batch: issue prefetches for the whole span up
+  /// front, then run the scalar loop against warmed lines.
+  void prefetch(const Fingerprint& fp) const {
+    entries_.prefetch(fp);
+    ghost_.prefetch(fp);
+  }
+
+  /// Fingerprints probed through lookup_batch (host-side counter).
+  std::uint64_t batch_probes() const { return batch_probes_; }
 
   /// Probes the ghost list (consuming the entry on hit).
   bool ghost_probe(const Fingerprint& fp) { return ghost_.probe_and_consume(fp); }
@@ -81,6 +108,10 @@ class IndexCache {
   GhostCache<Fingerprint, FingerprintHash> ghost_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t batch_probes_ = 0;
+  // lookup_batch scratch (capacity reaches the largest request and stays).
+  std::vector<IndexEntry*> probe_scratch_;
+  std::vector<Fingerprint> miss_scratch_;
 };
 
 }  // namespace pod

@@ -28,6 +28,12 @@ class ReadCache {
   /// Probes the ghost list without touching the actual cache.
   bool ghost_probe(Pba block) { return ghost_.probe_and_consume(block); }
 
+  /// Prefetches the home buckets `block` would probe (cache and ghost).
+  void prefetch(Pba block) const {
+    entries_.prefetch(block);
+    ghost_.prefetch(block);
+  }
+
   /// Admits a block (after a disk read, or a write when write-allocate is
   /// desired). Evictions flow into the ghost list.
   void insert(Pba block);

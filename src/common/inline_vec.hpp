@@ -1,0 +1,114 @@
+// Small vector with inline storage for trivially-copyable elements.
+//
+// IoPlan's op lists hold a handful of OpSpecs per request; a std::vector
+// heap-allocates each one, which is the last steady-state allocation on the
+// engine hot path. InlineVec keeps the first N elements in-object and only
+// spills to a heap vector beyond that; clear() keeps any spilled capacity,
+// so reused instances stop allocating once they have seen their largest
+// size. Elements live either entirely inline or entirely in the spill
+// vector (they migrate on the first overflowing push), so data() is always
+// one contiguous range.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace pod {
+
+template <typename T, std::size_t N>
+class InlineVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "InlineVec is for small POD-like elements");
+  static_assert(N > 0);
+
+ public:
+  InlineVec() = default;
+
+  InlineVec(const InlineVec& o) : size_(o.size_), spill_(o.spill_) {
+    copy_inline_from(o);
+  }
+  InlineVec(InlineVec&& o) noexcept
+      : size_(o.size_), spill_(std::move(o.spill_)) {
+    copy_inline_from(o);
+    o.clear();
+  }
+  InlineVec& operator=(const InlineVec& o) {
+    if (this == &o) return *this;
+    size_ = o.size_;
+    spill_ = o.spill_;
+    copy_inline_from(o);
+    return *this;
+  }
+  InlineVec& operator=(InlineVec&& o) noexcept {
+    if (this == &o) return *this;
+    size_ = o.size_;
+    spill_ = std::move(o.spill_);
+    copy_inline_from(o);
+    o.clear();
+    return *this;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T* data() { return spilled() ? spill_.data() : inline_; }
+  const T* data() const { return spilled() ? spill_.data() : inline_; }
+
+  T& operator[](std::size_t i) { return data()[i]; }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+  T& back() { return data()[size_ - 1]; }
+  const T& back() const { return data()[size_ - 1]; }
+
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+  void push_back(const T& value) {
+    if (spilled()) {
+      spill_.push_back(value);
+    } else if (size_ < N) {
+      inline_[size_] = value;
+    } else {
+      // First overflow: migrate the inline elements, then append. The
+      // spill vector keeps its capacity across clear(), so a reused
+      // instance pays this at most once per high-water mark.
+      spill_.reserve(2 * N);
+      spill_.assign(inline_, inline_ + N);
+      spill_.push_back(value);
+    }
+    ++size_;
+  }
+
+  /// Drops all elements; retains spilled heap capacity for reuse.
+  void clear() {
+    size_ = 0;
+    spill_.clear();
+  }
+
+  /// Heap bytes currently reserved by the spill vector (0 while inline).
+  std::size_t spill_capacity_bytes() const {
+    return spill_.capacity() * sizeof(T);
+  }
+
+ private:
+  // Elements are in spill_ iff it is non-empty; size_ is authoritative
+  // (spill_.size() == size_ when spilled).
+  bool spilled() const { return !spill_.empty(); }
+
+  void copy_inline_from(const InlineVec& o) {
+    if (spill_.empty() && size_ > 0)
+      for (std::size_t i = 0; i < size_; ++i) inline_[i] = o.inline_[i];
+  }
+
+  // Deliberately uninitialized: only elements below size_ are ever read,
+  // and zeroing N elements per construction is measurable on the request
+  // hot path (an IoPlan is built per request).
+  T inline_[N];
+  std::size_t size_ = 0;
+  std::vector<T> spill_;
+};
+
+}  // namespace pod

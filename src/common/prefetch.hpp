@@ -1,0 +1,20 @@
+// Software-prefetch shim for the two-phase batched probe paths.
+//
+// The batched index probes (FlatHashMap::lookup_batch, FlatLruMap::get_batch)
+// precompute every key's home bucket and issue prefetches before any probe
+// resolves, turning a chain of dependent cache misses into a pipelined pass.
+// Prefetching is purely a hint: correctness never depends on it, so the shim
+// degrades to a no-op on compilers without __builtin_prefetch.
+#pragma once
+
+namespace pod {
+
+inline void prefetch_read(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace pod

@@ -135,6 +135,77 @@ Pba BlockStore::place_write(Lba lba, const Fingerprint& fp, Pba prev_pba) {
   return target;
 }
 
+void BlockStore::bind_run(Lba lba0, const Pba* targets, std::size_t n) {
+  if (n == 0) return;
+  bool identity = true;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (targets[k] != static_cast<Pba>(lba0 + k)) {
+      identity = false;
+      break;
+    }
+  }
+  if (identity) {
+    map_.clear_run(lba0, n);
+    for (std::size_t k = 0; k < n; ++k)
+      identity_live_[static_cast<std::size_t>(lba0 + k)] = true;
+    return;
+  }
+  // Sequential redirect: targets form one run that is not the identity run
+  // (targets[0] != lba0 implies targets[k] != lba0+k for every k, since
+  // both sequences advance in lockstep).
+  if (targets[0] != static_cast<Pba>(lba0)) {
+    bool sequential = true;
+    for (std::size_t k = 1; k < n; ++k) {
+      if (targets[k] != targets[0] + k) {
+        sequential = false;
+        break;
+      }
+    }
+    if (sequential) {
+      for (std::size_t k = 0; k < n; ++k)
+        identity_live_[static_cast<std::size_t>(lba0 + k)] = false;
+      map_.set_run(lba0, targets[0], n);
+      return;
+    }
+  }
+  for (std::size_t k = 0; k < n; ++k) bind(lba0 + k, targets[k]);
+}
+
+void BlockStore::place_write_run(Lba lba0, std::span<const Fingerprint> fps,
+                                 std::vector<Pba>& out) {
+  const std::size_t n = fps.size();
+  POD_CHECK(lba0 + n <= logical_blocks_);
+  const std::size_t base = out.size();
+  out.resize(base + n);
+  Pba prev = kInvalidPba;
+  for (std::size_t k = 0; k < n; ++k) {
+    const Lba lba = lba0 + k;
+    const Pba old = resolve(lba);
+    if (old != kInvalidPba) {
+      unref(old);
+    } else {
+      ++live_count_;
+    }
+
+    const Pba home = static_cast<Pba>(lba);
+    Pba target;
+    if (refs_[static_cast<std::size_t>(home)] == 0) {
+      target = home;
+    } else {
+      target = pool_.allocate(prev != kInvalidPba ? prev + 1 : kInvalidPba);
+    }
+
+    POD_DCHECK(target < refs_.size());
+    POD_DCHECK(refs_[static_cast<std::size_t>(target)] == 0);
+    refs_[static_cast<std::size_t>(target)] = 1;
+    fps_[static_cast<std::size_t>(target)] = fps[k];
+    ++live_physical_;
+    out[base + k] = target;
+    prev = target;
+  }
+  bind_run(lba0, out.data() + base, n);
+}
+
 void BlockStore::dedup_to(Lba lba, Pba pba) {
   POD_CHECK(lba < logical_blocks_);
   POD_CHECK(pba < refs_.size() && refs_[static_cast<std::size_t>(pba)] > 0);
@@ -157,6 +228,20 @@ void BlockStore::discard(Lba lba) {
   map_.clear(lba);
   POD_CHECK(live_count_ > 0);
   --live_count_;
+}
+
+void BlockStore::discard_run(Lba lba0, std::uint64_t n) {
+  POD_CHECK(lba0 + n <= logical_blocks_);
+  for (std::uint64_t k = 0; k < n; ++k) {
+    const Lba lba = lba0 + k;
+    const Pba old = resolve(lba);
+    if (old == kInvalidPba) continue;
+    unref(old);
+    identity_live_[static_cast<std::size_t>(lba)] = false;
+    POD_CHECK(live_count_ > 0);
+    --live_count_;
+  }
+  map_.clear_run(lba0, static_cast<std::size_t>(n));
 }
 
 }  // namespace pod

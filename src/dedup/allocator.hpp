@@ -15,8 +15,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/types.hpp"
 #include "dedup/map_table.hpp"
 #include "hash/fingerprint.hpp"
@@ -75,11 +77,52 @@ class BlockStore {
   /// caller must write.
   Pba place_write(Lba lba, const Fingerprint& fp, Pba prev_pba = kInvalidPba);
 
+  /// Run variant of place_write: places `fps.size()` sequential LBAs
+  /// starting at `lba0` (one bounds check for the run) and appends the
+  /// targets to `out`. Placement stays strictly sequential — releasing
+  /// chunk j's old block can hand chunk k>j its home or pool slot — but
+  /// the LBA->PBA binds commute with everything in the loop (each chunk
+  /// reads only its own mapping, and refcounts live outside the Map
+  /// table), so they are deferred and applied run-at-a-time: an
+  /// all-identity or all-sequential-redirect run updates the Map table
+  /// through clear_run/set_run instead of per-chunk probes.
+  void place_write_run(Lba lba0, std::span<const Fingerprint> fps,
+                       std::vector<Pba>& out);
+
   /// Deduplicates `lba` against existing content at `pba` (no disk write).
   void dedup_to(Lba lba, Pba pba);
 
+  /// Run variant of dedup_to: remaps `fps.size()` sequential LBAs starting
+  /// at `lba0` onto sequential physical content starting at `pba0`. Each
+  /// chunk revalidates its target's fingerprint immediately before
+  /// remapping (remapping an earlier chunk can release a later chunk's
+  /// target); failures are reported through `on_skip(k)` and left
+  /// untouched. Returns the number of chunks remapped.
+  template <typename SkipFn>
+  std::size_t remap_run(Lba lba0, Pba pba0, std::span<const Fingerprint> fps,
+                        SkipFn&& on_skip) {
+    POD_CHECK(lba0 + fps.size() <= logical_blocks_);
+    std::size_t remapped = 0;
+    for (std::size_t k = 0; k < fps.size(); ++k) {
+      const Pba pba = pba0 + k;
+      const Fingerprint* live = fingerprint_of(pba);
+      if (live == nullptr || !(*live == fps[k])) {
+        on_skip(k);
+        continue;
+      }
+      dedup_to(lba0 + k, pba);
+      ++remapped;
+    }
+    return remapped;
+  }
+
   /// Invalidates an LBA (e.g. TRIM); releases its physical reference.
   void discard(Lba lba);
+
+  /// Run variant of discard: drops `n` sequential LBAs with one bounds
+  /// check (sequential internally — freeing one block can recycle into
+  /// nothing here, but the content-gone observers must fire in order).
+  void discard_run(Lba lba0, std::uint64_t n);
 
   std::uint32_t refcount(Pba pba) const {
     return pba < refs_.size() ? refs_[static_cast<std::size_t>(pba)] : 0;
@@ -104,6 +147,9 @@ class BlockStore {
  private:
   void unref(Pba pba);
   void bind(Lba lba, Pba pba);
+  /// Applies a run's deferred binds; detects the all-identity and
+  /// all-sequential-redirect shapes and uses the Map table's run ops.
+  void bind_run(Lba lba0, const Pba* targets, std::size_t n);
 
   std::uint64_t logical_blocks_;
   PoolAllocator pool_;

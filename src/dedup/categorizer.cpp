@@ -1,5 +1,7 @@
 #include "dedup/categorizer.hpp"
 
+#include <algorithm>
+
 namespace pod {
 
 const char* to_string(WriteCategory c) {
@@ -12,8 +14,9 @@ const char* to_string(WriteCategory c) {
   return "?";
 }
 
-std::vector<DupRun> find_dup_runs(std::span<const ChunkDup> chunks) {
-  std::vector<DupRun> runs;
+void find_dup_runs_into(std::span<const ChunkDup> chunks,
+                        std::vector<DupRun>& out) {
+  out.clear();
   std::size_t i = 0;
   while (i < chunks.size()) {
     if (!chunks[i].redundant) {
@@ -27,45 +30,54 @@ std::vector<DupRun> find_dup_runs(std::span<const ChunkDup> chunks) {
       ++run.length;
     }
     i += run.length;
-    runs.push_back(run);
+    out.push_back(run);
   }
+}
+
+std::vector<DupRun> find_dup_runs(std::span<const ChunkDup> chunks) {
+  std::vector<DupRun> runs;
+  find_dup_runs_into(chunks, runs);
   return runs;
 }
 
-Categorization categorize(std::span<const ChunkDup> chunks, std::size_t threshold) {
-  Categorization out;
+WriteCategory categorize_into(std::span<const ChunkDup> chunks,
+                              std::size_t threshold, std::vector<DupRun>& runs,
+                              std::size_t* redundant_chunks) {
+  std::size_t redundant = 0;
   for (const ChunkDup& c : chunks)
-    if (c.redundant) ++out.redundant_chunks;
+    if (c.redundant) ++redundant;
+  if (redundant_chunks != nullptr) *redundant_chunks = redundant;
 
-  if (out.redundant_chunks == 0) {
-    out.category = WriteCategory::kUnique;
-    return out;
+  if (redundant == 0) {
+    runs.clear();
+    return WriteCategory::kUnique;
   }
 
-  std::vector<DupRun> runs = find_dup_runs(chunks);
+  find_dup_runs_into(chunks, runs);
 
   // Category 1: every chunk redundant and one run spans the whole request
   // (the duplicate data already sits sequentially on disk). Note this has
   // no minimum length — eliminating *small* fully redundant writes is the
   // heart of POD's performance advantage over iDedup.
-  if (out.redundant_chunks == chunks.size() && runs.size() == 1 &&
+  if (redundant == chunks.size() && runs.size() == 1 &&
       runs.front().length == chunks.size()) {
-    out.category = WriteCategory::kFullSequential;
-    out.dedup_runs = std::move(runs);
-    return out;
+    return WriteCategory::kFullSequential;
   }
 
-  // Category 3: keep only sequential runs of at least `threshold` chunks.
-  std::vector<DupRun> selected;
-  for (const DupRun& r : runs)
-    if (r.length >= threshold) selected.push_back(r);
+  // Category 3: keep only sequential runs of at least `threshold` chunks
+  // (in-place filter preserves run order).
+  std::erase_if(runs, [threshold](const DupRun& r) {
+    return r.length < threshold;
+  });
 
-  if (selected.empty()) {
-    out.category = WriteCategory::kPartialBelow;
-    return out;
-  }
-  out.category = WriteCategory::kPartialAbove;
-  out.dedup_runs = std::move(selected);
+  if (runs.empty()) return WriteCategory::kPartialBelow;
+  return WriteCategory::kPartialAbove;
+}
+
+Categorization categorize(std::span<const ChunkDup> chunks, std::size_t threshold) {
+  Categorization out;
+  out.category = categorize_into(chunks, threshold, out.dedup_runs,
+                                 &out.redundant_chunks);
   return out;
 }
 

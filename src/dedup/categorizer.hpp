@@ -52,8 +52,22 @@ struct Categorization {
 /// Finds maximal sequential duplicate runs in `chunks`.
 std::vector<DupRun> find_dup_runs(std::span<const ChunkDup> chunks);
 
+/// Allocation-free variant: appends the maximal runs to `out` (cleared
+/// first). Callers reuse `out` across requests so its capacity is paid
+/// once.
+void find_dup_runs_into(std::span<const ChunkDup> chunks,
+                        std::vector<DupRun>& out);
+
 /// Select-Dedupe's policy: categorise and pick the runs to deduplicate.
 /// `threshold` is the paper's category threshold (default 3).
 Categorization categorize(std::span<const ChunkDup> chunks, std::size_t threshold);
+
+/// Allocation-free variant: leaves the selected runs in `runs` (whole
+/// request for category 1, the qualifying runs for category 3, empty
+/// otherwise — same contents as Categorization::dedup_runs) and optionally
+/// reports the redundant-chunk count.
+WriteCategory categorize_into(std::span<const ChunkDup> chunks,
+                              std::size_t threshold, std::vector<DupRun>& runs,
+                              std::size_t* redundant_chunks = nullptr);
 
 }  // namespace pod

@@ -20,6 +20,30 @@ void MapTable::set(Lba lba, Pba pba) {
   slot = pba;
 }
 
+void MapTable::set_run(Lba lba0, Pba pba0, std::size_t n) {
+  if (n == 0) return;
+  if (lba0 + n > table_.size())
+    table_.resize(static_cast<std::size_t>(lba0 + n), kInvalidPba);
+  Pba* slot = table_.data() + static_cast<std::size_t>(lba0);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (slot[k] == kInvalidPba) ++entries_;
+    slot[k] = pba0 + k;
+  }
+  max_entries_ = std::max(max_entries_, entries_);
+}
+
+void MapTable::clear_run(Lba lba0, std::size_t n) {
+  if (lba0 >= table_.size()) return;
+  const std::size_t end =
+      std::min(table_.size(), static_cast<std::size_t>(lba0) + n);
+  for (std::size_t k = static_cast<std::size_t>(lba0); k < end; ++k) {
+    if (table_[k] != kInvalidPba) {
+      table_[k] = kInvalidPba;
+      --entries_;
+    }
+  }
+}
+
 void MapTable::clear(Lba lba) {
   if (lba >= table_.size()) return;
   Pba& slot = table_[static_cast<std::size_t>(lba)];

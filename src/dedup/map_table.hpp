@@ -43,6 +43,15 @@ class MapTable {
   /// Removes a redirection (LBA back to identity mapping).
   void clear(Lba lba);
 
+  /// Run variant of set: redirects `n` sequential LBAs from `lba0` to the
+  /// sequential physical run starting at `pba0`. One grow/bounds check;
+  /// entry accounting matches n scalar set() calls (the high watermark is
+  /// taken once at the end — entries only increase during the run).
+  void set_run(Lba lba0, Pba pba0, std::size_t n);
+
+  /// Run variant of clear: drops redirections for `n` sequential LBAs.
+  void clear_run(Lba lba0, std::size_t n);
+
   std::size_t entries() const { return entries_; }
   std::uint64_t bytes() const { return entries_ * kEntryBytes; }
   /// High watermark of bytes() over the table's lifetime: the NVRAM

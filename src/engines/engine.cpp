@@ -67,8 +67,8 @@ bool DedupEngine::candidate_valid(const Fingerprint& fp, Pba pba) const {
   return live != nullptr && *live == fp;
 }
 
-void DedupEngine::coalesce_into(std::vector<std::pair<Pba, std::uint64_t>> runs,
-                                OpType type, std::vector<OpSpec>& out) {
+void DedupEngine::coalesce_into(std::vector<std::pair<Pba, std::uint64_t>>& runs,
+                                OpType type, OpList& out) {
   std::sort(runs.begin(), runs.end());
   for (const auto& [pba, n] : runs) {
     if (!out.empty() && out.back().type == type &&
@@ -82,7 +82,12 @@ void DedupEngine::coalesce_into(std::vector<std::pair<Pba, std::uint64_t>> runs,
 
 DedupEngine::IoPlan DedupEngine::build_read_plan(const IoRequest& req) {
   IoPlan plan;
-  std::vector<std::pair<Pba, std::uint64_t>> miss_runs;
+  WriteScratch& s = scratch_;
+  // Pass 1: resolve the whole request and prefetch the read-cache buckets
+  // each target will probe. Resolution touches only the store; the cache
+  // probes below touch only the cache — so hoisting resolution ahead of
+  // the probe loop cannot change either one's outcome.
+  s.read_pbas.clear();
   for (std::uint32_t i = 0; i < req.nblocks; ++i) {
     const Lba lba = req.lba + i;
     Pba pba = store_.resolve(lba);
@@ -91,12 +96,20 @@ DedupEngine::IoPlan DedupEngine::build_read_plan(const IoRequest& req) {
       // device returns whatever is there), no cache involvement skew.
       pba = static_cast<Pba>(lba);
     }
+    s.read_pbas.push_back(pba);
+    read_cache_.prefetch(pba);
+  }
+  // Pass 2: per-block cache probes, in request order (inserts must be
+  // visible to later duplicate targets, so this loop stays sequential).
+  s.aux_runs.clear();
+  for (std::uint32_t i = 0; i < req.nblocks; ++i) {
+    const Pba pba = s.read_pbas[i];
     if (read_cache_.lookup(pba)) continue;
     read_cache_.ghost_probe(pba);
     read_cache_.insert(pba);
-    miss_runs.emplace_back(pba, 1);
+    s.aux_runs.emplace_back(pba, 1);
   }
-  coalesce_into(std::move(miss_runs), OpType::kRead, plan.stage1);
+  coalesce_into(s.aux_runs, OpType::kRead, plan.stage1);
   return plan;
 }
 
@@ -104,41 +117,77 @@ DedupEngine::IoPlan DedupEngine::process_read(const IoRequest& req) {
   return build_read_plan(req);
 }
 
-void DedupEngine::apply_dedup(const IoRequest& req,
-                              const std::vector<ChunkDup>& dups,
-                              std::vector<bool>& dedup_mask) {
+void DedupEngine::probe_dups(const IoRequest& req, WriteScratch& s) {
+  POD_DCHECK(index_cache_ != nullptr);
+  if (cfg_.scalar_probes) {
+    // Reference path: per-chunk lookup, ghost probe on miss.
+    for (std::uint32_t i = 0; i < req.nblocks; ++i) {
+      if (const IndexEntry* e = index_cache_->lookup(req.chunks[i])) {
+        if (candidate_valid(req.chunks[i], e->pba))
+          s.dups[i] = ChunkDup{true, e->pba};
+      } else {
+        index_cache_->ghost_probe(req.chunks[i]);
+      }
+    }
+    return;
+  }
+  if (s.probes.size() < req.nblocks) s.probes.resize(req.nblocks);
+  index_cache_->lookup_batch(req.chunks, s.probes.data());
   for (std::uint32_t i = 0; i < req.nblocks; ++i) {
-    if (!dedup_mask[i]) continue;
-    POD_DCHECK(dups[i].redundant);
-    if (!candidate_valid(req.chunks[i], dups[i].pba)) {
-      dedup_mask[i] = false;  // released by an earlier chunk of this request
+    const IndexEntry* e = s.probes[i];
+    if (e != nullptr && candidate_valid(req.chunks[i], e->pba))
+      s.dups[i] = ChunkDup{true, e->pba};
+  }
+}
+
+void DedupEngine::apply_dedup(const IoRequest& req, WriteScratch& s) {
+  for (std::uint32_t i = 0; i < req.nblocks; ++i) {
+    if (!s.masked(i)) continue;
+    POD_DCHECK(s.dups[i].redundant);
+    if (!candidate_valid(req.chunks[i], s.dups[i].pba)) {
+      s.clear_mask(i);  // released by an earlier chunk of this request
       continue;
     }
-    store_.dedup_to(req.lba + i, dups[i].pba);
+    store_.dedup_to(req.lba + i, s.dups[i].pba);
     ++stats_.chunks_deduped;
   }
 }
 
-void DedupEngine::write_remaining_chunks(const IoRequest& req,
-                                         const std::vector<ChunkDup>& dups,
-                                         const std::vector<bool>& dedup_mask,
-                                         IoPlan& plan,
-                                         std::vector<Pba>* written_pbas) {
-  (void)dups;
-  std::vector<std::pair<Pba, std::uint64_t>> write_runs;
-  Pba prev = kInvalidPba;
-  for (std::uint32_t i = 0; i < req.nblocks; ++i) {
-    if (dedup_mask[i]) {
-      prev = kInvalidPba;  // break contiguity hint across dedup gaps
+void DedupEngine::apply_dedup_runs(const IoRequest& req, WriteScratch& s) {
+  for (const DupRun& run : s.dedup_runs) {
+    stats_.chunks_deduped += store_.remap_run(
+        req.lba + run.begin, run.pba_start, req.chunks.subspan(run.begin, run.length),
+        [&](std::size_t k) { s.clear_mask(run.begin + k); });
+  }
+}
+
+void DedupEngine::write_remaining_chunks(const IoRequest& req, WriteScratch& s,
+                                         IoPlan& plan) {
+  std::uint32_t i = 0;
+  while (i < req.nblocks) {
+    if (s.masked(i)) {
+      ++i;
       continue;
     }
-    const Pba pba = store_.place_write(req.lba + i, req.chunks[i], prev);
-    prev = pba;
-    ++stats_.chunks_written;
-    write_runs.emplace_back(pba, 1);
-    if (written_pbas != nullptr) written_pbas->push_back(pba);
+    std::uint32_t j = i + 1;
+    while (j < req.nblocks && !s.masked(j)) ++j;
+    const std::size_t placed = s.written.size();
+    store_.place_write_run(req.lba + i, req.chunks.subspan(i, j - i), s.written);
+    stats_.chunks_written += j - i;
+    // Pre-merge contiguous placements; coalesce_into still sorts and
+    // merges across runs, so the final extents match the per-block path.
+    for (std::size_t k = placed; k < s.written.size(); ++k) {
+      const Pba pba = s.written[k];
+      if (!s.write_runs.empty() &&
+          s.write_runs.back().first + s.write_runs.back().second == pba) {
+        ++s.write_runs.back().second;
+      } else {
+        s.write_runs.emplace_back(pba, 1);
+      }
+    }
+    i = j;
   }
-  coalesce_into(std::move(write_runs), OpType::kWrite, plan.stage2);
+  coalesce_into(s.write_runs, OpType::kWrite, plan.stage2);
 }
 
 void DedupEngine::issue_background(OpType type, Pba block, std::uint64_t nblocks) {
@@ -150,7 +199,7 @@ void DedupEngine::issue_background(OpType type, Pba block, std::uint64_t nblocks
 void DedupEngine::execute_plan(IoPlan plan, std::function<void()> done) {
   struct State {
     std::size_t outstanding = 0;
-    std::vector<OpSpec> stage2;
+    OpList stage2;
     std::function<void()> done;
     DedupEngine* self = nullptr;
   };

@@ -17,14 +17,17 @@
 //   [.., +swap_blocks)                    reserved iCache swap area
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cache/index_cache.hpp"
 #include "cache/read_cache.hpp"
+#include "common/inline_vec.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "dedup/allocator.hpp"
@@ -69,6 +72,12 @@ struct EngineConfig {
   bool full_dedupe_bloom = true;
   /// Reserved swap region for iCache, in blocks.
   std::uint64_t swap_region_blocks = 1 << 15;
+
+  /// Test-only: route index probes through the scalar per-chunk path
+  /// instead of the batched two-phase path. Replay output is asserted
+  /// byte-identical between the two (batch_equivalence_test); this switch
+  /// exists so that assertion has a reference to compare against.
+  bool scalar_probes = false;
 
   HashEngineConfig hash;
 };
@@ -149,6 +158,11 @@ class DedupEngine {
   std::uint64_t map_table_bytes() const { return store_.map_table().bytes(); }
   std::uint64_t map_table_max_bytes() const { return store_.map_table().max_bytes(); }
 
+  /// Heap bytes held by the per-engine request scratch arena. Grows to the
+  /// largest request processed, then stays flat — a replayer-visible proxy
+  /// for "the request path has stopped allocating".
+  std::uint64_t scratch_bytes() const { return scratch_.capacity_bytes(); }
+
  protected:
   /// One volume operation an engine wants executed.
   struct OpSpec {
@@ -157,13 +171,70 @@ class DedupEngine {
     std::uint64_t nblocks = 1;
   };
 
+  /// Op list sized for the common case: after coalescing, nearly every
+  /// request needs a handful of extents, so plans carry their ops inline
+  /// and only pathological scatter spills to the heap.
+  using OpList = InlineVec<OpSpec, 8>;
+
   /// The timing plan for a request: a CPU delay, then stage1 ops (all in
   /// parallel), then — once stage1 completes — stage2 ops.
   struct IoPlan {
     Duration cpu = 0;
-    std::vector<OpSpec> stage1;
-    std::vector<OpSpec> stage2;
+    OpList stage1;
+    OpList stage2;
     bool empty() const { return stage1.empty() && stage2.empty(); }
+  };
+
+  /// Reusable per-engine request scratch. Every buffer the write/read path
+  /// needs lives here, sized once to the largest request seen and reset per
+  /// request, so steady-state request processing performs no allocation.
+  /// The dedup mask is a plain bitmask (one word per 64 chunks), not a
+  /// std::vector<bool>, so resets are memsets and tests are single loads.
+  struct WriteScratch {
+    std::vector<ChunkDup> dups;         // per-chunk dedup candidates
+    std::vector<std::uint64_t> mask;    // dedup decision bitmask
+    std::vector<const IndexEntry*> probes;  // batched index-probe results
+    std::vector<Pba> written;           // PBAs placed by write_remaining_chunks
+    std::vector<DupRun> dedup_runs;     // runs selected for deduplication
+    std::vector<std::pair<Pba, std::uint64_t>> write_runs;  // stage2 coalescing
+    std::vector<std::pair<Pba, std::uint64_t>> aux_runs;    // stage1 coalescing
+    std::vector<Pba> read_pbas;         // resolved targets of a read request
+
+    /// Prepares the write-path buffers for an `n`-chunk request.
+    void reset_write(std::size_t n) {
+      if (dups.size() < n) dups.resize(n);
+      std::fill(dups.begin(), dups.begin() + static_cast<std::ptrdiff_t>(n),
+                ChunkDup{});
+      const std::size_t words = (n + 63) / 64;
+      if (mask.size() < words) mask.resize(words);
+      std::fill(mask.begin(), mask.begin() + static_cast<std::ptrdiff_t>(words),
+                std::uint64_t{0});
+      written.clear();
+      dedup_runs.clear();
+      write_runs.clear();
+      aux_runs.clear();
+    }
+
+    bool masked(std::size_t i) const {
+      return (mask[i >> 6] >> (i & 63)) & 1u;
+    }
+    void set_mask(std::size_t i) {
+      mask[i >> 6] |= std::uint64_t{1} << (i & 63);
+    }
+    void clear_mask(std::size_t i) {
+      mask[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+    }
+
+    std::uint64_t capacity_bytes() const {
+      return dups.capacity() * sizeof(ChunkDup) +
+             mask.capacity() * sizeof(std::uint64_t) +
+             probes.capacity() * sizeof(const IndexEntry*) +
+             written.capacity() * sizeof(Pba) +
+             dedup_runs.capacity() * sizeof(DupRun) +
+             write_runs.capacity() * sizeof(std::pair<Pba, std::uint64_t>) +
+             aux_runs.capacity() * sizeof(std::pair<Pba, std::uint64_t>) +
+             read_pbas.capacity() * sizeof(Pba);
+    }
   };
 
   /// Engine policy: updates all state and returns the plan.
@@ -172,34 +243,44 @@ class DedupEngine {
 
   // ---- shared helpers -------------------------------------------------
 
-  /// Default read path: resolve each block through the store, consult the
-  /// read cache, and coalesce misses into contiguous volume reads.
+  /// Default read path: resolve the whole request through the store
+  /// (prefetching read-cache buckets along the way), then consult the read
+  /// cache per block and coalesce misses into contiguous volume reads.
   IoPlan build_read_plan(const IoRequest& req);
 
-  /// Writes the non-deduplicated chunks of a request: places each chunk
-  /// through the BlockStore (home or redirected, contiguity-aware), updates
-  /// `written_pbas`, and appends coalesced write ops to `plan.stage2`.
-  /// `dedup_mask[i]` true means chunk i was deduplicated by the caller.
-  void write_remaining_chunks(const IoRequest& req,
-                              const std::vector<ChunkDup>& dups,
-                              const std::vector<bool>& dedup_mask, IoPlan& plan,
-                              std::vector<Pba>* written_pbas = nullptr);
+  /// Fills s.dups with the request's index-probe results: one batched
+  /// two-phase IndexCache::lookup_batch over the fingerprint span, or the
+  /// scalar per-chunk loop when cfg_.scalar_probes is set. Both paths
+  /// produce identical dups, cache state and counters (see lookup_batch).
+  void probe_dups(const IoRequest& req, WriteScratch& s);
 
-  /// Applies dedup decisions: for every chunk with dedup_mask[i], points
-  /// LBA i at dups[i].pba. Each candidate is revalidated immediately before
-  /// use — deduplicating an earlier chunk of the same request can release
-  /// the physical block a later chunk targeted (e.g. an overlapping
-  /// overwrite); such chunks have their mask cleared and are written
-  /// normally by write_remaining_chunks.
-  void apply_dedup(const IoRequest& req, const std::vector<ChunkDup>& dups,
-                   std::vector<bool>& dedup_mask);
+  /// Writes the non-deduplicated chunks of a request: walks the maximal
+  /// unmasked runs, places each through BlockStore::place_write_run (home
+  /// or redirected, contiguity-aware), appends the targets to s.written,
+  /// and emits coalesced write ops into `plan.stage2`.
+  void write_remaining_chunks(const IoRequest& req, WriteScratch& s,
+                              IoPlan& plan);
+
+  /// Applies per-chunk dedup decisions: for every masked chunk, points
+  /// LBA i at s.dups[i].pba. Each candidate is revalidated immediately
+  /// before use — deduplicating an earlier chunk of the same request can
+  /// release the physical block a later chunk targeted (e.g. an
+  /// overlapping overwrite); such chunks have their mask cleared and are
+  /// written normally by write_remaining_chunks.
+  void apply_dedup(const IoRequest& req, WriteScratch& s);
+
+  /// Run-wise variant for engines whose dedup decisions are s.dedup_runs:
+  /// each run remaps through BlockStore::remap_run (same per-chunk
+  /// revalidation and mask-clearing as apply_dedup, one call per run).
+  void apply_dedup_runs(const IoRequest& req, WriteScratch& s);
 
   /// Verifies a dedup candidate still holds the expected content.
   bool candidate_valid(const Fingerprint& fp, Pba pba) const;
 
   /// Coalesces (type-homogeneous) block ops into contiguous OpSpecs.
-  static void coalesce_into(std::vector<std::pair<Pba, std::uint64_t>> runs,
-                            OpType type, std::vector<OpSpec>& out);
+  /// Sorts `runs` in place.
+  static void coalesce_into(std::vector<std::pair<Pba, std::uint64_t>>& runs,
+                            OpType type, OpList& out);
 
   Pba index_region_start() const { return store_.data_region_blocks(); }
   Pba swap_region_start() const {
@@ -223,6 +304,8 @@ class DedupEngine {
   /// Present when cfg_.index_fraction > 0 (every engine except Native).
   std::unique_ptr<IndexCache> index_cache_;
   EngineStats stats_;
+  /// Request-path scratch arena (see WriteScratch).
+  WriteScratch scratch_;
   /// True while processing a warm() call: plans are built but not executed,
   /// and background I/O is suppressed.
   bool warming_ = false;

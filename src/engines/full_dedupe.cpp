@@ -41,17 +41,25 @@ DedupEngine::IoPlan FullDedupeEngine::process_write(const IoRequest& req) {
   plan.cpu = hash_.latency_for_chunks(req.nblocks);
   hash_.note_chunks_hashed(req.nblocks);
 
-  std::vector<ChunkDup> dups(req.nblocks);
-  std::vector<bool> mask(req.nblocks, false);
-  std::vector<std::pair<Pba, std::uint64_t>> bucket_reads;
+  WriteScratch& s = scratch_;
+  s.reset_write(req.nblocks);
+
+  // Full-Dedupe's probe loop interleaves inserts with lookups (on-disk
+  // hits promote into the index cache mid-request), so intra-request
+  // duplicate fingerprints must see earlier promotions — the loop cannot
+  // reorder into lookup_batch. Instead, warm every home bucket the loop
+  // will probe up front and keep the resolution strictly sequential.
+  if (!cfg_.scalar_probes)
+    for (std::uint32_t i = 0; i < req.nblocks; ++i)
+      index_cache_->prefetch(req.chunks[i]);
 
   for (std::uint32_t i = 0; i < req.nblocks; ++i) {
     const Fingerprint& fp = req.chunks[i];
     // Hot path: in-memory index cache.
     if (const IndexEntry* e = index_cache_->lookup(fp)) {
       if (candidate_valid(fp, e->pba)) {
-        dups[i] = ChunkDup{true, e->pba};
-        mask[i] = true;
+        s.dups[i] = ChunkDup{true, e->pba};
+        s.set_mask(i);
       }
       continue;
     }
@@ -59,27 +67,26 @@ DedupEngine::IoPlan FullDedupeEngine::process_write(const IoRequest& req) {
     // Cold path: the on-disk full index (Bloom-guarded).
     const OnDiskIndex::Lookup l = ondisk_.lookup(fp);
     if (l.needs_disk_read) {
-      bucket_reads.emplace_back(l.bucket, 1);
+      s.aux_runs.emplace_back(l.bucket, 1);
       ++stats_.index_disk_reads;
     }
     if (l.found && candidate_valid(fp, l.pba)) {
-      dups[i] = ChunkDup{true, l.pba};
-      mask[i] = true;
+      s.dups[i] = ChunkDup{true, l.pba};
+      s.set_mask(i);
       index_cache_->insert(fp, l.pba);  // promote to hot
     }
   }
 
   // Full-Dedupe deduplicates every redundant chunk, scattered or not.
-  apply_dedup(req, dups, mask);
+  apply_dedup(req, s);
 
-  std::vector<Pba> written;
-  write_remaining_chunks(req, dups, mask, plan, &written);
+  write_remaining_chunks(req, s, plan);
 
   // Index maintenance for freshly written chunks.
   std::size_t w = 0;
   for (std::uint32_t i = 0; i < req.nblocks; ++i) {
-    if (mask[i]) continue;
-    const Pba pba = written[w++];
+    if (s.masked(i)) continue;
+    const Pba pba = s.written[w++];
     index_cache_->insert(req.chunks[i], pba);
     if (const auto flush = ondisk_.insert(req.chunks[i], pba)) {
       ++stats_.index_disk_writes;
@@ -88,10 +95,10 @@ DedupEngine::IoPlan FullDedupeEngine::process_write(const IoRequest& req) {
   }
 
   // Charge the index-bucket reads as stage-1 (they gate the decision).
-  std::sort(bucket_reads.begin(), bucket_reads.end());
-  bucket_reads.erase(std::unique(bucket_reads.begin(), bucket_reads.end()),
-                     bucket_reads.end());
-  coalesce_into(std::move(bucket_reads), OpType::kRead, plan.stage1);
+  std::sort(s.aux_runs.begin(), s.aux_runs.end());
+  s.aux_runs.erase(std::unique(s.aux_runs.begin(), s.aux_runs.end()),
+                   s.aux_runs.end());
+  coalesce_into(s.aux_runs, OpType::kRead, plan.stage1);
   return plan;
 }
 

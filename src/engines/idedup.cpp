@@ -11,50 +11,42 @@ IDedupEngine::IDedupEngine(Simulator& sim, Volume& volume, const EngineConfig& c
 
 DedupEngine::IoPlan IDedupEngine::process_write(const IoRequest& req) {
   IoPlan plan;
+  WriteScratch& s = scratch_;
+  s.reset_write(req.nblocks);
 
   // Small requests contribute little capacity; iDedup skips them outright
   // (no fingerprinting cost, but also no chance of eliminating them —
   // exactly what POD criticises).
   if (req.nblocks <= cfg_.idedup_bypass_blocks) {
     ++bypassed_;
-    const std::vector<ChunkDup> dups(req.nblocks);
-    const std::vector<bool> mask(req.nblocks, false);
-    write_remaining_chunks(req, dups, mask, plan);
+    write_remaining_chunks(req, s, plan);
     return plan;
   }
 
   plan.cpu = hash_.latency_for_chunks(req.nblocks);
   hash_.note_chunks_hashed(req.nblocks);
 
-  std::vector<ChunkDup> dups(req.nblocks);
-  for (std::uint32_t i = 0; i < req.nblocks; ++i) {
-    if (const IndexEntry* e = index_cache_->lookup(req.chunks[i])) {
-      if (candidate_valid(req.chunks[i], e->pba))
-        dups[i] = ChunkDup{true, e->pba};
-    } else {
-      index_cache_->ghost_probe(req.chunks[i]);
-    }
-  }
+  probe_dups(req, s);
 
   // Deduplicate only sequential duplicate runs long enough to keep later
   // reads sequential AND pay for themselves in capacity.
-  std::vector<bool> mask(req.nblocks, false);
-  for (const DupRun& run : find_dup_runs(dups)) {
-    if (run.length < cfg_.idedup_seq_threshold) continue;
-    for (std::size_t i = 0; i < run.length; ++i) mask[run.begin + i] = true;
-  }
+  find_dup_runs_into({s.dups.data(), req.nblocks}, s.dedup_runs);
+  std::erase_if(s.dedup_runs, [this](const DupRun& run) {
+    return run.length < cfg_.idedup_seq_threshold;
+  });
+  for (const DupRun& run : s.dedup_runs)
+    for (std::size_t i = 0; i < run.length; ++i) s.set_mask(run.begin + i);
 
-  apply_dedup(req, dups, mask);
-  std::vector<Pba> written;
-  write_remaining_chunks(req, dups, mask, plan, &written);
+  apply_dedup_runs(req, s);
+  write_remaining_chunks(req, s, plan);
 
   // Index only the genuinely new chunks (redundant-but-unselected chunks
   // keep their canonical entry; see select_dedupe.cpp for the rationale).
   std::size_t w = 0;
   for (std::uint32_t i = 0; i < req.nblocks; ++i) {
-    if (mask[i]) continue;
-    const Pba pba = written[w++];
-    if (dups[i].redundant) continue;
+    if (s.masked(i)) continue;
+    const Pba pba = s.written[w++];
+    if (s.dups[i].redundant) continue;
     index_cache_->insert(req.chunks[i], pba);
   }
   return plan;

@@ -23,15 +23,15 @@ DedupEngine::IoPlan IoDedupEngine::process_write(const IoRequest& req) {
   // background, off the critical path), so unlike the inline dedup engines
   // no fingerprint latency is charged to the write itself.
   hash_.note_chunks_hashed(req.nblocks);
-  const std::vector<ChunkDup> dups(req.nblocks);
-  const std::vector<bool> mask(req.nblocks, false);
-  write_remaining_chunks(req, dups, mask, plan);
+  scratch_.reset_write(req.nblocks);
+  write_remaining_chunks(req, scratch_, plan);
   return plan;
 }
 
 DedupEngine::IoPlan IoDedupEngine::process_read(const IoRequest& req) {
   IoPlan plan;
-  std::vector<std::pair<Pba, std::uint64_t>> miss_runs;
+  WriteScratch& s = scratch_;
+  s.aux_runs.clear();
   for (std::uint32_t i = 0; i < req.nblocks; ++i) {
     const Lba lba = req.lba + i;
     Pba pba = store_.resolve(lba);
@@ -44,9 +44,9 @@ DedupEngine::IoPlan IoDedupEngine::process_read(const IoRequest& req) {
     }
     ++content_misses_;
     content_cache_.put(key, Unit{});
-    miss_runs.emplace_back(pba, 1);
+    s.aux_runs.emplace_back(pba, 1);
   }
-  coalesce_into(std::move(miss_runs), OpType::kRead, plan.stage1);
+  coalesce_into(s.aux_runs, OpType::kRead, plan.stage1);
   return plan;
 }
 

@@ -16,9 +16,8 @@ DedupEngine::IoPlan NativeEngine::process_write(const IoRequest& req) {
   IoPlan plan;
   // No hashing, no dedup decision: place every chunk (home locations are
   // always available since nothing is ever shared) and write.
-  const std::vector<ChunkDup> dups(req.nblocks);
-  const std::vector<bool> mask(req.nblocks, false);
-  write_remaining_chunks(req, dups, mask, plan);
+  scratch_.reset_write(req.nblocks);
+  write_remaining_chunks(req, scratch_, plan);
   return plan;
 }
 

@@ -30,9 +30,8 @@ void PostProcessEngine::begin_measured() { measured_ = true; }
 DedupEngine::IoPlan PostProcessEngine::process_write(const IoRequest& req) {
   // Foreground path identical to Native: no fingerprinting, no lookups.
   IoPlan plan;
-  const std::vector<ChunkDup> dups(req.nblocks);
-  std::vector<bool> mask(req.nblocks, false);
-  write_remaining_chunks(req, dups, mask, plan);
+  scratch_.reset_write(req.nblocks);
+  write_remaining_chunks(req, scratch_, plan);
 
   // Remember the written range for the background scrubber.
   for (std::uint32_t i = 0; i < req.nblocks; ++i)

@@ -19,29 +19,25 @@ DedupEngine::IoPlan SelectDedupeEngine::select_dedupe_write(const IoRequest& req
   plan.cpu = hash_.latency_for_chunks(req.nblocks);
   hash_.note_chunks_hashed(req.nblocks);
 
-  // Index-table lookups: hits bump the entry's Count (popularity /
-  // pin-against-modification signal); misses probe the ghost list so
-  // iCache can tell when a larger index cache would have found the dup.
-  std::vector<ChunkDup> dups(req.nblocks);
-  for (std::uint32_t i = 0; i < req.nblocks; ++i) {
-    if (const IndexEntry* e = index_cache_->lookup(req.chunks[i])) {
-      if (candidate_valid(req.chunks[i], e->pba))
-        dups[i] = ChunkDup{true, e->pba};
-    } else {
-      index_cache_->ghost_probe(req.chunks[i]);
-    }
-  }
+  WriteScratch& s = scratch_;
+  s.reset_write(req.nblocks);
 
-  const Categorization cat = categorize(dups, cfg_.select_threshold);
-  ++stats_.category_counts[static_cast<std::size_t>(cat.category)];
+  // Index-table lookups (batched; see probe_dups): hits bump the entry's
+  // Count (popularity / pin-against-modification signal); misses probe the
+  // ghost list so iCache can tell when a larger index cache would have
+  // found the dup.
+  probe_dups(req, s);
 
-  std::vector<bool> mask(req.nblocks, false);
-  for (const DupRun& run : cat.dedup_runs)
-    for (std::size_t i = 0; i < run.length; ++i) mask[run.begin + i] = true;
+  const WriteCategory cat =
+      categorize_into({s.dups.data(), req.nblocks}, cfg_.select_threshold,
+                      s.dedup_runs);
+  ++stats_.category_counts[static_cast<std::size_t>(cat)];
 
-  apply_dedup(req, dups, mask);
-  std::vector<Pba> written;
-  write_remaining_chunks(req, dups, mask, plan, &written);
+  for (const DupRun& run : s.dedup_runs)
+    for (std::size_t i = 0; i < run.length; ++i) s.set_mask(run.begin + i);
+
+  apply_dedup_runs(req, s);
+  write_remaining_chunks(req, s, plan);
 
   // Freshly written chunks enter the hot Index table (Count = 0) so future
   // duplicates of them can be detected. Chunks that were redundant but not
@@ -50,9 +46,9 @@ DedupEngine::IoPlan SelectDedupeEngine::select_dedupe_write(const IoRequest& req
   // detection for every later replay of the source extent.
   std::size_t w = 0;
   for (std::uint32_t i = 0; i < req.nblocks; ++i) {
-    if (mask[i]) continue;
-    const Pba pba = written[w++];
-    if (dups[i].redundant) continue;
+    if (s.masked(i)) continue;
+    const Pba pba = s.written[w++];
+    if (s.dups[i].redundant) continue;
     index_cache_->insert(req.chunks[i], pba);
   }
   return plan;

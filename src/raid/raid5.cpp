@@ -62,8 +62,10 @@ Raid5::WritePlan Raid5::plan_write(Pba block, std::uint64_t nblocks) const {
     const std::size_t pd = parity_disk(row);
     const std::uint64_t disk_row_base = row * unit;
 
-    // Data fragments for this row.
-    std::vector<DiskFragment> data_frags;
+    // Data fragments land directly in plan.writes (both the full-stripe
+    // and RMW branches write them); RMW rows copy their range into
+    // pre_reads afterwards, so no per-row staging vector is needed.
+    const std::size_t row_writes_begin = plan.writes.size();
     // Parity positions (within-unit offsets) touched in this row.
     std::uint64_t pmin = unit, pmax = 0;
     {
@@ -73,7 +75,7 @@ Raid5::WritePlan Raid5::plan_write(Pba block, std::uint64_t nblocks) const {
         const DiskFragment f = map_block(c);
         const std::uint64_t left_in_unit = unit - (c % unit);
         const std::uint64_t take = std::min(rem, left_in_unit);
-        data_frags.push_back(DiskFragment{f.disk, f.block, take});
+        plan.writes.push_back(DiskFragment{f.disk, f.block, take});
         const std::uint64_t w0 = c % unit;
         pmin = std::min(pmin, w0);
         pmax = std::max(pmax, w0 + take - 1);
@@ -86,14 +88,15 @@ Raid5::WritePlan Raid5::plan_write(Pba block, std::uint64_t nblocks) const {
     if (in_row == row_data_blocks_) {
       // Full-stripe write: new parity computable from the new data alone.
       ++plan.full_stripes;
-      for (auto& f : data_frags) plan.writes.push_back(f);
       plan.writes.push_back(DiskFragment{pd, disk_row_base, unit});
     } else {
       // Read-modify-write: read old data (same fragments) + old parity.
       ++plan.rmw_rows;
-      for (auto& f : data_frags) plan.pre_reads.push_back(f);
+      plan.pre_reads.insert(plan.pre_reads.end(),
+                            plan.writes.begin() +
+                                static_cast<std::ptrdiff_t>(row_writes_begin),
+                            plan.writes.end());
       plan.pre_reads.push_back(parity_frag);
-      for (auto& f : data_frags) plan.writes.push_back(f);
       plan.writes.push_back(parity_frag);
     }
 

@@ -50,6 +50,14 @@ struct ReplayResult {
   /// the end of the run. 0 when unavailable.
   std::uint64_t peak_rss_bytes = 0;
 
+  /// Fingerprints probed through the batched two-phase index path (0 when
+  /// the engine has no index cache or runs with scalar_probes).
+  std::uint64_t batch_probes = 0;
+  /// Heap bytes held by the engine's request scratch arena at the end of
+  /// the run — flat across request counts once the largest request has
+  /// been seen (the zero-steady-state-allocation tripwire).
+  std::uint64_t scratch_bytes = 0;
+
   double mean_ms() const { return all.mean_ms(); }
   double read_mean_ms() const { return reads.mean_ms(); }
   double write_mean_ms() const { return writes.mean_ms(); }

@@ -12,7 +12,12 @@ std::vector<ReplayResult> ParallelRunner::run(
   std::vector<ReplayResult> results(items.size());
   std::vector<std::exception_ptr> errors(items.size());
 
-  ThreadPool pool(jobs_ > items.size() ? items.size() : jobs_);
+  // Clamp to [1, items]: a ParallelRunner(0) — e.g. a caller forwarding a
+  // user-supplied POD_JOBS without validation — must degrade to serial
+  // execution, not submit work to a pool that nothing drains.
+  std::size_t jobs = jobs_ > items.size() ? items.size() : jobs_;
+  if (jobs == 0) jobs = 1;
+  ThreadPool pool(jobs);
   for (std::size_t i = 0; i < items.size(); ++i) {
     POD_CHECK(items[i].trace != nullptr);
     pool.submit([&, i] {

@@ -104,7 +104,9 @@ ReplayResult Replayer::replay(Simulator& sim, DedupEngine& engine,
   if (const IndexCache* ic = engine.index_cache()) {
     result.index_cache_bytes = ic->capacity_bytes();
     result.index_cache_hit_rate = ic->hit_rate();
+    result.batch_probes = ic->batch_probes();
   }
+  result.scratch_bytes = engine.scratch_bytes();
   result.makespan = sim.now();
   return result;
 }

@@ -1,0 +1,244 @@
+// The batched two-phase probe paths must be observationally identical to
+// their scalar equivalents: lookup_batch ≡ find-per-key, get_batch ≡
+// get-per-key (including LRU promotion order), and
+// IndexCache::lookup_batch ≡ lookup-then-ghost_probe per chunk. The batch
+// forms may only differ in memory-latency behaviour (prefetching), never
+// in results or cache state.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/flat_lru_map.hpp"
+#include "cache/index_cache.hpp"
+#include "common/flat_hash_map.hpp"
+#include "common/rng.hpp"
+#include "hash/fingerprint.hpp"
+
+namespace pod {
+namespace {
+
+Fingerprint fp(std::uint64_t id) { return Fingerprint::of_content_id(id); }
+
+TEST(FlatHashMapBatch, MatchesScalarFindOverMixedHitsAndMisses) {
+  FlatHashMap<std::uint64_t, std::uint64_t> m;
+  for (std::uint64_t k = 0; k < 1000; k += 2) m.insert_or_assign(k, k * 10);
+
+  // Well past one kBatchWindow, interleaving present and absent keys.
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t k = 0; k < 200; ++k) keys.push_back(k * 7 % 1100);
+
+  std::vector<const std::uint64_t*> batch(keys.size());
+  m.lookup_batch(keys.data(), keys.size(), batch.data());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    SCOPED_TRACE(keys[i]);
+    EXPECT_EQ(batch[i], m.find(keys[i]));
+    if (batch[i] != nullptr) {
+      EXPECT_EQ(*batch[i], keys[i] * 10);
+    }
+  }
+}
+
+TEST(FlatHashMapBatch, EmptyMapYieldsAllNull) {
+  FlatHashMap<std::uint64_t, int> m;
+  std::vector<std::uint64_t> keys = {1, 2, 3};
+  std::vector<const int*> out(keys.size(), reinterpret_cast<const int*>(1));
+  m.lookup_batch(keys.data(), keys.size(), out.data());
+  for (const int* p : out) EXPECT_EQ(p, nullptr);
+}
+
+TEST(FlatHashMapBatch, DuplicateKeysInOneBatchResolveIdentically) {
+  FlatHashMap<std::uint64_t, int> m;
+  m.insert_or_assign(5, 50);
+  std::vector<std::uint64_t> keys = {5, 9, 5, 5, 9};
+  std::vector<const int*> out(keys.size());
+  m.lookup_batch(keys.data(), keys.size(), out.data());
+  EXPECT_EQ(out[0], m.find(5));
+  EXPECT_EQ(out[2], out[0]);
+  EXPECT_EQ(out[3], out[0]);
+  EXPECT_EQ(out[1], nullptr);
+  EXPECT_EQ(out[4], nullptr);
+}
+
+TEST(FlatHashMapBatch, MatchesScalarAfterEraseChurn) {
+  // Backward-shift deletion moves entries between slots; batch probing must
+  // still find every survivor.
+  FlatHashMap<std::uint64_t, std::uint64_t> m;
+  Rng rng(7);
+  for (std::uint64_t k = 0; k < 4096; ++k) m.insert_or_assign(k, k);
+  for (int i = 0; i < 2000; ++i) m.erase(rng.next() % 4096);
+
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t k = 0; k < 4096; k += 3) keys.push_back(k);
+  std::vector<const std::uint64_t*> out(keys.size());
+  m.lookup_batch(keys.data(), keys.size(), out.data());
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    EXPECT_EQ(out[i], m.find(keys[i])) << keys[i];
+}
+
+// Runs the same probe sequence through a batched map and a scalar twin and
+// asserts the final LRU states are indistinguishable by draining both with
+// identical inserts and comparing the eviction sequences.
+TEST(FlatLruMapBatch, MatchesScalarGetIncludingPromotionOrder) {
+  constexpr std::size_t kCap = 64;
+  FlatLruMap<std::uint64_t, std::uint64_t> batched(kCap);
+  FlatLruMap<std::uint64_t, std::uint64_t> scalar(kCap);
+  for (std::uint64_t k = 0; k < kCap; ++k) {
+    batched.put(k, k + 100);
+    scalar.put(k, k + 100);
+  }
+
+  // Mixed hits/misses/duplicates, longer than one batch window.
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < 3 * kCap; ++i) keys.push_back(i * 5 % 90);
+
+  std::vector<std::uint64_t*> out(keys.size());
+  batched.get_batch(keys.data(), keys.size(), out.data());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    std::uint64_t* s = scalar.get(keys[i]);
+    ASSERT_EQ(out[i] == nullptr, s == nullptr) << keys[i];
+    if (s != nullptr) {
+      EXPECT_EQ(*out[i], *s);
+    }
+  }
+
+  // Same recency order ⇒ same eviction order under identical pressure.
+  std::vector<std::uint64_t> evicted_b, evicted_s;
+  for (std::uint64_t k = 1000; k < 1000 + kCap; ++k) {
+    batched.put(k, k, [&](const std::uint64_t& key, std::uint64_t&&) {
+      evicted_b.push_back(key);
+    });
+    scalar.put(k, k, [&](const std::uint64_t& key, std::uint64_t&&) {
+      evicted_s.push_back(key);
+    });
+  }
+  EXPECT_EQ(evicted_b, evicted_s);
+}
+
+// Scalar reference for IndexCache::lookup_batch: the per-chunk engine probe
+// loop it replaces (lookup each chunk in order, then ghost-probe each miss
+// in order).
+void scalar_probe(IndexCache& c, const std::vector<Fingerprint>& fps,
+                  std::vector<const IndexEntry*>& out) {
+  out.assign(fps.size(), nullptr);
+  std::vector<const Fingerprint*> missed;
+  for (std::size_t i = 0; i < fps.size(); ++i) {
+    out[i] = c.lookup(fps[i]);
+    if (out[i] == nullptr) missed.push_back(&fps[i]);
+  }
+  for (const Fingerprint* m : missed) (void)c.ghost_probe(*m);
+}
+
+void expect_same_state(IndexCache& a, IndexCache& b,
+                       std::uint64_t key_range) {
+  EXPECT_EQ(a.hits(), b.hits());
+  EXPECT_EQ(a.misses(), b.misses());
+  EXPECT_EQ(a.ghost_hits(), b.ghost_hits());
+  EXPECT_EQ(a.size_entries(), b.size_entries());
+  for (std::uint64_t k = 0; k < key_range; ++k) {
+    const IndexEntry* ea = a.peek(fp(k));
+    const IndexEntry* eb = b.peek(fp(k));
+    ASSERT_EQ(ea == nullptr, eb == nullptr) << k;
+    if (ea != nullptr) {
+      EXPECT_EQ(ea->pba, eb->pba);
+      EXPECT_EQ(ea->count, eb->count);
+    }
+  }
+}
+
+TEST(IndexCacheBatch, MatchesScalarWithEvictedKeysInGhost) {
+  constexpr std::uint64_t kEntries = 8;
+  IndexCache batched(kEntries * IndexCache::kEntryBytes,
+                     kEntries * IndexCache::kEntryBytes);
+  IndexCache scalar(kEntries * IndexCache::kEntryBytes,
+                    kEntries * IndexCache::kEntryBytes);
+  // Insert past capacity so fp(0..7) fall out into the ghost list while
+  // fp(8..15) stay resident — the batch then mixes resident hits, ghost
+  // hits, and cold misses in one request.
+  for (std::uint64_t k = 0; k < 16; ++k) {
+    batched.insert(fp(k), 100 + k);
+    scalar.insert(fp(k), 100 + k);
+  }
+
+  std::vector<Fingerprint> request;
+  for (std::uint64_t k = 0; k < 24; ++k) request.push_back(fp(k));
+
+  std::vector<const IndexEntry*> out_b(request.size());
+  batched.lookup_batch(request, out_b.data());
+  std::vector<const IndexEntry*> out_s;
+  scalar_probe(scalar, request, out_s);
+
+  for (std::size_t i = 0; i < request.size(); ++i) {
+    SCOPED_TRACE(i);
+    ASSERT_EQ(out_b[i] == nullptr, out_s[i] == nullptr);
+    if (out_b[i] != nullptr) {
+      EXPECT_EQ(out_b[i]->pba, out_s[i]->pba);
+      EXPECT_EQ(out_b[i]->count, out_s[i]->count);
+    }
+  }
+  expect_same_state(batched, scalar, 24);
+  EXPECT_EQ(batched.batch_probes(), request.size());
+  EXPECT_EQ(scalar.batch_probes(), 0u);
+}
+
+TEST(IndexCacheBatch, DuplicateFingerprintsInOneRequest) {
+  // A request writing the same content twice probes the same fingerprint
+  // twice: both probes must hit (or both miss + the ghost entry be consumed
+  // exactly once), exactly as in the scalar loop.
+  IndexCache batched(8 * IndexCache::kEntryBytes, 8 * IndexCache::kEntryBytes);
+  IndexCache scalar(8 * IndexCache::kEntryBytes, 8 * IndexCache::kEntryBytes);
+  for (IndexCache* c : {&batched, &scalar}) {
+    // fp(2) goes in first so capacity pressure evicts exactly it (9 inserts
+    // into 8 slots drop the single LRU entry) while fp(1) stays resident.
+    c->insert(fp(2), 22);
+    c->insert(fp(1), 11);
+    for (std::uint64_t k = 10; k < 17; ++k) c->insert(fp(k), k);
+  }
+  ASSERT_EQ(batched.peek(fp(2)), nullptr);
+  ASSERT_NE(batched.peek(fp(1)), nullptr);
+
+  const std::vector<Fingerprint> request = {fp(1), fp(2), fp(1), fp(2), fp(3)};
+  std::vector<const IndexEntry*> out_b(request.size());
+  batched.lookup_batch(request, out_b.data());
+  std::vector<const IndexEntry*> out_s;
+  scalar_probe(scalar, request, out_s);
+
+  for (std::size_t i = 0; i < request.size(); ++i)
+    ASSERT_EQ(out_b[i] == nullptr, out_s[i] == nullptr) << i;
+  expect_same_state(batched, scalar, 20);
+  // fp(1) hit twice: its Count advanced by 2, like two scalar lookups.
+  EXPECT_EQ(batched.peek(fp(1))->count, 2u);
+  // The ghost entry for fp(2) was consumed by the first miss only.
+  EXPECT_EQ(batched.ghost_hits(), scalar.ghost_hits());
+}
+
+TEST(IndexCacheBatch, LongRandomSequenceMatchesScalar) {
+  constexpr std::uint64_t kEntries = 32;
+  IndexCache batched(kEntries * IndexCache::kEntryBytes,
+                     kEntries * IndexCache::kEntryBytes);
+  IndexCache scalar(kEntries * IndexCache::kEntryBytes,
+                    kEntries * IndexCache::kEntryBytes);
+  Rng rng(42);
+  // Interleave inserts (eviction churn) with batched probes of random
+  // request shapes, mirroring every operation into the scalar twin.
+  for (int round = 0; round < 50; ++round) {
+    const std::uint64_t k = rng.next() % 128;
+    batched.insert(fp(k), k);
+    scalar.insert(fp(k), k);
+
+    std::vector<Fingerprint> request;
+    const std::size_t len = 1 + rng.next() % 40;  // spans batch windows
+    for (std::size_t i = 0; i < len; ++i) request.push_back(fp(rng.next() % 128));
+
+    std::vector<const IndexEntry*> out_b(request.size());
+    batched.lookup_batch(request, out_b.data());
+    std::vector<const IndexEntry*> out_s;
+    scalar_probe(scalar, request, out_s);
+    for (std::size_t i = 0; i < request.size(); ++i)
+      ASSERT_EQ(out_b[i] == nullptr, out_s[i] == nullptr);
+  }
+  expect_same_state(batched, scalar, 128);
+}
+
+}  // namespace
+}  // namespace pod

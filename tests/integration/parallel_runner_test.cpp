@@ -75,6 +75,27 @@ TEST(ParallelRunner, SingleJobRunsInline) {
   expect_identical(out[0], run_replay(small_spec(EngineKind::kNative), trace));
 }
 
+TEST(ParallelRunner, ZeroJobsDegradesToSerial) {
+  // A caller forwarding an unvalidated POD_JOBS=0 must get serial execution,
+  // not a deadlock on a pool with no workers.
+  const Trace trace = small_trace();
+  std::vector<ParallelRunner::RunItem> items;
+  items.push_back({small_spec(EngineKind::kNative), &trace});
+  items.push_back({small_spec(EngineKind::kSelectDedupe), &trace});
+
+  const std::vector<ReplayResult> out = ParallelRunner(0).run(items);
+  ASSERT_EQ(out.size(), 2u);
+  expect_identical(out[0], run_replay(small_spec(EngineKind::kNative), trace));
+  expect_identical(out[1],
+                   run_replay(small_spec(EngineKind::kSelectDedupe), trace));
+}
+
+TEST(ParallelRunner, EmptyItemListReturnsEmpty) {
+  const std::vector<ReplayResult> out =
+      ParallelRunner(4).run(std::vector<ParallelRunner::RunItem>{});
+  EXPECT_TRUE(out.empty());
+}
+
 TEST(ParallelRunner, ResultsStayInInputOrder) {
   const Trace trace = small_trace();
   // Duplicate specs in a known order; engine_name must match slot by slot.

@@ -3,6 +3,9 @@
 // and trace generation.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <filesystem>
+#include <string>
 #include <vector>
 
 #include "cache/arc_cache.hpp"
@@ -307,6 +310,48 @@ void BM_EventQueuePushPop(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_EventQueuePushPop)->Arg(16)->Arg(1024);
+
+// Telemetry-off overhead tripwire: with no POD_* variable set, every
+// instrumentation site reduces to one branch on a null pointer, so a full
+// replay must cost what it did before the telemetry subsystem existed.
+// Compare against BM_ReplayTelemetryOn for the enabled cost.
+void BM_ReplayTelemetryOff(benchmark::State& state) {
+  unsetenv("POD_TRACE_EVENTS");
+  unsetenv("POD_TELEMETRY_CSV");
+  WorkloadProfile p = tiny_test_profile();
+  p.warmup_requests = 500;
+  p.measured_requests = 2000;
+  const Trace t = TraceGenerator(p).generate();
+  RunSpec spec;
+  spec.engine = EngineKind::kPod;
+  spec.engine_cfg.logical_blocks = p.volume_blocks;
+  spec.engine_cfg.memory_bytes = 2 * kMiB;
+  for (auto _ : state) benchmark::DoNotOptimize(run_replay(spec, t));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2000);
+}
+BENCHMARK(BM_ReplayTelemetryOff);
+
+void BM_ReplayTelemetryOn(benchmark::State& state) {
+  const std::string dir =
+      std::filesystem::temp_directory_path() / "pod_bench_telemetry";
+  std::filesystem::create_directories(dir);
+  setenv("POD_TRACE_EVENTS", (dir + "/trace.json").c_str(), 1);
+  setenv("POD_TELEMETRY_CSV", (dir + "/series.csv").c_str(), 1);
+  WorkloadProfile p = tiny_test_profile();
+  p.warmup_requests = 500;
+  p.measured_requests = 2000;
+  const Trace t = TraceGenerator(p).generate();
+  RunSpec spec;
+  spec.engine = EngineKind::kPod;
+  spec.engine_cfg.logical_blocks = p.volume_blocks;
+  spec.engine_cfg.memory_bytes = 2 * kMiB;
+  for (auto _ : state) benchmark::DoNotOptimize(run_replay(spec, t));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2000);
+  unsetenv("POD_TRACE_EVENTS");
+  unsetenv("POD_TELEMETRY_CSV");
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_ReplayTelemetryOn);
 
 void BM_SimulatorEventThroughput(benchmark::State& state) {
   for (auto _ : state) {

@@ -164,18 +164,56 @@ void emit_replay_counters_json(
     return;
   }
   for (const auto& [kind, r] : results) {
+    // Long-standing keys first, unchanged, so existing consumers keep
+    // parsing; the per-disk / parity / iCache / telemetry keys are appended.
     std::fprintf(
         f,
         "{\"trace\":\"%s\",\"engine\":\"%s\",\"mean_ms\":%.6f,"
         "\"events_scheduled\":%llu,\"peak_event_depth\":%llu,"
         "\"peak_rss_bytes\":%llu,\"batch_probes\":%llu,"
-        "\"scratch_bytes\":%llu}\n",
+        "\"scratch_bytes\":%llu",
         r.trace_name.c_str(), to_string(kind), r.mean_ms(),
         static_cast<unsigned long long>(r.events_scheduled),
         static_cast<unsigned long long>(r.peak_event_depth),
         static_cast<unsigned long long>(r.peak_rss_bytes),
         static_cast<unsigned long long>(r.batch_probes),
         static_cast<unsigned long long>(r.scratch_bytes));
+    std::fprintf(
+        f,
+        ",\"full_stripe_writes\":%llu,\"rmw_writes\":%llu,"
+        "\"icache_adaptations\":%llu,\"final_index_fraction\":%.6f",
+        static_cast<unsigned long long>(r.volume_counters.full_stripe_writes),
+        static_cast<unsigned long long>(r.volume_counters.rmw_writes),
+        static_cast<unsigned long long>(r.icache.adaptations),
+        r.final_index_fraction);
+    std::fprintf(f, ",\"per_disk\":[");
+    for (std::size_t d = 0; d < r.per_disk.size(); ++d) {
+      const ReplayResult::DiskBreakdown& b = r.per_disk[d];
+      std::fprintf(
+          f,
+          "%s{\"reads\":%llu,\"writes\":%llu,\"blocks_read\":%llu,"
+          "\"blocks_written\":%llu,\"sequential_hits\":%llu,"
+          "\"busy_ms\":%.6f,\"mean_queue_depth\":%.6f,"
+          "\"mean_seek_cylinders\":%.6f}",
+          d == 0 ? "" : ",", static_cast<unsigned long long>(b.reads),
+          static_cast<unsigned long long>(b.writes),
+          static_cast<unsigned long long>(b.blocks_read),
+          static_cast<unsigned long long>(b.blocks_written),
+          static_cast<unsigned long long>(b.sequential_hits), b.busy_ms,
+          b.mean_queue_depth, b.mean_seek_cylinders);
+    }
+    std::fprintf(f, "]");
+    if (!r.telemetry_counters.empty()) {
+      // Registry names are [a-z0-9._-] by construction — safe unescaped.
+      std::fprintf(f, ",\"telemetry\":{");
+      for (std::size_t i = 0; i < r.telemetry_counters.size(); ++i) {
+        std::fprintf(f, "%s\"%s\":%.6g", i == 0 ? "" : ",",
+                     r.telemetry_counters[i].first.c_str(),
+                     r.telemetry_counters[i].second);
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "}\n");
   }
   std::fclose(f);
 }

@@ -1,5 +1,6 @@
 #include "common/logging.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 
@@ -25,12 +26,23 @@ LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
 void log(LogLevel level, const char* fmt, ...) {
   if (static_cast<int>(level) > g_level.load(std::memory_order_relaxed)) return;
-  std::fprintf(stderr, "[pod %s] ", level_tag(level));
+  // Format the whole line into one stack buffer and emit it with a single
+  // fwrite: the prefix/body/newline were previously three separate stdio
+  // calls, which interleave mid-line when parallel replay workers log
+  // concurrently. Long messages are truncated to the buffer.
+  char buf[1024];
+  const int prefix =
+      std::snprintf(buf, sizeof(buf), "[pod %s] ", level_tag(level));
+  if (prefix < 0) return;
+  std::size_t off = static_cast<std::size_t>(prefix);
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  const int body = std::vsnprintf(buf + off, sizeof(buf) - off - 1, fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+  if (body > 0)
+    off += std::min(static_cast<std::size_t>(body), sizeof(buf) - off - 2);
+  buf[off++] = '\n';
+  std::fwrite(buf, 1, off, stderr);
 }
 
 }  // namespace pod

@@ -48,33 +48,35 @@ double OnlineStats::stddev() const { return std::sqrt(variance()); }
 void LatencyRecorder::add(Duration d) {
   stats_.add(static_cast<double>(d));
   samples_.push_back(static_cast<double>(d));
-  sorted_ = false;
 }
 
 void LatencyRecorder::merge(const LatencyRecorder& other) {
   stats_.merge(other.stats_);
   samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
-  sorted_ = false;
 }
 
 void LatencyRecorder::reset() {
   stats_.reset();
   samples_.clear();
-  sorted_ = true;
 }
 
 double LatencyRecorder::percentile_ns(double q) const {
   POD_CHECK(q >= 0.0 && q <= 1.0);
   if (samples_.empty()) return 0.0;
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
-  }
-  const double idx = q * static_cast<double>(samples_.size() - 1);
+  // Select on a copy so concurrent readers never write shared state (see
+  // header). nth_element partitions around the low order statistic; the
+  // high one (for interpolation) is then the minimum of the tail.
+  std::vector<double> work(samples_);
+  const double idx = q * static_cast<double>(work.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(idx);
-  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
   const double frac = idx - static_cast<double>(lo);
-  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  const auto lo_it = work.begin() + static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(work.begin(), lo_it, work.end());
+  const double lo_v = *lo_it;
+  const double hi_v = (frac > 0.0 && lo + 1 < work.size())
+                          ? *std::min_element(lo_it + 1, work.end())
+                          : lo_v;
+  return lo_v * (1.0 - frac) + hi_v * frac;
 }
 
 void Ewma::add(double x) {

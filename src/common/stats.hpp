@@ -45,7 +45,10 @@ class LatencyRecorder {
   double mean_ns() const { return stats_.mean(); }
   double mean_ms() const { return stats_.mean() / kMillisecond; }
   double max_ms() const { return stats_.max() / kMillisecond; }
-  /// Exact percentile (q in [0,1]) by nth_element; 0 when empty.
+  /// Exact percentile (q in [0,1]). Thread-safe for concurrent readers:
+  /// selects on a per-call copy instead of lazily sorting samples_ in
+  /// place (a const-qualified mutation that raced when parallel-replay
+  /// aggregation asked for percentiles of one recorder from two threads).
   double percentile_ns(double q) const;
   double percentile_ms(double q) const { return percentile_ns(q) / kMillisecond; }
 
@@ -53,8 +56,7 @@ class LatencyRecorder {
 
  private:
   OnlineStats stats_;
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = true;
+  std::vector<double> samples_;
 };
 
 /// Simple exponentially-weighted moving average, used by the iCache access

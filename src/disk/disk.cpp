@@ -1,24 +1,55 @@
 #include "disk/disk.hpp"
 
+#include <cstdlib>
 #include <utility>
 
 #include "common/check.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace pod {
 
 Disk::Disk(Simulator& sim, const HddModel& model, SchedulerKind scheduler,
-           std::string name)
+           std::string name, int lane)
     : sim_(sim),
       model_(model),
       queue_(make_scheduler(scheduler,
                             [this](std::uint64_t b) { return model_.cylinder_of(b); })),
-      name_(std::move(name)) {}
+      name_(std::move(name)),
+      lane_(lane) {}
+
+void Disk::init_telemetry(Telemetry& t) {
+  telem_.init = true;
+  MetricsRegistry& m = t.metrics();
+  telem_.queue_depth = &m.histogram(name_ + ".queue_depth");
+  telem_.seek_cylinders = &m.histogram(name_ + ".seek_cylinders");
+  // Cumulative counters already live in DiskStats; export them as pull
+  // probes instead of double-counting on the hot path.
+  m.probe(name_ + ".reads", [this] { return static_cast<double>(stats_.reads); });
+  m.probe(name_ + ".writes",
+          [this] { return static_cast<double>(stats_.writes); });
+  m.probe(name_ + ".busy_ms", [this] { return to_ms(stats_.busy_time); });
+  m.probe(name_ + ".sequential_hits",
+          [this] { return static_cast<double>(stats_.sequential_hits); });
+  telem_.trace = t.trace();
+  telem_.qd_counter_name = name_ + " queue";
+  if (telem_.trace != nullptr)
+    telem_.trace->set_thread_name(kTracePidDisks, lane_ < 0 ? 0 : lane_,
+                                  name_.c_str());
+}
 
 void Disk::submit(DiskOp op) {
   POD_CHECK(op.nblocks > 0);
   POD_CHECK(op.block + op.nblocks <= model_.total_blocks());
   op.enqueue_time = sim_.now();
-  stats_.queue_depth.add(static_cast<double>(queue_->size() + (busy_ ? 1 : 0)));
+  const double depth = static_cast<double>(queue_->size() + (busy_ ? 1 : 0));
+  stats_.queue_depth.add(depth);
+  if (Telemetry* t = sim_.telemetry()) {
+    if (!telem_.init) init_telemetry(*t);
+    telem_.queue_depth->add(depth);
+    if (telem_.trace != nullptr)
+      telem_.trace->counter(kTracePidDisks, telem_.qd_counter_name.c_str(),
+                            sim_.now(), depth + 1.0);
+  }
   queue_->push(std::move(op));
   if (!busy_) dispatch_next();
 }
@@ -37,6 +68,15 @@ void Disk::dispatch_next() {
       op.block == next_sequential_block_ &&
       sim_.now() - last_completion_ <= model_.rotation_period();
 
+  const std::uint64_t target_cyl = model_.cylinder_of(op.block);
+  const std::uint64_t seek_cyls =
+      sequential ? 0
+                 : (target_cyl > head_cylinder_ ? target_cyl - head_cylinder_
+                                                : head_cylinder_ - target_cyl);
+  stats_.seek_cylinders.add(static_cast<double>(seek_cyls));
+  if (telem_.init)
+    telem_.seek_cylinders->add(static_cast<double>(seek_cyls));
+
   const HddModel::Service svc =
       model_.service(head_cylinder_, op.block, op.nblocks, sim_.now(), sequential);
   if (sequential) ++stats_.sequential_hits;
@@ -51,7 +91,7 @@ void Disk::dispatch_next() {
   });
 }
 
-void Disk::complete(DiskOp op, const HddModel::Service& /*svc*/) {
+void Disk::complete(DiskOp op, const HddModel::Service& svc) {
   head_cylinder_ = model_.cylinder_of(op.block + op.nblocks - 1);
   next_sequential_block_ = op.block + op.nblocks;
   if (next_sequential_block_ >= model_.total_blocks())
@@ -66,6 +106,25 @@ void Disk::complete(DiskOp op, const HddModel::Service& /*svc*/) {
     stats_.blocks_written += op.nblocks;
   }
   stats_.op_latency.add(sim_.now() - op.enqueue_time);
+
+  if (telem_.init && telem_.trace != nullptr) {
+    // The service period [dispatch, completion] — per-disk lanes carry only
+    // non-overlapping spans (one op in service at a time); queueing wait is
+    // reported in args.
+    const Duration service = svc.total();
+    const SimTime start = sim_.now() - service;
+    telem_.trace->complete(
+        kTracePidDisks, lane_ < 0 ? 0 : lane_, to_string(op.type), start,
+        service,
+        {{"block", op.block},
+         {"nblocks", op.nblocks},
+         {"wait_us", to_us(start - op.enqueue_time)},
+         {"seek_us", to_us(svc.seek)},
+         {"rotation_us", to_us(svc.rotation)}});
+    telem_.trace->counter(
+        kTracePidDisks, telem_.qd_counter_name.c_str(), sim_.now(),
+        static_cast<double>(queue_->size()));
+  }
 
   busy_ = false;
   if (op.done) op.done();

@@ -13,6 +13,10 @@
 
 namespace pod {
 
+class Telemetry;
+class MetricHistogram;
+class TraceEventWriter;
+
 struct DiskStats {
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
@@ -22,6 +26,9 @@ struct DiskStats {
   Duration busy_time = 0;
   /// Queue depth observed at each enqueue (excluding the new op).
   OnlineStats queue_depth;
+  /// Head movement per dispatched op, in cylinders (0 for sequential
+  /// continuations).
+  OnlineStats seek_cylinders;
   /// Per-op total latency (wait + service).
   LatencyRecorder op_latency;
 };
@@ -30,8 +37,11 @@ struct DiskStats {
 /// queue. Completion callbacks fire in simulated time.
 class Disk {
  public:
+  /// `lane` is the disk's trace-event tid under the "disks" process (-1 =
+  /// unnumbered standalone disk; it shares lane 0).
   Disk(Simulator& sim, const HddModel& model,
-       SchedulerKind scheduler = SchedulerKind::kFcfs, std::string name = "disk");
+       SchedulerKind scheduler = SchedulerKind::kFcfs, std::string name = "disk",
+       int lane = -1);
 
   /// Enqueues an op. The op's `done` callback fires at completion.
   void submit(DiskOp op);
@@ -46,10 +56,28 @@ class Disk {
   void dispatch_next();
   void complete(DiskOp op, const HddModel::Service& svc);
 
+  /// Lazily binds telemetry handles (registry probes for the cumulative
+  /// DiskStats counters, histograms for queue depth / seek distance, the
+  /// per-disk trace lane). Lazy so construction order relative to
+  /// Simulator::set_telemetry does not matter.
+  void init_telemetry(Telemetry& t);
+
   Simulator& sim_;
   HddModel model_;
   std::unique_ptr<IoScheduler> queue_;
   std::string name_;
+  int lane_ = -1;
+
+  /// Telemetry handles, bound on first submit when telemetry is on. All
+  /// null/false when off — the hot-path cost is one pointer test.
+  struct Telem {
+    bool init = false;
+    MetricHistogram* queue_depth = nullptr;
+    MetricHistogram* seek_cylinders = nullptr;
+    TraceEventWriter* trace = nullptr;
+    std::string qd_counter_name;
+  };
+  Telem telem_;
 
   bool busy_ = false;
   std::uint64_t head_cylinder_ = 0;

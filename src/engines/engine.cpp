@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace pod {
 
@@ -117,6 +118,36 @@ DedupEngine::IoPlan DedupEngine::process_read(const IoRequest& req) {
   return build_read_plan(req);
 }
 
+void DedupEngine::init_telemetry(Telemetry& t) {
+  telem_.init = true;
+  MetricsRegistry& m = t.metrics();
+  telem_.batch_probes = &m.counter("engine.batch_probes");
+  telem_.batch_probe_hits = &m.counter("engine.batch_probe_hits");
+  telem_.trace = t.trace();
+  // Cumulative decision counters already accumulate in EngineStats; export
+  // them as pull probes so snapshots see them without hot-path writes.
+  m.probe("engine.write_requests",
+          [this] { return static_cast<double>(stats_.write_requests); });
+  m.probe("engine.read_requests",
+          [this] { return static_cast<double>(stats_.read_requests); });
+  m.probe("engine.writes_eliminated",
+          [this] { return static_cast<double>(stats_.writes_eliminated); });
+  m.probe("engine.chunks_deduped",
+          [this] { return static_cast<double>(stats_.chunks_deduped); });
+  m.probe("engine.chunks_written",
+          [this] { return static_cast<double>(stats_.chunks_written); });
+  m.probe("engine.dedup_ratio", [this] { return stats_.dedup_ratio(); });
+  m.probe("engine.index_disk_reads",
+          [this] { return static_cast<double>(stats_.index_disk_reads); });
+  m.probe("engine.index_disk_writes",
+          [this] { return static_cast<double>(stats_.index_disk_writes); });
+  for (int c = 0; c < 4; ++c) {
+    m.probe(std::string("engine.category.") +
+                to_string(static_cast<WriteCategory>(c)),
+            [this, c] { return static_cast<double>(stats_.category_counts[c]); });
+  }
+}
+
 void DedupEngine::probe_dups(const IoRequest& req, WriteScratch& s) {
   POD_DCHECK(index_cache_ != nullptr);
   if (cfg_.scalar_probes) {
@@ -137,6 +168,14 @@ void DedupEngine::probe_dups(const IoRequest& req, WriteScratch& s) {
     const IndexEntry* e = s.probes[i];
     if (e != nullptr && candidate_valid(req.chunks[i], e->pba))
       s.dups[i] = ChunkDup{true, e->pba};
+  }
+  if (Telemetry* t = sim_.telemetry()) {
+    if (!telem_.init) init_telemetry(*t);
+    std::uint64_t hits = 0;
+    for (std::uint32_t i = 0; i < req.nblocks; ++i)
+      if (s.probes[i] != nullptr) ++hits;
+    telem_.batch_probes->inc();
+    telem_.batch_probe_hits->inc(hits);
   }
 }
 
@@ -196,17 +235,24 @@ void DedupEngine::issue_background(OpType type, Pba block, std::uint64_t nblocks
   volume_.submit(VolumeIo{type, block, nblocks, /*done=*/nullptr});
 }
 
-void DedupEngine::execute_plan(IoPlan plan, std::function<void()> done) {
+void DedupEngine::execute_plan(const IoRequest& req, IoPlan plan,
+                               std::function<void()> done) {
   struct State {
     std::size_t outstanding = 0;
     OpList stage2;
     std::function<void()> done;
     DedupEngine* self = nullptr;
+    /// Non-null only while trace-event output is on for this run; the
+    /// nested stage spans share the outer request span's (cat, id).
+    TraceEventWriter* trace = nullptr;
+    std::uint64_t req_id = 0;
   };
   auto state = std::make_shared<State>();
   state->stage2 = std::move(plan.stage2);
   state->done = std::move(done);
   state->self = this;
+  state->trace = telem_.init ? telem_.trace : nullptr;
+  state->req_id = req.id;
 
   auto finish = [state]() {
     if (state->done) state->done();
@@ -217,12 +263,22 @@ void DedupEngine::execute_plan(IoPlan plan, std::function<void()> done) {
       finish();
       return;
     }
+    DedupEngine* self = state->self;
+    if (state->trace != nullptr)
+      state->trace->async_begin(kTraceCatRequest, state->req_id, "stage2-io",
+                                self->sim_.now(),
+                                {{"ops", state->stage2.size()}});
     state->outstanding = state->stage2.size();
     for (const OpSpec& op : state->stage2) {
-      state->self->volume_.submit(VolumeIo{
+      self->volume_.submit(VolumeIo{
           op.type, op.block, op.nblocks, [state, finish]() {
             POD_CHECK(state->outstanding > 0);
-            if (--state->outstanding == 0) finish();
+            if (--state->outstanding == 0) {
+              if (state->trace != nullptr)
+                state->trace->async_end(kTraceCatRequest, state->req_id,
+                                        "stage2-io", state->self->sim_.now());
+              finish();
+            }
           }});
     }
   };
@@ -234,17 +290,30 @@ void DedupEngine::execute_plan(IoPlan plan, std::function<void()> done) {
       issue_stage2();
       return;
     }
+    if (state->trace != nullptr)
+      state->trace->async_begin(kTraceCatRequest, state->req_id, "stage1-io",
+                                sim_.now(), {{"ops", stage1.size()}});
     state->outstanding = stage1.size();
     for (const OpSpec& op : stage1) {
       volume_.submit(VolumeIo{op.type, op.block, op.nblocks,
                               [state, issue_stage2]() {
                                 POD_CHECK(state->outstanding > 0);
-                                if (--state->outstanding == 0) issue_stage2();
+                                if (--state->outstanding == 0) {
+                                  if (state->trace != nullptr)
+                                    state->trace->async_end(
+                                        kTraceCatRequest, state->req_id,
+                                        "stage1-io", state->self->sim_.now());
+                                  issue_stage2();
+                                }
                               }});
     }
   };
 
   if (plan.cpu > 0) {
+    if (state->trace != nullptr)
+      state->trace->async_span(kTraceCatRequest, req.id, "classify", sim_.now(),
+                               sim_.now() + plan.cpu,
+                               {{"cpu_us", to_us(plan.cpu)}});
     sim_.schedule_after(plan.cpu, std::move(start_io));
   } else {
     start_io();
@@ -252,6 +321,9 @@ void DedupEngine::execute_plan(IoPlan plan, std::function<void()> done) {
 }
 
 void DedupEngine::submit(const IoRequest& req, std::function<void()> done) {
+  if (Telemetry* t = sim_.telemetry()) {
+    if (!telem_.init) init_telemetry(*t);
+  }
   IoPlan plan;
   if (req.is_write()) {
     ++stats_.write_requests;
@@ -266,7 +338,7 @@ void DedupEngine::submit(const IoRequest& req, std::function<void()> done) {
     plan = process_read(req);
     stats_.read_ops_issued += plan.stage1.size() + plan.stage2.size();
   }
-  execute_plan(std::move(plan), std::move(done));
+  execute_plan(req, std::move(plan), std::move(done));
 }
 
 void DedupEngine::warm(const IoRequest& req) {

@@ -40,6 +40,11 @@
 
 namespace pod {
 
+class ICache;
+class Telemetry;
+class TraceEventWriter;
+class MetricCounter;
+
 struct EngineConfig {
   /// Total DRAM budget split between index cache and read cache.
   std::uint64_t memory_bytes = 64 * kMiB;
@@ -150,6 +155,10 @@ class DedupEngine {
   /// Null for engines without a fingerprint index (Native).
   IndexCache* index_cache() { return index_cache_.get(); }
   const IndexCache* index_cache() const { return index_cache_.get(); }
+  /// The adaptive cache partitioner, when the engine has one (POD only) —
+  /// lets observers (telemetry sampler) read the live split without
+  /// downcasting.
+  virtual const ICache* adaptive_cache() const { return nullptr; }
   const EngineConfig& config() const { return cfg_; }
 
   /// Physical capacity in use (Figure 10).
@@ -311,7 +320,22 @@ class DedupEngine {
   bool warming_ = false;
 
  private:
-  void execute_plan(IoPlan plan, std::function<void()> done);
+  void execute_plan(const IoRequest& req, IoPlan plan,
+                    std::function<void()> done);
+
+  /// Binds metric handles / registers pull probes on first use (telemetry
+  /// may be attached to the simulator after engine construction).
+  void init_telemetry(Telemetry& t);
+
+  /// Telemetry handles; `init` doubles as the bound-once sentinel. All
+  /// null/false when telemetry is off — each hot-path site costs a single
+  /// branch on sim_.telemetry().
+  struct Telem {
+    bool init = false;
+    MetricCounter* batch_probes = nullptr;
+    MetricCounter* batch_probe_hits = nullptr;
+    TraceEventWriter* trace = nullptr;
+  } telem_;
 };
 
 }  // namespace pod

@@ -1,6 +1,7 @@
 #include "engines/pod_engine.hpp"
 
 #include "common/check.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace pod {
 
@@ -18,6 +19,28 @@ PodEngine::PodEngine(Simulator& sim, Volume& volume, const EngineConfig& cfg,
   icache_ = std::make_unique<ICache>(
       icfg, *index_cache_, read_cache_,
       [this](OpType type, std::uint64_t blocks) { swap_io(type, blocks); });
+  icache_->repartition_hook = [this](std::uint64_t old_bytes,
+                                     std::uint64_t new_bytes) {
+    if (warming_) return;  // warm-up runs at no simulated time
+    Telemetry* t = sim_.telemetry();
+    if (t == nullptr) return;
+    // Repartitions are rare (one per adaptation interval at most), so the
+    // by-name registry lookups here are off the hot path.
+    MetricsRegistry& m = t->metrics();
+    m.counter("icache.repartitions").inc();
+    m.counter(new_bytes > old_bytes ? "icache.repartitions_grew_index"
+                                    : "icache.repartitions_grew_read")
+        .inc();
+    const double frac = icache_->index_fraction();
+    m.gauge("icache.index_fraction").set(frac);
+    if (TraceEventWriter* tr = t->trace()) {
+      tr->instant(kTracePidRequests, 0, "icache-repartition", sim_.now(),
+                  {{"old_index_bytes", old_bytes},
+                   {"new_index_bytes", new_bytes},
+                   {"index_fraction", frac}});
+      tr->counter(kTracePidRequests, "icache index_fraction", sim_.now(), frac);
+    }
+  };
 }
 
 void PodEngine::swap_io(OpType type, std::uint64_t blocks) {

@@ -27,6 +27,7 @@ class PodEngine : public SelectDedupeEngine {
   const char* name() const override { return "pod"; }
 
   const ICache& icache() const { return *icache_; }
+  const ICache* adaptive_cache() const override { return icache_.get(); }
 
  protected:
   IoPlan process_write(const IoRequest& req) override;

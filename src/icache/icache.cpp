@@ -85,6 +85,7 @@ void ICache::apply(PartitionDecision decision) {
     read_.resize(cfg_.total_bytes - target);
     index_.resize(target);
     readmit_index_entries(delta / IndexCache::kEntryBytes);
+    if (repartition_hook) repartition_hook(index_bytes, target);
   } else {
     const std::uint64_t target =
         index_bytes > step ? std::max(index_bytes - step, min_bytes) : min_bytes;
@@ -99,6 +100,7 @@ void ICache::apply(PartitionDecision decision) {
     stats_.swap_blocks_written += spill_blocks;
     read_.resize(cfg_.total_bytes - target);
     prefetch_read_blocks(delta / kBlockSize);
+    if (repartition_hook) repartition_hook(index_bytes, target);
   }
 }
 

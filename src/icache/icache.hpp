@@ -72,6 +72,12 @@ class ICache {
   const ICacheStats& stats() const { return stats_; }
   const AccessMonitor& monitor() const { return monitor_; }
 
+  /// Fired after a repartition actually moves memory, with the index
+  /// cache's (old_bytes, new_bytes). Observation only (telemetry): the
+  /// repartition is complete — including swap I/O — by the time it runs.
+  std::function<void(std::uint64_t old_bytes, std::uint64_t new_bytes)>
+      repartition_hook;
+
  private:
   void apply(PartitionDecision decision);
   void readmit_index_entries(std::uint64_t budget_entries);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace pod {
 
@@ -124,6 +125,20 @@ void Raid5::submit(VolumeIo io) {
                               : plan_write(io.block, io.nblocks);
   full_stripe_writes_ += plan.full_stripes;
   rmw_writes_ += plan.rmw_rows;
+  if (Telemetry* t = sim_.telemetry()) {
+    // The parity write modes are the paper's small-write penalty in the
+    // flesh; export them as registry probes (cumulative members above) and
+    // count per-submit rows so histogram views can see the mix drift.
+    MetricsRegistry& m = t->metrics();
+    if (telem_rows_ == nullptr) {
+      m.probe("raid5.full_stripe_writes",
+              [this] { return static_cast<double>(full_stripe_writes_); });
+      m.probe("raid5.rmw_writes",
+              [this] { return static_cast<double>(rmw_writes_); });
+      telem_rows_ = &m.histogram("raid5.rmw_rows_per_write");
+    }
+    telem_rows_->add(static_cast<double>(plan.rmw_rows));
+  }
   run_two_phase(std::move(plan.pre_reads), OpType::kRead,
                 std::move(plan.writes), OpType::kWrite, std::move(io.done));
 }

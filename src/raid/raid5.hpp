@@ -19,6 +19,10 @@ class Raid5 : public DiskArray {
 
   void submit(VolumeIo io) override;
   std::uint64_t capacity_blocks() const override { return capacity_; }
+  VolumeCounters counters() const override {
+    return VolumeCounters{full_stripe_writes_, rmw_writes_,
+                          reconstruction_reads_};
+  }
 
   /// Parity disk for a stripe row (left-symmetric rotation).
   std::size_t parity_disk(std::uint64_t row) const;
@@ -76,6 +80,9 @@ class Raid5 : public DiskArray {
   std::uint64_t rmw_writes_ = 0;
   std::optional<std::size_t> failed_disk_;
   mutable std::uint64_t reconstruction_reads_ = 0;
+  /// Telemetry handle, bound on first submit when telemetry is on (also
+  /// the registered-probes sentinel).
+  MetricHistogram* telem_rows_ = nullptr;
 };
 
 }  // namespace pod

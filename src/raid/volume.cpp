@@ -44,7 +44,8 @@ DiskArray::DiskArray(Simulator& sim, const ArrayConfig& cfg) : sim_(sim), cfg_(c
   disks_.reserve(cfg_.num_disks);
   for (std::size_t i = 0; i < cfg_.num_disks; ++i) {
     disks_.push_back(std::make_unique<Disk>(sim_, model, cfg_.scheduler,
-                                            "disk" + std::to_string(i)));
+                                            "disk" + std::to_string(i),
+                                            static_cast<int>(i)));
   }
 }
 

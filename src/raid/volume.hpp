@@ -24,6 +24,17 @@ struct VolumeIo {
   std::function<void()> done;
 };
 
+/// Layout-level activity counters a volume implementation may maintain
+/// (all zero for layouts without parity).
+struct VolumeCounters {
+  /// Writes served as full-stripe writes (no parity pre-reads).
+  std::uint64_t full_stripe_writes = 0;
+  /// Writes that paid the parity read-modify-write penalty.
+  std::uint64_t rmw_writes = 0;
+  /// Reads reconstructed from parity while degraded.
+  std::uint64_t reconstruction_reads = 0;
+};
+
 class Volume {
  public:
   virtual ~Volume() = default;
@@ -33,6 +44,8 @@ class Volume {
   virtual std::uint64_t capacity_blocks() const = 0;
   virtual std::size_t num_disks() const = 0;
   virtual const Disk& disk(std::size_t i) const = 0;
+  /// Layout counters (parity write modes etc.); defaults to all-zero.
+  virtual VolumeCounters counters() const { return {}; }
 
   /// Sum of member-disk queue lengths (in-flight + waiting).
   std::size_t total_queue_length() const;

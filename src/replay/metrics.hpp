@@ -3,10 +3,14 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "engines/engine.hpp"
+#include "icache/icache.hpp"
+#include "raid/volume.hpp"
 
 namespace pod {
 
@@ -36,6 +40,31 @@ struct ReplayResult {
   std::uint64_t disk_reads = 0;
   std::uint64_t disk_writes = 0;
   double mean_disk_queue_depth = 0.0;
+
+  /// Per-member-disk activity breakdown (index = member position).
+  struct DiskBreakdown {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t blocks_read = 0;
+    std::uint64_t blocks_written = 0;
+    std::uint64_t sequential_hits = 0;
+    double busy_ms = 0.0;
+    double mean_queue_depth = 0.0;
+    double mean_seek_cylinders = 0.0;
+  };
+  std::vector<DiskBreakdown> per_disk;
+
+  /// Parity-layout write-mode counters (all zero for RAID-0).
+  VolumeCounters volume_counters;
+
+  /// iCache end-of-run state (all zero for engines without one).
+  ICacheStats icache;
+  /// Final index/total memory split (0 when the engine has no iCache).
+  double final_index_fraction = 0.0;
+
+  /// Snapshot of the telemetry metrics registry at end of run, sorted by
+  /// name (empty when telemetry is off).
+  std::vector<std::pair<std::string, double>> telemetry_counters;
 
   /// Simulated completion time of the last request.
   SimTime makespan = 0;

@@ -11,6 +11,7 @@
 #include "engines/select_dedupe.hpp"
 #include "raid/raid0.hpp"
 #include "raid/raid5.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace pod {
 
@@ -48,12 +49,35 @@ ReplayResult Replayer::replay(Simulator& sim, DedupEngine& engine,
   const SimTime t0 = trace.requests[first].arrival;
   const std::uint64_t scheduled_before = sim.events_scheduled();
 
-  auto record = [&sim, &result](SimTime arrival, OpType type) {
-    return [&sim, &result, arrival, type]() {
+  // Telemetry is observation-only here: no simulator events are scheduled
+  // for it (the sampler is polled at arrivals/completions), so the event
+  // stream — and every result byte — is identical with it on or off.
+  Telemetry* const telem = sim.telemetry();
+  TraceEventWriter* const trace_w = telem != nullptr ? telem->trace() : nullptr;
+
+  auto admit = [telem, trace_w](const IoRequest& req, SimTime arrival) {
+    if (telem == nullptr) return;
+    telem->maybe_sample(arrival);
+    if (trace_w != nullptr)
+      trace_w->async_begin(kTraceCatRequest, req.id,
+                           req.is_write() ? "write" : "read", arrival,
+                           {{"lba", req.lba}, {"nblocks", req.nblocks}});
+  };
+
+  auto record = [&sim, &result, telem, trace_w](SimTime arrival, OpType type,
+                                                std::uint64_t id) {
+    return [&sim, &result, telem, trace_w, arrival, type, id]() {
       const Duration latency = sim.now() - arrival;
       result.all.add(latency);
       if (type == OpType::kWrite) result.writes.add(latency);
       else result.reads.add(latency);
+      if (telem != nullptr) {
+        if (trace_w != nullptr)
+          trace_w->async_end(kTraceCatRequest, id,
+                             type == OpType::kWrite ? "write" : "read",
+                             sim.now());
+        telem->maybe_sample(sim.now());
+      }
     };
   };
 
@@ -62,8 +86,9 @@ ReplayResult Replayer::replay(Simulator& sim, DedupEngine& engine,
       const IoRequest& req = trace.requests[i];
       const SimTime arrival = req.arrival - t0;
       POD_CHECK(arrival >= 0);
-      sim.schedule_at(arrival, [&engine, &req, arrival, record]() {
-        engine.submit(req, record(arrival, req.type));
+      sim.schedule_at(arrival, [&engine, &req, arrival, record, admit]() {
+        admit(req, arrival);
+        engine.submit(req, record(arrival, req.type, req.id));
       });
     }
     sim.run();
@@ -83,7 +108,8 @@ ReplayResult Replayer::replay(Simulator& sim, DedupEngine& engine,
         if (sim.idle() || arrival <= sim.next_event_time()) {
           sim.advance_to(arrival);
           last_arrival = arrival;
-          engine.submit(req, record(arrival, req.type));
+          admit(req, arrival);
+          engine.submit(req, record(arrival, req.type, req.id));
           ++next;
           continue;
         }
@@ -107,8 +133,49 @@ ReplayResult Replayer::replay(Simulator& sim, DedupEngine& engine,
     result.batch_probes = ic->batch_probes();
   }
   result.scratch_bytes = engine.scratch_bytes();
+  if (const ICache* ic = engine.adaptive_cache()) {
+    result.icache = ic->stats();
+    result.final_index_fraction = ic->index_fraction();
+  }
   result.makespan = sim.now();
   return result;
+}
+
+/// Registers the sampled time-series columns: per-disk queue lengths, cache
+/// occupancy/hit rates, the live memory split, and cumulative dedup
+/// progress. Pull-only — probes read state the run maintains anyway.
+static void register_sampler_probes(TimeSeriesSampler& s, const Volume& volume,
+                                    const DedupEngine& engine) {
+  for (std::size_t d = 0; d < volume.num_disks(); ++d) {
+    const Disk& disk = volume.disk(d);
+    s.add_probe(disk.name() + ".queue", [&disk] {
+      return static_cast<double>(disk.queue_length());
+    });
+  }
+  const ReadCache& rc = engine.read_cache();
+  s.add_probe("read_cache.bytes",
+              [&rc] { return static_cast<double>(rc.capacity_bytes()); });
+  s.add_probe("read_cache.hit_rate", [&rc] { return rc.hit_rate(); });
+  if (const IndexCache* ic = engine.index_cache()) {
+    s.add_probe("index_cache.bytes",
+                [ic] { return static_cast<double>(ic->capacity_bytes()); });
+    s.add_probe("index_cache.hit_rate", [ic] { return ic->hit_rate(); });
+  }
+  if (const ICache* ac = engine.adaptive_cache()) {
+    s.add_probe("icache.index_fraction",
+                [ac] { return ac->index_fraction(); });
+    s.add_probe("icache.adaptations", [ac] {
+      return static_cast<double>(ac->stats().adaptations);
+    });
+  }
+  const EngineStats& es = engine.stats();
+  s.add_probe("engine.write_requests",
+              [&es] { return static_cast<double>(es.write_requests); });
+  s.add_probe("engine.read_requests",
+              [&es] { return static_cast<double>(es.read_requests); });
+  s.add_probe("engine.writes_eliminated",
+              [&es] { return static_cast<double>(es.writes_eliminated); });
+  s.add_probe("engine.dedup_ratio", [&es] { return es.dedup_ratio(); });
 }
 
 std::unique_ptr<Volume> make_volume(Simulator& sim, const RunSpec& spec) {
@@ -152,21 +219,45 @@ std::unique_ptr<DedupEngine> make_engine(Simulator& sim, Volume& volume,
 ReplayResult run_replay(const RunSpec& spec, const Trace& trace,
                         AdmissionMode mode) {
   Simulator sim;
+  // Built (or skipped) from POD_TRACE_EVENTS / POD_TELEMETRY_CSV; attached
+  // before the volume so member disks observe it from their first op.
+  std::unique_ptr<Telemetry> telemetry =
+      Telemetry::from_env(trace.name + "-" + to_string(spec.engine));
+  sim.set_telemetry(telemetry.get());
   std::unique_ptr<Volume> volume = make_volume(sim, spec);
   std::unique_ptr<DedupEngine> engine = make_engine(sim, *volume, spec);
+  if (telemetry && telemetry->sampler() != nullptr)
+    register_sampler_probes(*telemetry->sampler(), *volume, *engine);
 
   Replayer replayer(mode);
   ReplayResult result = replayer.replay(sim, *engine, trace);
   result.peak_rss_bytes = current_peak_rss_bytes();
 
+  result.per_disk.reserve(volume->num_disks());
   for (std::size_t d = 0; d < volume->num_disks(); ++d) {
     const DiskStats& ds = volume->disk(d).stats();
     result.disk_reads += ds.reads;
     result.disk_writes += ds.writes;
     result.mean_disk_queue_depth += ds.queue_depth.mean();
+    ReplayResult::DiskBreakdown b;
+    b.reads = ds.reads;
+    b.writes = ds.writes;
+    b.blocks_read = ds.blocks_read;
+    b.blocks_written = ds.blocks_written;
+    b.sequential_hits = ds.sequential_hits;
+    b.busy_ms = to_ms(ds.busy_time);
+    b.mean_queue_depth = ds.queue_depth.mean();
+    b.mean_seek_cylinders = ds.seek_cylinders.mean();
+    result.per_disk.push_back(b);
   }
   result.mean_disk_queue_depth /=
       static_cast<double>(std::max<std::size_t>(1, volume->num_disks()));
+  result.volume_counters = volume->counters();
+
+  if (telemetry) {
+    telemetry->finish(sim.now());
+    result.telemetry_counters = telemetry->metrics().snapshot();
+  }
   return result;
 }
 

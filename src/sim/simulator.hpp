@@ -12,6 +12,8 @@
 
 namespace pod {
 
+class Telemetry;
+
 class Simulator {
  public:
   SimTime now() const { return now_; }
@@ -48,10 +50,19 @@ class Simulator {
 
   void reset();
 
+  /// Telemetry for the run this simulator drives (null = telemetry off).
+  /// The simulator is the one object every timed component already holds,
+  /// so it doubles as the telemetry rendezvous point; it does not own the
+  /// Telemetry, and the disabled path is a single null-pointer branch at
+  /// each instrumentation site.
+  Telemetry* telemetry() const { return telemetry_; }
+  void set_telemetry(Telemetry* t) { telemetry_ = t; }
+
  private:
   SimTime now_ = 0;
   EventQueue events_;
   std::uint64_t events_executed_ = 0;
+  Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace pod

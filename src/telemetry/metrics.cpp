@@ -1,0 +1,48 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+
+namespace pod {
+
+MetricCounter& MetricsRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), MetricCounter{}).first;
+  return it->second;
+}
+
+MetricGauge& MetricsRegistry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), MetricGauge{}).first;
+  return it->second;
+}
+
+MetricHistogram& MetricsRegistry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), MetricHistogram{}).first;
+  return it->second;
+}
+
+void MetricsRegistry::probe(std::string_view name, std::function<double()> fn) {
+  probes_.insert_or_assign(std::string(name), std::move(fn));
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::snapshot() const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(size() + 2 * histograms_.size());
+  for (const auto& [name, c] : counters_)
+    out.emplace_back(name, static_cast<double>(c.value()));
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g.value());
+  for (const auto& [name, h] : histograms_) {
+    out.emplace_back(name + ".count", static_cast<double>(h.count()));
+    out.emplace_back(name + ".mean", h.mean());
+    out.emplace_back(name + ".max", h.max());
+  }
+  for (const auto& [name, fn] : probes_) out.emplace_back(name, fn());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace pod

@@ -1,0 +1,100 @@
+// MetricsRegistry: named counters / gauges / histograms for sim-time
+// telemetry.
+//
+// Design contract (see DESIGN.md "Telemetry"):
+//   * A registry belongs to exactly ONE replay run. Every run owns a fresh
+//     Simulator, and the registry hangs off it, so under ParallelRunner no
+//     two threads ever share a registry — handles are plain pointers with
+//     no atomics or locks on the increment path.
+//   * Handles are stable for the registry's lifetime: instruments live in
+//     node-based storage, so components fetch a handle once (lazily, on
+//     first use) and bump it thereafter with a single add.
+//   * The whole subsystem sits behind Simulator::telemetry(); when that is
+//     null (telemetry off) no registry exists and instrumentation sites
+//     reduce to one branch on a null pointer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace pod {
+
+/// Monotonically increasing event count.
+class MetricCounter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-set point-in-time value.
+class MetricGauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Value distribution: Welford moments plus min/max (OnlineStats). Enough
+/// for seek distances and queue depths without bucket-boundary choices.
+class MetricHistogram {
+ public:
+  void add(double v) { stats_.add(v); }
+  std::uint64_t count() const { return stats_.count(); }
+  double mean() const { return stats_.mean(); }
+  double min() const { return stats_.min(); }
+  double max() const { return stats_.max(); }
+  const OnlineStats& stats() const { return stats_; }
+
+ private:
+  OnlineStats stats_;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the named instrument. The returned reference is
+  /// stable for the registry's lifetime (cache it; lookups cost a map walk).
+  MetricCounter& counter(std::string_view name);
+  MetricGauge& gauge(std::string_view name);
+  MetricHistogram& histogram(std::string_view name);
+
+  /// Registers a pull-mode probe: `fn` is evaluated at snapshot time. Used
+  /// to export counters a component already maintains (cache hit counts,
+  /// RAID write-mode tallies) without touching its hot path. Re-registering
+  /// a name replaces the probe.
+  void probe(std::string_view name, std::function<double()> fn);
+
+  /// Flattens every instrument to (name, value) pairs, sorted by name.
+  /// Histograms expand to `<name>.count/.mean/.max`.
+  std::vector<std::pair<std::string, double>> snapshot() const;
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size() +
+           probes_.size();
+  }
+
+ private:
+  // std::map: node-based, so references handed out stay valid across
+  // later registrations (the handle-stability contract above).
+  std::map<std::string, MetricCounter, std::less<>> counters_;
+  std::map<std::string, MetricGauge, std::less<>> gauges_;
+  std::map<std::string, MetricHistogram, std::less<>> histograms_;
+  std::map<std::string, std::function<double()>, std::less<>> probes_;
+};
+
+}  // namespace pod

@@ -1,0 +1,72 @@
+#include "telemetry/sampler.hpp"
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+
+namespace pod {
+
+TimeSeriesSampler::TimeSeriesSampler(const std::string& path, Duration interval)
+    : interval_(interval), next_due_(interval) {
+  POD_CHECK(interval > 0);
+  jsonl_ = path.size() >= 6 && path.rfind(".jsonl") == path.size() - 6;
+  f_ = std::fopen(path.c_str(), "w");
+  if (f_ == nullptr)
+    POD_LOG_WARN("telemetry: cannot open time-series file %s", path.c_str());
+}
+
+TimeSeriesSampler::~TimeSeriesSampler() { close(); }
+
+void TimeSeriesSampler::close() {
+  if (f_ == nullptr) return;
+  // A header-only CSV is still useful (schema discovery) — make sure it
+  // exists even when no boundary was ever crossed.
+  if (!jsonl_ && !header_written_) emit_header();
+  std::fclose(f_);
+  f_ = nullptr;
+}
+
+void TimeSeriesSampler::add_probe(std::string name, std::function<double()> fn) {
+  POD_CHECK(!header_written_);  // schema is fixed once rows exist
+  probes_.push_back(Probe{std::move(name), std::move(fn)});
+}
+
+void TimeSeriesSampler::maybe_sample(SimTime now) {
+  if (now < next_due_) return;
+  emit_row(now);
+  // Skip every boundary at or before `now`: one row per crossing, however
+  // many intervals the burst gap swallowed.
+  next_due_ += interval_ * ((now - next_due_) / interval_ + 1);
+}
+
+void TimeSeriesSampler::sample_now(SimTime now) {
+  if (now == last_row_time_) return;
+  emit_row(now);
+  if (now >= next_due_) next_due_ += interval_ * ((now - next_due_) / interval_ + 1);
+}
+
+void TimeSeriesSampler::emit_header() {
+  header_written_ = true;
+  if (jsonl_) return;
+  std::fputs("sim_ms", f_);
+  for (const Probe& p : probes_) std::fprintf(f_, ",%s", p.name.c_str());
+  std::fputc('\n', f_);
+}
+
+void TimeSeriesSampler::emit_row(SimTime now) {
+  if (f_ == nullptr) return;
+  if (!header_written_) emit_header();
+  last_row_time_ = now;
+  ++rows_;
+  if (jsonl_) {
+    std::fprintf(f_, "{\"sim_ms\":%.6f", to_ms(now));
+    for (const Probe& p : probes_)
+      std::fprintf(f_, ",\"%s\":%.6g", p.name.c_str(), p.fn());
+    std::fputs("}\n", f_);
+  } else {
+    std::fprintf(f_, "%.6f", to_ms(now));
+    for (const Probe& p : probes_) std::fprintf(f_, ",%.6g", p.fn());
+    std::fputc('\n', f_);
+  }
+}
+
+}  // namespace pod

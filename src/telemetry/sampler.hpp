@@ -1,0 +1,77 @@
+// Sim-time periodic sampler: dumps a fixed column schema to CSV or JSONL.
+//
+// The sampler never schedules simulator events — doing so would perturb the
+// event stream the telemetry is supposed to observe (events_scheduled,
+// peak_event_depth, and tie-breaking order must be byte-identical with
+// telemetry on and off). Instead the replayer polls maybe_sample() at
+// request arrivals and completions; a row is emitted the first time
+// simulated time reaches or passes an interval boundary. Boundaries that
+// fall entirely inside an idle gap collapse into the single row emitted
+// when activity resumes (probes would report the same state for each of
+// them anyway).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pod {
+
+class TimeSeriesSampler {
+ public:
+  /// Opens `path`; a ".jsonl" extension selects JSON-lines output, anything
+  /// else CSV. `interval` is the simulated sampling period.
+  TimeSeriesSampler(const std::string& path, Duration interval);
+  ~TimeSeriesSampler();
+
+  TimeSeriesSampler(const TimeSeriesSampler&) = delete;
+  TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
+
+  bool ok() const { return f_ != nullptr; }
+  Duration interval() const { return interval_; }
+
+  /// Adds a column before the first sample; `fn` is pulled at each row.
+  /// The first column is always `sim_ms` (the row's simulated timestamp).
+  void add_probe(std::string name, std::function<double()> fn);
+
+  /// Emits one row iff `now` has reached the next interval boundary, then
+  /// advances the boundary past `now`: crossing k >= 1 boundaries at once
+  /// emits exactly one row stamped at `now`.
+  void maybe_sample(SimTime now);
+
+  /// Unconditionally emits a row at `now` (end-of-run flush), unless a row
+  /// was already emitted at this exact time.
+  void sample_now(SimTime now);
+
+  /// Flushes and closes the file. Idempotent; the destructor calls it.
+  void close();
+
+  std::uint64_t rows_written() const { return rows_; }
+  /// Next boundary that will trigger a row (exposed for interval-math
+  /// tests).
+  SimTime next_due() const { return next_due_; }
+
+ private:
+  void emit_row(SimTime now);
+  void emit_header();
+
+  struct Probe {
+    std::string name;
+    std::function<double()> fn;
+  };
+
+  std::FILE* f_ = nullptr;
+  bool jsonl_ = false;
+  bool header_written_ = false;
+  Duration interval_;
+  SimTime next_due_;
+  SimTime last_row_time_ = -1;
+  std::uint64_t rows_ = 0;
+  std::vector<Probe> probes_;
+};
+
+}  // namespace pod

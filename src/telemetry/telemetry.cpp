@@ -1,0 +1,112 @@
+#include "telemetry/telemetry.hpp"
+
+#include <atomic>
+#include <charconv>
+#include <cstdlib>
+#include <cstring>
+
+namespace pod {
+
+namespace {
+
+/// Process-wide run sequence: parallel runs each claim a distinct file
+/// suffix.
+std::atomic<std::uint64_t> g_run_seq{0};
+
+double env_double(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  double v = 0.0;
+  const char* end = env + std::strlen(env);
+  const auto [ptr, ec] = std::from_chars(env, end, v);
+  if (ec != std::errc{} || ptr != end || !(v > 0.0)) {
+    std::fprintf(stderr, "[pod] %s='%s' is not a positive number; aborting\n",
+                 name, env);
+    std::exit(2);
+  }
+  return v;
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  std::uint64_t v = 0;
+  const char* end = env + std::strlen(env);
+  const auto [ptr, ec] = std::from_chars(env, end, v);
+  if (ec != std::errc{} || ptr != end) {
+    std::fprintf(stderr, "[pod] %s='%s' is not a non-negative integer; "
+                 "aborting\n", name, env);
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
+TelemetryConfig TelemetryConfig::from_env() {
+  TelemetryConfig cfg;
+  if (const char* p = std::getenv("POD_TRACE_EVENTS")) cfg.trace_events_path = p;
+  if (const char* p = std::getenv("POD_TELEMETRY_CSV")) cfg.timeseries_path = p;
+  cfg.sample_interval = ms(env_double("POD_TELEMETRY_INTERVAL_MS", 100.0));
+  cfg.trace_event_limit = env_u64("POD_TRACE_LIMIT", cfg.trace_event_limit);
+  return cfg;
+}
+
+std::string telemetry_run_path(const std::string& base, std::uint64_t seq,
+                               const std::string& label) {
+  std::string clean;
+  clean.reserve(label.size());
+  for (char c : label) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    clean.push_back(ok ? c : '-');
+  }
+  const std::string infix = "." + std::to_string(seq) + "-" + clean;
+  // Insert before the extension; paths like "dir/name" (no dot after the
+  // last separator) just get the infix appended.
+  const std::size_t slash = base.find_last_of('/');
+  const std::size_t dot = base.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash))
+    return base + infix;
+  return base.substr(0, dot) + infix + base.substr(dot);
+}
+
+Telemetry::Telemetry(const TelemetryConfig& cfg, const std::string& run_label)
+    : run_label_(run_label) {
+  const std::uint64_t seq = g_run_seq.fetch_add(1, std::memory_order_relaxed);
+  if (!cfg.trace_events_path.empty()) {
+    trace_ = std::make_unique<TraceEventWriter>(
+        telemetry_run_path(cfg.trace_events_path, seq, run_label),
+        cfg.trace_event_limit);
+    if (!trace_->ok()) trace_.reset();
+  }
+  if (!cfg.timeseries_path.empty()) {
+    sampler_ = std::make_unique<TimeSeriesSampler>(
+        telemetry_run_path(cfg.timeseries_path, seq, run_label),
+        cfg.sample_interval);
+    if (!sampler_->ok()) sampler_.reset();
+  }
+  if (trace_) {
+    const std::string req_lane = "requests (" + run_label + ")";
+    trace_->set_process_name(kTracePidRequests, req_lane.c_str());
+    trace_->set_process_name(kTracePidDisks, "disks");
+  }
+}
+
+Telemetry::~Telemetry() = default;
+
+void Telemetry::finish(SimTime now) {
+  if (sampler_) {
+    sampler_->sample_now(now);
+    sampler_->close();
+  }
+  if (trace_) trace_->close();
+}
+
+std::unique_ptr<Telemetry> Telemetry::from_env(const std::string& run_label) {
+  const TelemetryConfig cfg = TelemetryConfig::from_env();
+  if (!cfg.any()) return nullptr;
+  return std::make_unique<Telemetry>(cfg, run_label);
+}
+
+}  // namespace pod

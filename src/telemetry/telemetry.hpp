@@ -1,0 +1,104 @@
+// Telemetry facade: one per replay run, reached via Simulator::telemetry().
+//
+// Bundles the three sinks of the sim-time telemetry subsystem:
+//   * a MetricsRegistry of counters/gauges/histograms (always present when
+//     telemetry is on; snapshot exported into ReplayResult);
+//   * an optional Chrome/Perfetto trace_event writer (POD_TRACE_EVENTS);
+//   * an optional sim-time periodic sampler (POD_TELEMETRY_CSV).
+//
+// Overhead contract: when no telemetry environment variable is set,
+// Simulator::telemetry() stays null and every instrumentation site in the
+// engines/disks/RAID/replayer is a single branch on that null pointer —
+// nothing is allocated, formatted or counted. ParallelRunner safety comes
+// from per-run ownership: each run builds its own Telemetry, and file sinks
+// are suffixed with a process-wide run sequence number plus the run's
+// engine/trace label, so concurrent runs never share a FILE*.
+//
+// Environment:
+//   POD_TRACE_EVENTS        — base path for trace-event JSON (one file per
+//                             run: base.<seq>-<label>.json)
+//   POD_TELEMETRY_CSV       — base path for the sampled time series; a
+//                             .jsonl extension selects JSON-lines rows
+//   POD_TELEMETRY_INTERVAL_MS — sampling period in simulated ms (default
+//                             100)
+//   POD_TRACE_LIMIT         — cap on trace events per run (default 500000;
+//                             0 = unlimited)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/trace_writer.hpp"
+
+namespace pod {
+
+/// Trace-event lane layout shared by all instrumentation sites: pid 1
+/// carries the per-request async spans (and process-wide instants /
+/// counters), pid 2 carries one tid lane per member disk.
+inline constexpr int kTracePidRequests = 1;
+inline constexpr int kTracePidDisks = 2;
+/// Async-event category for per-request spans.
+inline constexpr const char* kTraceCatRequest = "req";
+
+struct TelemetryConfig {
+  std::string trace_events_path;  ///< empty = span tracing off
+  std::string timeseries_path;    ///< empty = sampling off
+  Duration sample_interval = ms(100);
+  std::uint64_t trace_event_limit = 500'000;
+
+  bool any() const {
+    return !trace_events_path.empty() || !timeseries_path.empty();
+  }
+
+  /// Reads the POD_* environment (see header comment). Malformed numeric
+  /// values abort, mirroring POD_SCALE handling.
+  static TelemetryConfig from_env();
+};
+
+class Telemetry {
+ public:
+  /// Opens the configured sinks with per-run suffixed paths. `run_label`
+  /// names the run in filenames and lane titles (e.g. "web-vm-pod").
+  Telemetry(const TelemetryConfig& cfg, const std::string& run_label);
+  ~Telemetry();
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  /// Builds a Telemetry from the environment, or null when no telemetry
+  /// variable is set — the null is what makes the disabled path free.
+  static std::unique_ptr<Telemetry> from_env(const std::string& run_label);
+
+  MetricsRegistry& metrics() { return metrics_; }
+  /// Null when span tracing is disabled: callers branch once and skip all
+  /// event formatting.
+  TraceEventWriter* trace() { return trace_.get(); }
+  TimeSeriesSampler* sampler() { return sampler_.get(); }
+
+  const std::string& run_label() const { return run_label_; }
+
+  /// Forwards to the sampler when present (the replayer's poll site).
+  void maybe_sample(SimTime now) {
+    if (sampler_) sampler_->maybe_sample(now);
+  }
+
+  /// End of run: final sample row, closes both sinks.
+  void finish(SimTime now);
+
+ private:
+  std::string run_label_;
+  MetricsRegistry metrics_;
+  std::unique_ptr<TraceEventWriter> trace_;
+  std::unique_ptr<TimeSeriesSampler> sampler_;
+};
+
+/// "base.ext" -> "base.<seq>-<label>.ext" (label sanitized to
+/// [A-Za-z0-9._-]); exposed for tests.
+std::string telemetry_run_path(const std::string& base, std::uint64_t seq,
+                               const std::string& label);
+
+}  // namespace pod

@@ -1,0 +1,177 @@
+#include "telemetry/trace_writer.hpp"
+
+#include "common/logging.hpp"
+
+namespace pod {
+
+namespace {
+
+/// Escapes a string into a JSON string literal (quotes included).
+void write_json_string(std::FILE* f, const char* s) {
+  std::fputc('"', f);
+  for (; *s != '\0'; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    switch (c) {
+      case '"': std::fputs("\\\"", f); break;
+      case '\\': std::fputs("\\\\", f); break;
+      case '\n': std::fputs("\\n", f); break;
+      case '\t': std::fputs("\\t", f); break;
+      case '\r': std::fputs("\\r", f); break;
+      default:
+        if (c < 0x20) {
+          std::fprintf(f, "\\u%04x", c);
+        } else {
+          std::fputc(static_cast<char>(c), f);
+        }
+    }
+  }
+  std::fputc('"', f);
+}
+
+/// Simulated ns -> trace_event µs with fractional ns precision.
+double to_trace_us(SimTime ns) { return static_cast<double>(ns) / 1000.0; }
+
+}  // namespace
+
+TraceEventWriter::TraceEventWriter(const std::string& path,
+                                   std::uint64_t max_events)
+    : max_events_(max_events) {
+  f_ = std::fopen(path.c_str(), "w");
+  if (f_ == nullptr) {
+    POD_LOG_WARN("telemetry: cannot open trace-event file %s", path.c_str());
+    return;
+  }
+  std::fputs("[\n", f_);
+}
+
+TraceEventWriter::~TraceEventWriter() { close(); }
+
+void TraceEventWriter::close() {
+  if (f_ == nullptr) return;
+  if (dropped_ > 0) {
+    // Bypasses the cap: the marker that explains the truncation must land.
+    const std::uint64_t saved = max_events_;
+    max_events_ = 0;
+    instant(0, 0, "trace truncated (POD_TRACE_LIMIT)", 0,
+            {{"events_dropped", dropped_}});
+    max_events_ = saved;
+  }
+  std::fputs("\n]\n", f_);
+  std::fclose(f_);
+  f_ = nullptr;
+}
+
+bool TraceEventWriter::begin_event(char ph, const char* name, SimTime ts,
+                                   bool counts) {
+  if (f_ == nullptr) return false;
+  if (counts && max_events_ != 0 && written_ >= max_events_) {
+    ++dropped_;
+    return false;
+  }
+  if (counts) ++written_;
+  if (!first_) std::fputs(",\n", f_);
+  first_ = false;
+  std::fprintf(f_, "{\"ph\":\"%c\",\"ts\":%.3f,\"name\":", ph, to_trace_us(ts));
+  write_json_string(f_, name);
+  return true;
+}
+
+void TraceEventWriter::field_pid_tid(int pid, int tid) {
+  std::fprintf(f_, ",\"pid\":%d,\"tid\":%d", pid, tid);
+}
+
+void TraceEventWriter::write_args(const Args& args) {
+  std::fputs(",\"args\":{", f_);
+  bool first = true;
+  for (const TraceArg& a : args) {
+    if (!first) std::fputc(',', f_);
+    first = false;
+    write_json_string(f_, a.key);
+    std::fputc(':', f_);
+    switch (a.kind) {
+      case TraceArg::Kind::kU64:
+        std::fprintf(f_, "%llu", static_cast<unsigned long long>(a.u));
+        break;
+      case TraceArg::Kind::kI64:
+        std::fprintf(f_, "%lld", static_cast<long long>(a.i));
+        break;
+      case TraceArg::Kind::kF64:
+        std::fprintf(f_, "%.6g", a.d);
+        break;
+      case TraceArg::Kind::kStr:
+        write_json_string(f_, a.s);
+        break;
+    }
+  }
+  std::fputc('}', f_);
+}
+
+void TraceEventWriter::end_event() { std::fputc('}', f_); }
+
+void TraceEventWriter::set_process_name(int pid, const char* name) {
+  if (!begin_event('M', "process_name", 0, /*counts=*/false)) return;
+  field_pid_tid(pid, 0);
+  write_args({{"name", name}});
+  end_event();
+}
+
+void TraceEventWriter::set_thread_name(int pid, int tid, const char* name) {
+  if (!begin_event('M', "thread_name", 0, /*counts=*/false)) return;
+  field_pid_tid(pid, tid);
+  write_args({{"name", name}});
+  end_event();
+}
+
+void TraceEventWriter::complete(int pid, int tid, const char* name,
+                                SimTime start, Duration dur, Args args) {
+  if (!begin_event('X', name, start, /*counts=*/true)) return;
+  field_pid_tid(pid, tid);
+  std::fprintf(f_, ",\"dur\":%.3f", to_trace_us(dur));
+  write_args(args);
+  end_event();
+}
+
+void TraceEventWriter::instant(int pid, int tid, const char* name, SimTime ts,
+                               Args args) {
+  if (!begin_event('i', name, ts, /*counts=*/true)) return;
+  field_pid_tid(pid, tid);
+  std::fputs(",\"s\":\"p\"", f_);  // process scope: a full-height marker
+  write_args(args);
+  end_event();
+}
+
+void TraceEventWriter::counter(int pid, const char* name, SimTime ts,
+                               double value) {
+  if (!begin_event('C', name, ts, /*counts=*/true)) return;
+  field_pid_tid(pid, 0);
+  write_args({{"value", value}});
+  end_event();
+}
+
+void TraceEventWriter::async_begin(const char* cat, std::uint64_t id,
+                                   const char* name, SimTime ts, Args args) {
+  if (!begin_event('b', name, ts, /*counts=*/true)) return;
+  field_pid_tid(1, 1);
+  std::fprintf(f_, ",\"cat\":\"%s\",\"id\":\"0x%llx\"", cat,
+               static_cast<unsigned long long>(id));
+  write_args(args);
+  end_event();
+}
+
+void TraceEventWriter::async_end(const char* cat, std::uint64_t id,
+                                 const char* name, SimTime ts) {
+  if (!begin_event('e', name, ts, /*counts=*/true)) return;
+  field_pid_tid(1, 1);
+  std::fprintf(f_, ",\"cat\":\"%s\",\"id\":\"0x%llx\"", cat,
+               static_cast<unsigned long long>(id));
+  end_event();
+}
+
+void TraceEventWriter::async_span(const char* cat, std::uint64_t id,
+                                  const char* name, SimTime start, SimTime end,
+                                  Args args) {
+  async_begin(cat, id, name, start, args);
+  async_end(cat, id, name, end);
+}
+
+}  // namespace pod

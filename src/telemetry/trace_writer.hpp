@@ -1,0 +1,104 @@
+// Chrome / Perfetto trace_event JSON emitter keyed on SIMULATED time.
+//
+// Produces the JSON-array flavour of the trace_event format
+// (https://ui.perfetto.dev loads it directly, as does chrome://tracing):
+//   * complete events ("X") — non-overlapping spans, e.g. one disk's
+//     service periods on its own lane;
+//   * async events ("b"/"e") — per-request spans that may overlap, grouped
+//     by (category, id) so each in-flight request gets its own row;
+//   * instant events ("i") — point markers (iCache repartitions);
+//   * counter events ("C") — stepped time series (queue depth);
+//   * metadata events ("M") — process/thread lane naming.
+//
+// Timestamps are simulated nanoseconds converted to the format's
+// microseconds with fractional precision; nothing here reads a wall clock.
+// A writer belongs to one replay run (one output file per run) and is not
+// thread-safe — parallel runs each open their own writer.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace pod {
+
+/// One "args" entry of a trace event.
+struct TraceArg {
+  enum class Kind { kU64, kI64, kF64, kStr };
+
+  const char* key;
+  Kind kind;
+  std::uint64_t u = 0;
+  std::int64_t i = 0;
+  double d = 0.0;
+  const char* s = nullptr;
+
+  TraceArg(const char* k, std::uint64_t v) : key(k), kind(Kind::kU64), u(v) {}
+  TraceArg(const char* k, std::int64_t v) : key(k), kind(Kind::kI64), i(v) {}
+  TraceArg(const char* k, int v)
+      : key(k), kind(Kind::kI64), i(static_cast<std::int64_t>(v)) {}
+  TraceArg(const char* k, unsigned v)
+      : key(k), kind(Kind::kU64), u(static_cast<std::uint64_t>(v)) {}
+  TraceArg(const char* k, double v) : key(k), kind(Kind::kF64), d(v) {}
+  TraceArg(const char* k, const char* v) : key(k), kind(Kind::kStr), s(v) {}
+};
+
+class TraceEventWriter {
+ public:
+  using Args = std::initializer_list<TraceArg>;
+
+  /// Opens `path` for writing. `max_events` caps the number of non-metadata
+  /// events (0 = unlimited); events past the cap are counted and a summary
+  /// instant is appended at close, so a runaway trace degrades to a bounded
+  /// file instead of filling the disk.
+  TraceEventWriter(const std::string& path, std::uint64_t max_events = 0);
+  ~TraceEventWriter();
+
+  TraceEventWriter(const TraceEventWriter&) = delete;
+  TraceEventWriter& operator=(const TraceEventWriter&) = delete;
+
+  /// False when the output file could not be opened (events are dropped).
+  bool ok() const { return f_ != nullptr; }
+
+  /// Writes the closing bracket and releases the file. Idempotent; the
+  /// destructor calls it.
+  void close();
+
+  // Lane naming.
+  void set_process_name(int pid, const char* name);
+  void set_thread_name(int pid, int tid, const char* name);
+
+  // Events. `ts`/`start` are simulated nanoseconds.
+  void complete(int pid, int tid, const char* name, SimTime start, Duration dur,
+                Args args = {});
+  void instant(int pid, int tid, const char* name, SimTime ts, Args args = {});
+  void counter(int pid, const char* name, SimTime ts, double value);
+  void async_begin(const char* cat, std::uint64_t id, const char* name,
+                   SimTime ts, Args args = {});
+  void async_end(const char* cat, std::uint64_t id, const char* name,
+                 SimTime ts);
+  /// Convenience: a nested begin+end pair under one async id.
+  void async_span(const char* cat, std::uint64_t id, const char* name,
+                  SimTime start, SimTime end, Args args = {});
+
+  std::uint64_t events_written() const { return written_; }
+  std::uint64_t events_dropped() const { return dropped_; }
+
+ private:
+  /// Opens one event object and writes the common fields. Returns false
+  /// when the event must be dropped (closed writer or cap reached).
+  bool begin_event(char ph, const char* name, SimTime ts, bool counts);
+  void field_pid_tid(int pid, int tid);
+  void write_args(const Args& args);
+  void end_event();
+
+  std::FILE* f_ = nullptr;
+  bool first_ = true;
+  std::uint64_t written_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t max_events_ = 0;
+};
+
+}  // namespace pod

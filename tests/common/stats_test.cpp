@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <thread>
+#include <vector>
 
 namespace pod {
 namespace {
@@ -102,6 +105,29 @@ TEST(LatencyRecorder, PercentileAfterMoreAdds) {
   EXPECT_DOUBLE_EQ(r.percentile_ms(0.5), 10.0);
   r.add(ms(20));  // re-sorting must happen after the new sample
   EXPECT_DOUBLE_EQ(r.percentile_ms(1.0), 20.0);
+}
+
+TEST(LatencyRecorder, ConcurrentPercentileReadsAreSafe) {
+  // percentile_ns() works on a per-call copy, so concurrent readers of one
+  // shared recorder (ParallelRunner aggregation) must race neither with
+  // each other nor corrupt the sample order. Run under TSan for teeth.
+  LatencyRecorder r;
+  for (int i = 1; i <= 10'000; ++i) r.add(ms(i % 250 + 1));
+  std::vector<std::thread> readers;
+  std::atomic<int> mismatches{0};
+  const double expected_p50 = r.percentile_ms(0.5);
+  const double expected_p99 = r.percentile_ms(0.99);
+  for (int t = 0; t < 8; ++t) {
+    readers.emplace_back([&] {
+      for (int iter = 0; iter < 50; ++iter) {
+        if (r.percentile_ms(0.5) != expected_p50 ||
+            r.percentile_ms(0.99) != expected_p99)
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 TEST(LatencyRecorder, MergeCombinesSamples) {

@@ -1,0 +1,95 @@
+#include "telemetry/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pod {
+namespace {
+
+TEST(MetricsRegistry, FindOrCreateReturnsSameInstrument) {
+  MetricsRegistry reg;
+  MetricCounter& a = reg.counter("disk0.reads");
+  MetricCounter& b = reg.counter("disk0.reads");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  b.inc(4);
+  EXPECT_EQ(a.value(), 5u);
+}
+
+TEST(MetricsRegistry, HandlesStayValidAcrossLaterRegistrations) {
+  MetricsRegistry reg;
+  MetricCounter& first = reg.counter("aaa");
+  // Force rebalancing pressure: many later names on both sides.
+  for (int i = 0; i < 256; ++i) reg.counter("name" + std::to_string(i));
+  first.inc(7);
+  EXPECT_EQ(reg.counter("aaa").value(), 7u);
+  EXPECT_EQ(reg.size(), 257u);
+}
+
+TEST(MetricsRegistry, SeparateNamespacesPerInstrumentKind) {
+  MetricsRegistry reg;
+  reg.counter("x").inc(3);
+  reg.gauge("x").set(1.5);
+  reg.histogram("x").add(9.0);
+  EXPECT_EQ(reg.counter("x").value(), 3u);
+  EXPECT_DOUBLE_EQ(reg.gauge("x").value(), 1.5);
+  EXPECT_EQ(reg.histogram("x").count(), 1u);
+}
+
+TEST(MetricsRegistry, HistogramTracksMoments) {
+  MetricsRegistry reg;
+  MetricHistogram& h = reg.histogram("depth");
+  h.add(1.0);
+  h.add(3.0);
+  h.add(8.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 8.0);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndExpandsHistograms) {
+  MetricsRegistry reg;
+  reg.counter("zz").inc(2);
+  reg.gauge("mid").set(0.25);
+  reg.histogram("aa").add(4.0);
+  reg.histogram("aa").add(6.0);
+
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 5u);  // aa.count, aa.max, aa.mean, mid, zz
+  for (std::size_t i = 1; i < snap.size(); ++i)
+    EXPECT_LT(snap[i - 1].first, snap[i].first);
+
+  const auto find = [&](const std::string& name) -> double {
+    for (const auto& [n, v] : snap)
+      if (n == name) return v;
+    ADD_FAILURE() << "missing " << name;
+    return -1.0;
+  };
+  EXPECT_DOUBLE_EQ(find("aa.count"), 2.0);
+  EXPECT_DOUBLE_EQ(find("aa.mean"), 5.0);
+  EXPECT_DOUBLE_EQ(find("aa.max"), 6.0);
+  EXPECT_DOUBLE_EQ(find("mid"), 0.25);
+  EXPECT_DOUBLE_EQ(find("zz"), 2.0);
+}
+
+TEST(MetricsRegistry, ProbesPullAtSnapshotTime) {
+  MetricsRegistry reg;
+  std::uint64_t external = 0;
+  reg.probe("component.count",
+            [&external] { return static_cast<double>(external); });
+  external = 42;
+  auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].first, "component.count");
+  EXPECT_DOUBLE_EQ(snap[0].second, 42.0);
+
+  // Re-registering a name replaces the probe (components re-binding after
+  // a reset must not double-report).
+  reg.probe("component.count", [] { return 7.0; });
+  snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap[0].second, 7.0);
+}
+
+}  // namespace
+}  // namespace pod

@@ -1,0 +1,154 @@
+#include "telemetry/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "test_json.hpp"
+
+namespace pod {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) lines.push_back(line);
+  return lines;
+}
+
+std::string temp_path(const char* name, const char* ext = ".csv") {
+  return testing::TempDir() + "pod_sampler_" + name + ext;
+}
+
+TEST(TimeSeriesSampler, NoRowBeforeFirstBoundary) {
+  const std::string path = temp_path("before");
+  TimeSeriesSampler s(path, ms(100));
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.next_due(), ms(100));
+  s.maybe_sample(0);
+  s.maybe_sample(ms(50));
+  s.maybe_sample(ms(100) - 1);
+  EXPECT_EQ(s.rows_written(), 0u);
+  EXPECT_EQ(s.next_due(), ms(100));
+  s.close();
+  std::remove(path.c_str());
+}
+
+TEST(TimeSeriesSampler, OneRowPerBoundaryCrossing) {
+  const std::string path = temp_path("per_boundary");
+  TimeSeriesSampler s(path, ms(100));
+  s.maybe_sample(ms(100));
+  EXPECT_EQ(s.rows_written(), 1u);
+  EXPECT_EQ(s.next_due(), ms(200));
+  // Within the same interval: no second row.
+  s.maybe_sample(ms(150));
+  EXPECT_EQ(s.rows_written(), 1u);
+  s.maybe_sample(ms(200));
+  EXPECT_EQ(s.rows_written(), 2u);
+  EXPECT_EQ(s.next_due(), ms(300));
+  s.close();
+  std::remove(path.c_str());
+}
+
+TEST(TimeSeriesSampler, IdleGapCollapsesSkippedBoundariesIntoOneRow) {
+  const std::string path = temp_path("gap");
+  TimeSeriesSampler s(path, ms(100));
+  // A burst gap jumps straight past boundaries 100..700: exactly one row,
+  // and the next boundary lands strictly after `now`.
+  s.maybe_sample(ms(750));
+  EXPECT_EQ(s.rows_written(), 1u);
+  EXPECT_EQ(s.next_due(), ms(800));
+  // Landing exactly on a far boundary: next due is the following one.
+  s.maybe_sample(ms(1200));
+  EXPECT_EQ(s.rows_written(), 2u);
+  EXPECT_EQ(s.next_due(), ms(1300));
+  s.close();
+  std::remove(path.c_str());
+}
+
+TEST(TimeSeriesSampler, SampleNowFlushesButNeverDuplicatesATimestamp) {
+  const std::string path = temp_path("flush");
+  TimeSeriesSampler s(path, ms(100));
+  s.maybe_sample(ms(100));
+  EXPECT_EQ(s.rows_written(), 1u);
+  s.sample_now(ms(100));  // same timestamp: suppressed
+  EXPECT_EQ(s.rows_written(), 1u);
+  s.sample_now(ms(130));  // end-of-run flush mid-interval
+  EXPECT_EQ(s.rows_written(), 2u);
+  EXPECT_EQ(s.next_due(), ms(200));  // flush does not disturb the schedule
+  s.close();
+  std::remove(path.c_str());
+}
+
+TEST(TimeSeriesSampler, CsvHasHeaderAndProbeColumns) {
+  const std::string path = temp_path("csv");
+  {
+    TimeSeriesSampler s(path, ms(10));
+    double qd = 3.0;
+    s.add_probe("disk0.queue", [&qd] { return qd; });
+    s.add_probe("hit_rate", [] { return 0.5; });
+    s.maybe_sample(ms(10));
+    qd = 7.0;
+    s.maybe_sample(ms(20));
+    s.close();
+  }
+  const std::vector<std::string> lines = lines_of(slurp(path));
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "sim_ms,disk0.queue,hit_rate");
+  EXPECT_EQ(lines[1], "10.000000,3,0.5");
+  EXPECT_EQ(lines[2], "20.000000,7,0.5");
+  std::remove(path.c_str());
+}
+
+TEST(TimeSeriesSampler, HeaderOnlyCsvWhenNoBoundaryCrossed) {
+  const std::string path = temp_path("header_only");
+  {
+    TimeSeriesSampler s(path, ms(100));
+    s.add_probe("x", [] { return 1.0; });
+    s.maybe_sample(ms(10));
+    s.close();
+  }
+  const std::vector<std::string> lines = lines_of(slurp(path));
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "sim_ms,x");
+  std::remove(path.c_str());
+}
+
+TEST(TimeSeriesSampler, JsonlRowsParseBack) {
+  const std::string path = temp_path("jsonl", ".jsonl");
+  {
+    TimeSeriesSampler s(path, ms(10));
+    s.add_probe("icache.index_fraction", [] { return 0.4375; });
+    s.maybe_sample(ms(10));
+    s.maybe_sample(ms(20));
+    s.close();
+  }
+  const std::vector<std::string> lines = lines_of(slurp(path));
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    const testjson::Value row = testjson::parse(line);
+    ASSERT_TRUE(row.is_object());
+    EXPECT_TRUE(row.has("sim_ms"));
+    EXPECT_DOUBLE_EQ(row.at("icache.index_fraction").num, 0.4375);
+  }
+  EXPECT_DOUBLE_EQ(testjson::parse(lines[0]).at("sim_ms").num, 10.0);
+  EXPECT_DOUBLE_EQ(testjson::parse(lines[1]).at("sim_ms").num, 20.0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pod

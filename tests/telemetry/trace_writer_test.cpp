@@ -1,0 +1,156 @@
+#include "telemetry/trace_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/types.hpp"
+#include "test_json.hpp"
+
+namespace pod {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + "pod_trace_writer_" + name + ".json";
+}
+
+TEST(TraceEventWriter, EmitsWellFormedJsonForEveryEventKind) {
+  const std::string path = temp_path("all_kinds");
+  {
+    TraceEventWriter w(path);
+    ASSERT_TRUE(w.ok());
+    w.set_process_name(1, "requests");
+    w.set_thread_name(2, 0, "disk0");
+    w.complete(2, 0, "read", us(10), us(5),
+               {{"block", std::uint64_t{128}}, {"wait_us", 2.5}});
+    w.instant(1, 0, "icache-repartition", us(20), {{"note", "grow \"index\""}});
+    w.counter(2, "disk0 queue", us(30), 3.0);
+    w.async_begin("req", 7, "write", us(40), {{"nblocks", 8u}});
+    w.async_end("req", 7, "write", us(55));
+    w.async_span("req", 7, "classify", us(41), us(43));
+    w.close();
+    EXPECT_EQ(w.events_written(), 7u);  // metadata events do not count
+    EXPECT_EQ(w.events_dropped(), 0u);
+  }
+
+  const testjson::Value root = testjson::parse(slurp(path));
+  ASSERT_TRUE(root.is_array());
+  ASSERT_EQ(root.arr.size(), 9u);
+
+  for (const testjson::Value& ev : root.arr) {
+    ASSERT_TRUE(ev.is_object());
+    ASSERT_TRUE(ev.has("ph"));
+    ASSERT_TRUE(ev.has("ts"));
+    ASSERT_TRUE(ev.has("name"));
+    ASSERT_TRUE(ev.has("pid"));
+  }
+
+  // Metadata first, in call order.
+  EXPECT_EQ(root.arr[0].at("ph").str, "M");
+  EXPECT_EQ(root.arr[0].at("args").at("name").str, "requests");
+  EXPECT_EQ(root.arr[1].at("args").at("name").str, "disk0");
+  EXPECT_DOUBLE_EQ(root.arr[1].at("tid").num, 0.0);
+
+  const testjson::Value& complete = root.arr[2];
+  EXPECT_EQ(complete.at("ph").str, "X");
+  EXPECT_DOUBLE_EQ(complete.at("ts").num, 10.0);   // µs
+  EXPECT_DOUBLE_EQ(complete.at("dur").num, 5.0);   // µs
+  EXPECT_DOUBLE_EQ(complete.at("args").at("block").num, 128.0);
+  EXPECT_DOUBLE_EQ(complete.at("args").at("wait_us").num, 2.5);
+
+  const testjson::Value& instant = root.arr[3];
+  EXPECT_EQ(instant.at("ph").str, "i");
+  EXPECT_EQ(instant.at("s").str, "p");
+  // The quote in the arg string round-trips through escaping.
+  EXPECT_EQ(instant.at("args").at("note").str, "grow \"index\"");
+
+  const testjson::Value& counter = root.arr[4];
+  EXPECT_EQ(counter.at("ph").str, "C");
+  EXPECT_DOUBLE_EQ(counter.at("args").at("value").num, 3.0);
+
+  const testjson::Value& abegin = root.arr[5];
+  EXPECT_EQ(abegin.at("ph").str, "b");
+  EXPECT_EQ(abegin.at("cat").str, "req");
+  EXPECT_EQ(abegin.at("id").str, "0x7");
+  const testjson::Value& aend = root.arr[6];
+  EXPECT_EQ(aend.at("ph").str, "e");
+  EXPECT_EQ(aend.at("id").str, "0x7");
+
+  // async_span expands to a b/e pair at the given boundaries.
+  EXPECT_EQ(root.arr[7].at("ph").str, "b");
+  EXPECT_DOUBLE_EQ(root.arr[7].at("ts").num, 41.0);
+  EXPECT_EQ(root.arr[8].at("ph").str, "e");
+  EXPECT_DOUBLE_EQ(root.arr[8].at("ts").num, 43.0);
+
+  std::remove(path.c_str());
+}
+
+TEST(TraceEventWriter, TimestampsKeepSubMicrosecondPrecision) {
+  const std::string path = temp_path("precision");
+  {
+    TraceEventWriter w(path);
+    ASSERT_TRUE(w.ok());
+    w.complete(1, 0, "op", /*start=*/1500, /*dur=*/250);  // ns
+    w.close();
+  }
+  const testjson::Value root = testjson::parse(slurp(path));
+  ASSERT_EQ(root.arr.size(), 1u);
+  EXPECT_DOUBLE_EQ(root.arr[0].at("ts").num, 1.5);
+  EXPECT_DOUBLE_EQ(root.arr[0].at("dur").num, 0.25);
+  std::remove(path.c_str());
+}
+
+TEST(TraceEventWriter, EventCapTruncatesWithMarker) {
+  const std::string path = temp_path("cap");
+  {
+    TraceEventWriter w(path, /*max_events=*/2);
+    ASSERT_TRUE(w.ok());
+    w.set_process_name(1, "requests");  // metadata is exempt from the cap
+    for (int i = 0; i < 5; ++i) w.counter(1, "qd", us(i), 1.0 * i);
+    EXPECT_EQ(w.events_written(), 2u);
+    EXPECT_EQ(w.events_dropped(), 3u);
+    w.close();
+  }
+  const testjson::Value root = testjson::parse(slurp(path));
+  // 1 metadata + 2 counters + 1 truncation marker.
+  ASSERT_EQ(root.arr.size(), 4u);
+  const testjson::Value& marker = root.arr.back();
+  EXPECT_EQ(marker.at("ph").str, "i");
+  EXPECT_EQ(marker.at("name").str, "trace truncated (POD_TRACE_LIMIT)");
+  EXPECT_DOUBLE_EQ(marker.at("args").at("events_dropped").num, 3.0);
+  std::remove(path.c_str());
+}
+
+TEST(TraceEventWriter, UnopenableFileDegradesToDroppingEvents) {
+  TraceEventWriter w("/nonexistent-dir-pod/trace.json");
+  EXPECT_FALSE(w.ok());
+  w.complete(1, 0, "op", 0, 1);  // must not crash
+  w.close();
+  EXPECT_EQ(w.events_written(), 0u);
+}
+
+TEST(TraceEventWriter, CloseIsIdempotentAndArrayStaysValid) {
+  const std::string path = temp_path("idempotent");
+  TraceEventWriter w(path);
+  w.instant(1, 0, "only", 0);
+  w.close();
+  w.close();
+  w.instant(1, 0, "after-close", us(1));  // dropped silently
+  const testjson::Value root = testjson::parse(slurp(path));
+  ASSERT_EQ(root.arr.size(), 1u);
+  EXPECT_EQ(root.arr[0].at("name").str, "only");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pod

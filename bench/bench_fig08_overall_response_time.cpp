@@ -32,6 +32,32 @@ int main() {
     std::printf("  %13.1f%%\n",
                 improvement_pct(results.at(EngineKind::kSelectDedupe).mean_ms(),
                                 native));
+
+    // Degraded-mode recipe (POD_FAULT_* set): report what the injector did
+    // and the dedup blast radius — damaged logical vs physical blocks shows
+    // how sharing amplifies a single media error.
+    if (results.begin()->second.fault.enabled) {
+      std::printf("  fault summary (%s):\n", profile.name.c_str());
+      std::printf("  %-14s %8s %8s %9s %11s %11s %9s %8s\n", "engine",
+                  "media", "timeout", "failed-rq", "dmg-phys", "dmg-logical",
+                  "recon-rd", "rebuilt");
+      for (EngineKind k : figure8_engines()) {
+        const ReplayResult& r = results.at(k);
+        std::printf("  %-14s %8llu %8llu %9llu %11llu %11llu %9llu %8llu\n",
+                    to_string(k),
+                    static_cast<unsigned long long>(r.fault.injected.media_errors),
+                    static_cast<unsigned long long>(r.fault.injected.timeouts),
+                    static_cast<unsigned long long>(r.measured.failed_requests),
+                    static_cast<unsigned long long>(
+                        r.measured.damaged_physical_blocks),
+                    static_cast<unsigned long long>(
+                        r.measured.damaged_logical_blocks),
+                    static_cast<unsigned long long>(
+                        r.volume_counters.reconstruction_reads),
+                    static_cast<unsigned long long>(
+                        r.volume_counters.rebuild_rows));
+      }
+    }
   }
   std::printf("\npaper: Select-Dedupe improvement 53.9%% (web-vm), 21.2%% "
               "(homes), 88.6%% (mail); Full-Dedupe degrades homes; iDedup "

@@ -121,6 +121,9 @@ RunSpec paper_spec(EngineKind engine, const WorkloadProfile& profile,
   spec.raid = RaidLevel::kRaid5;
   spec.array_cfg.num_disks = 4;              // 4-disk RAID5 (§IV-B)
   spec.array_cfg.stripe_unit_blocks = 16;    // 64 KB stripe unit
+  // Off unless POD_FAULT_* is set; a default bench run injects nothing and
+  // stays byte-identical.
+  spec.array_cfg.fault = FaultConfig::from_env();
   spec.engine_cfg.logical_blocks = profile.volume_blocks;
   spec.engine_cfg.memory_bytes = paper_memory_bytes(profile.name, scale);
   return spec;

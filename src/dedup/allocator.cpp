@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "fault/journal.hpp"
 
 namespace pod {
 
@@ -56,6 +57,35 @@ void PoolAllocator::free_block(Pba pba) {
   --allocated_;
 }
 
+bool PoolAllocator::is_free(Pba pba) const {
+  if (!in_pool(pba)) return false;
+  if (pba >= bump_) return true;  // never handed out
+  return free_mask_[static_cast<std::size_t>(pba - pool_start_)];
+}
+
+void PoolAllocator::reset_occupancy(const std::function<bool(Pba)>& live) {
+  free_list_.clear();
+  free_mask_.assign(static_cast<std::size_t>(pool_blocks_), false);
+  allocated_ = 0;
+  Pba top = pool_start_;  // one past the highest live block
+  for (Pba p = pool_start_; p < pool_start_ + pool_blocks_; ++p) {
+    if (live(p)) {
+      ++allocated_;
+      top = p + 1;
+    }
+  }
+  bump_ = top;
+  // Holes below the bump pointer become the free list; pushed in
+  // descending address order so pop_back() recycles ascending.
+  for (Pba p = top; p > pool_start_;) {
+    --p;
+    if (!live(p)) {
+      free_mask_[static_cast<std::size_t>(p - pool_start_)] = true;
+      free_list_.push_back(p);
+    }
+  }
+}
+
 BlockStore::BlockStore(const Config& cfg)
     : logical_blocks_(cfg.logical_blocks),
       pool_(cfg.logical_blocks,
@@ -87,6 +117,7 @@ void BlockStore::unref(Pba pba) {
   if (--refs == 0) {
     POD_CHECK(live_physical_ > 0);
     --live_physical_;
+    if (restoring_) return;  // recovery: no observers, pool rebuilt later
     // Copy the fingerprint out: the content-gone observers may place new
     // content indirectly, which can overwrite fps_[pba] under us.
     const Fingerprint fp = fps_[static_cast<std::size_t>(pba)];
@@ -132,6 +163,7 @@ Pba BlockStore::place_write(Lba lba, const Fingerprint& fp, Pba prev_pba) {
   fps_[static_cast<std::size_t>(target)] = fp;
   ++live_physical_;
   bind(lba, target);
+  if (journal_ != nullptr) journal_->bind(lba, target, fp);
   return target;
 }
 
@@ -202,6 +234,7 @@ void BlockStore::place_write_run(Lba lba0, std::span<const Fingerprint> fps,
     ++live_physical_;
     out[base + k] = target;
     prev = target;
+    if (journal_ != nullptr) journal_->bind(lba, target, fps[k]);
   }
   bind_run(lba0, out.data() + base, n);
 }
@@ -212,6 +245,8 @@ void BlockStore::dedup_to(Lba lba, Pba pba) {
   const Pba old = resolve(lba);
   if (old == pba) return;  // already mapped there (same-content overwrite)
   ++refs_[static_cast<std::size_t>(pba)];
+  if (journal_ != nullptr)
+    journal_->bind(lba, pba, fps_[static_cast<std::size_t>(pba)]);
   if (old != kInvalidPba) {
     unref(old);
   } else {
@@ -223,6 +258,7 @@ void BlockStore::dedup_to(Lba lba, Pba pba) {
 void BlockStore::discard(Lba lba) {
   const Pba old = resolve(lba);
   if (old == kInvalidPba) return;
+  if (journal_ != nullptr) journal_->unbind(lba);
   unref(old);
   if (lba < logical_blocks_) identity_live_[static_cast<std::size_t>(lba)] = false;
   map_.clear(lba);
@@ -236,12 +272,58 @@ void BlockStore::discard_run(Lba lba0, std::uint64_t n) {
     const Lba lba = lba0 + k;
     const Pba old = resolve(lba);
     if (old == kInvalidPba) continue;
+    if (journal_ != nullptr) journal_->unbind(lba);
     unref(old);
     identity_live_[static_cast<std::size_t>(lba)] = false;
     POD_CHECK(live_count_ > 0);
     --live_count_;
   }
   map_.clear_run(lba0, static_cast<std::size_t>(n));
+}
+
+void BlockStore::restore_bind(Lba lba, Pba pba, const Fingerprint& fp) {
+  POD_CHECK(lba < logical_blocks_);
+  POD_CHECK(pba < refs_.size());
+  restoring_ = true;
+  const Pba old = resolve(lba);
+  if (old == pba) {
+    // In-place content replacement (the live path unrefs to zero and
+    // immediately re-places at the same block): refcounts are unchanged,
+    // but the block now holds the new content.
+    fps_[static_cast<std::size_t>(pba)] = fp;
+  } else {
+    std::uint32_t& refs = refs_[static_cast<std::size_t>(pba)];
+    if (refs == 0) {
+      fps_[static_cast<std::size_t>(pba)] = fp;
+      ++live_physical_;
+    }
+    ++refs;
+    if (old != kInvalidPba) {
+      unref(old);
+    } else {
+      ++live_count_;
+    }
+    bind(lba, pba);
+  }
+  restoring_ = false;
+}
+
+void BlockStore::restore_unbind(Lba lba) {
+  POD_CHECK(lba < logical_blocks_);
+  restoring_ = true;
+  const Pba old = resolve(lba);
+  if (old != kInvalidPba) {
+    unref(old);
+    identity_live_[static_cast<std::size_t>(lba)] = false;
+    map_.clear(lba);
+    POD_CHECK(live_count_ > 0);
+    --live_count_;
+  }
+  restoring_ = false;
+}
+
+void BlockStore::finish_restore() {
+  pool_.reset_occupancy([this](Pba pba) { return refcount(pba) > 0; });
 }
 
 }  // namespace pod

@@ -25,6 +25,8 @@
 
 namespace pod {
 
+class MetadataJournal;
+
 /// Bump-pointer + free-list allocator over the pool region
 /// [pool_start, pool_start + pool_blocks). Prefers contiguous allocation
 /// (fresh bump range per request run) and falls back to recycled frees.
@@ -39,6 +41,13 @@ class PoolAllocator {
   bool in_pool(Pba pba) const {
     return pba >= pool_start_ && pba < pool_start_ + pool_blocks_;
   }
+  /// True when `pba` is a pool block currently available for allocation
+  /// (never handed out, or sitting on the free list). Used by fsck.
+  bool is_free(Pba pba) const;
+  /// Rebuilds occupancy (bump pointer, free list) from a liveness
+  /// predicate — journal recovery restores refcounts without replaying the
+  /// original allocation sequence, so the pool re-derives its state here.
+  void reset_occupancy(const std::function<bool(Pba)>& live);
   std::uint64_t allocated() const { return allocated_; }
   std::uint64_t pool_blocks() const { return pool_blocks_; }
 
@@ -140,6 +149,25 @@ class BlockStore {
   MapTable& map_table() { return map_; }
   const MapTable& map_table() const { return map_; }
 
+  /// True when `lba` is live at its identity home (no Map-table entry).
+  bool identity_mapped(Lba lba) const { return identity_live(lba); }
+  const PoolAllocator& pool() const { return pool_; }
+
+  /// Attaches a write-ahead journal: every logical metadata mutation
+  /// (bind/unbind) is appended before it is applied. Null detaches.
+  void set_journal(MetadataJournal* journal) { journal_ = journal; }
+
+  // ---- crash recovery (fault/fsck.hpp drives these) -------------------
+  /// Replays a journaled bind into a freshly constructed store: refcounts
+  /// and fingerprints are restored, but content-gone observers do not fire
+  /// and the pool allocator is not consulted (see finish_restore).
+  void restore_bind(Lba lba, Pba pba, const Fingerprint& fp);
+  /// Replays a journaled unbind (discard).
+  void restore_unbind(Lba lba);
+  /// Completes recovery: re-derives pool occupancy from the restored
+  /// refcounts. Must be called once after the last restore_* call.
+  void finish_restore();
+
   /// Fired when a physical block's content is replaced or released; engines
   /// use it to invalidate stale fingerprint-index entries and cached reads.
   std::function<void(Pba, const Fingerprint&)> on_content_gone;
@@ -170,6 +198,10 @@ class BlockStore {
   std::vector<Fingerprint> fps_;
   std::uint64_t live_physical_ = 0;
   std::uint64_t live_count_ = 0;
+  MetadataJournal* journal_ = nullptr;
+  /// True while restore_* replays the journal: unref must not fire
+  /// observers or touch the pool (occupancy is rebuilt afterwards).
+  bool restoring_ = false;
 };
 
 }  // namespace pod

@@ -52,6 +52,15 @@ class MapTable {
   /// Run variant of clear: drops redirections for `n` sequential LBAs.
   void clear_run(Lba lba0, std::size_t n);
 
+  /// Iterates all redirections in ascending LBA order (cold path: fsck,
+  /// recovery verification).
+  template <typename Fn>
+  void for_each_entry(Fn&& fn) const {
+    for (std::size_t i = 0; i < table_.size(); ++i) {
+      if (table_[i] != kInvalidPba) fn(static_cast<Lba>(i), table_[i]);
+    }
+  }
+
   std::size_t entries() const { return entries_; }
   std::uint64_t bytes() const { return entries_ * kEntryBytes; }
   /// High watermark of bytes() over the table's lifetime: the NVRAM

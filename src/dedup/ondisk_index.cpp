@@ -1,6 +1,7 @@
 #include "dedup/ondisk_index.hpp"
 
 #include "common/check.hpp"
+#include "fault/journal.hpp"
 
 namespace pod {
 
@@ -71,6 +72,7 @@ OnDiskIndex::Lookup OnDiskIndex::lookup(const Fingerprint& fp) const {
 }
 
 std::optional<Pba> OnDiskIndex::insert(const Fingerprint& fp, Pba pba) {
+  if (journal_ != nullptr) journal_->index_put(fp, pba);
   table_.insert_or_assign(fp, pba);
   bloom_set(fp);
   if (++pending_inserts_ >= cfg_.insert_batch) {
@@ -85,6 +87,13 @@ const Pba* OnDiskIndex::peek(const Fingerprint& fp) const {
   return table_.find(fp);
 }
 
-void OnDiskIndex::erase(const Fingerprint& fp) { table_.erase(fp); }
+void OnDiskIndex::erase(const Fingerprint& fp) {
+  if (table_.erase(fp) && journal_ != nullptr) journal_->index_del(fp);
+}
+
+void OnDiskIndex::restore_entry(const Fingerprint& fp, Pba pba) {
+  table_.insert_or_assign(fp, pba);
+  bloom_set(fp);
+}
 
 }  // namespace pod

@@ -22,6 +22,8 @@
 
 namespace pod {
 
+class MetadataJournal;
+
 class OnDiskIndex {
  public:
   struct Config {
@@ -66,6 +68,20 @@ class OnDiskIndex {
   /// subsequent lookups may pay a false-positive disk read, as in reality.
   void erase(const Fingerprint& fp);
 
+  /// Attaches a write-ahead journal: inserts and erases are recorded as
+  /// index_put/index_del before taking effect. Null detaches.
+  void set_journal(MetadataJournal* journal) { journal_ = journal; }
+
+  /// Journal recovery: reinstalls an entry (Bloom bits included) with no
+  /// disk-traffic accounting and no re-journaling.
+  void restore_entry(const Fingerprint& fp, Pba pba);
+
+  /// Iterates all entries (unspecified order; cold path: fsck).
+  template <typename Fn>
+  void for_each_entry(Fn&& fn) const {
+    table_.for_each(static_cast<Fn&&>(fn));
+  }
+
   std::size_t entries() const { return table_.size(); }
   std::uint64_t bloom_negative_hits() const { return bloom_negatives_; }
   std::uint64_t disk_lookups() const { return disk_lookups_; }
@@ -83,6 +99,7 @@ class OnDiskIndex {
 
   Config cfg_;
   FlatHashMap<Fingerprint, Pba, FingerprintHash> table_;
+  MetadataJournal* journal_ = nullptr;
   std::vector<std::uint64_t> bloom_;
   std::uint32_t pending_inserts_ = 0;
   mutable std::uint64_t bloom_negatives_ = 0;

@@ -60,6 +60,19 @@ void Disk::dispatch_next() {
   busy_ = true;
   DiskOp op = queue_->pop(head_cylinder_);
 
+  if (fault_ != nullptr && fault_->disk_dead(fault_index_, sim_.now())) {
+    // The device is gone: the controller returns an error without any
+    // mechanical service. Head state and mechanical stats are untouched.
+    ++fault_->stats().dead_disk_ops;
+    auto op_ptr = std::make_shared<DiskOp>(std::move(op));
+    sim_.schedule_after(us(50), [this, op_ptr]() {
+      busy_ = false;
+      if (op_ptr->done) op_ptr->done(IoStatus::kFailedDevice);
+      if (!busy_) dispatch_next();
+    });
+    return;
+  }
+
   // Sequential streaming: the op continues exactly where the previous one
   // ended and the disk has not sat idle long enough for the platter
   // position to matter (within one rotation, the on-drive buffer and
@@ -81,17 +94,51 @@ void Disk::dispatch_next() {
       model_.service(head_cylinder_, op.block, op.nblocks, sim_.now(), sequential);
   if (sequential) ++stats_.sequential_hits;
 
-  const Duration service = svc.total();
+  Duration service = svc.total();
+  IoStatus status = IoStatus::kOk;
+
+  // Fault consultation. The whole retry ladder is resolved synchronously —
+  // attempt k fails, waits k * backoff, re-runs the same mechanical
+  // service — and charged as one busy period, so a faulty op still costs
+  // exactly one completion event (determinism: the event count and order
+  // depend only on the decision stream, which is seeded).
+  if (fault_ != nullptr) {
+    switch (fault_->decide(fault_index_, op.type, op.block, op.nblocks)) {
+      case FaultKind::kNone:
+        break;
+      case FaultKind::kMediaError:
+        // Mechanically a normal access; the medium returned garbage.
+        status = IoStatus::kMediaError;
+        break;
+      case FaultKind::kTransient: {
+        const FaultConfig& fc = fault_->config();
+        const Duration base = svc.total();
+        status = IoStatus::kTimeout;
+        for (std::uint32_t attempt = 1; attempt <= fc.max_retries; ++attempt) {
+          service += static_cast<Duration>(attempt) * fc.transient_backoff +
+                     base;
+          if (!fault_->retry_still_failing(fault_index_)) {
+            status = IoStatus::kOk;
+            break;
+          }
+        }
+        if (status == IoStatus::kTimeout) ++fault_->stats().timeouts;
+        break;
+      }
+    }
+  }
+
   stats_.busy_time += service;
 
   // Move into the event to keep the op alive until completion.
   auto op_ptr = std::make_shared<DiskOp>(std::move(op));
-  sim_.schedule_after(service, [this, op_ptr, svc]() {
-    complete(std::move(*op_ptr), svc);
+  sim_.schedule_after(service, [this, op_ptr, svc, service, status]() {
+    complete(std::move(*op_ptr), svc, service, status);
   });
 }
 
-void Disk::complete(DiskOp op, const HddModel::Service& svc) {
+void Disk::complete(DiskOp op, const HddModel::Service& svc, Duration service,
+                    IoStatus status) {
   head_cylinder_ = model_.cylinder_of(op.block + op.nblocks - 1);
   next_sequential_block_ = op.block + op.nblocks;
   if (next_sequential_block_ >= model_.total_blocks())
@@ -111,7 +158,6 @@ void Disk::complete(DiskOp op, const HddModel::Service& svc) {
     // The service period [dispatch, completion] — per-disk lanes carry only
     // non-overlapping spans (one op in service at a time); queueing wait is
     // reported in args.
-    const Duration service = svc.total();
     const SimTime start = sim_.now() - service;
     telem_.trace->complete(
         kTracePidDisks, lane_ < 0 ? 0 : lane_, to_string(op.type), start,
@@ -127,7 +173,7 @@ void Disk::complete(DiskOp op, const HddModel::Service& svc) {
   }
 
   busy_ = false;
-  if (op.done) op.done();
+  if (op.done) op.done(status);
   // The completion callback may have submitted more work already (in which
   // case submit() found busy_ == false and dispatched); only dispatch here
   // if still idle.

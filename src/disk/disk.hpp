@@ -46,6 +46,15 @@ class Disk {
   /// Enqueues an op. The op's `done` callback fires at completion.
   void submit(DiskOp op);
 
+  /// Attaches a fault injector; `index` is this disk's slot in the array
+  /// (selects the injector's per-disk decision stream). Null detaches —
+  /// the default, in which case every op completes IoStatus::kOk with no
+  /// extra branches beyond one pointer test per dispatch.
+  void set_fault_injector(FaultInjector* injector, std::size_t index) {
+    fault_ = injector;
+    fault_index_ = index;
+  }
+
   std::uint64_t total_blocks() const { return model_.total_blocks(); }
   std::size_t queue_length() const { return queue_->size() + (busy_ ? 1 : 0); }
   const DiskStats& stats() const { return stats_; }
@@ -54,7 +63,10 @@ class Disk {
 
  private:
   void dispatch_next();
-  void complete(DiskOp op, const HddModel::Service& svc);
+  /// `service` is the total busy time charged (mechanical service plus any
+  /// injected retry rounds); `svc` carries the mechanical split for traces.
+  void complete(DiskOp op, const HddModel::Service& svc, Duration service,
+                IoStatus status);
 
   /// Lazily binds telemetry handles (registry probes for the cumulative
   /// DiskStats counters, histograms for queue depth / seek distance, the
@@ -67,6 +79,8 @@ class Disk {
   std::unique_ptr<IoScheduler> queue_;
   std::string name_;
   int lane_ = -1;
+  FaultInjector* fault_ = nullptr;
+  std::size_t fault_index_ = 0;
 
   /// Telemetry handles, bound on first submit when telemetry is on. All
   /// null/false when off — the hot-path cost is one pointer test.

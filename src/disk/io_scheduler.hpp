@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "fault/fault.hpp"
 
 namespace pod {
 
@@ -20,8 +21,9 @@ struct DiskOp {
   OpType type = OpType::kRead;
   std::uint64_t block = 0;
   std::uint64_t nblocks = 1;
-  /// Invoked at the simulated completion time.
-  std::function<void()> done;
+  /// Invoked at the simulated completion time with the op's outcome
+  /// (always IoStatus::kOk unless a fault injector is attached).
+  std::function<void(IoStatus)> done;
   /// Set by the disk when the op is accepted.
   SimTime enqueue_time = 0;
 };

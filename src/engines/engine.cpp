@@ -29,6 +29,14 @@ EngineStats EngineStats::delta(const EngineStats& after, const EngineStats& befo
   d.index_disk_reads = after.index_disk_reads - before.index_disk_reads;
   d.index_disk_writes = after.index_disk_writes - before.index_disk_writes;
   d.read_ops_issued = after.read_ops_issued - before.read_ops_issued;
+  d.media_error_ops = after.media_error_ops - before.media_error_ops;
+  d.timeout_ops = after.timeout_ops - before.timeout_ops;
+  d.device_error_ops = after.device_error_ops - before.device_error_ops;
+  d.damaged_physical_blocks =
+      after.damaged_physical_blocks - before.damaged_physical_blocks;
+  d.damaged_logical_blocks =
+      after.damaged_logical_blocks - before.damaged_logical_blocks;
+  d.failed_requests = after.failed_requests - before.failed_requests;
   return d;
 }
 
@@ -53,6 +61,37 @@ DedupEngine::DedupEngine(Simulator& sim, Volume& volume, const EngineConfig& cfg
   store_.on_content_gone = [this](Pba pba, const Fingerprint& fp) {
     on_content_gone(pba, fp);
   };
+  if (cfg_.journal_metadata) {
+    journal_ = std::make_unique<MetadataJournal>();
+    store_.set_journal(journal_.get());
+  }
+}
+
+void DedupEngine::record_op_fault(const OpSpec& op, IoStatus s) {
+  switch (s) {
+    case IoStatus::kOk:
+      return;
+    case IoStatus::kTimeout:
+      ++stats_.timeout_ops;
+      return;  // data eventually made it; no damage
+    case IoStatus::kFailedDevice:
+      ++stats_.device_error_ops;
+      return;  // redundancy question, not a per-block loss
+    case IoStatus::kMediaError:
+      ++stats_.media_error_ops;
+      break;
+  }
+  // Media error: every live physical block in the op's range is damaged,
+  // and a deduplicated block takes all its referencing LBAs with it — the
+  // refcount blast radius (§I). Index/swap-region ops carry no user data.
+  const Pba end =
+      std::min<Pba>(op.block + op.nblocks, store_.data_region_blocks());
+  for (Pba pba = op.block; pba < end; ++pba) {
+    const std::uint32_t refs = store_.refcount(pba);
+    if (refs == 0) continue;
+    ++stats_.damaged_physical_blocks;
+    stats_.damaged_logical_blocks += refs;
+  }
 }
 
 void DedupEngine::on_content_gone(Pba pba, const Fingerprint& fp) {
@@ -141,6 +180,16 @@ void DedupEngine::init_telemetry(Telemetry& t) {
           [this] { return static_cast<double>(stats_.index_disk_reads); });
   m.probe("engine.index_disk_writes",
           [this] { return static_cast<double>(stats_.index_disk_writes); });
+  m.probe("engine.media_error_ops",
+          [this] { return static_cast<double>(stats_.media_error_ops); });
+  m.probe("engine.damaged_physical_blocks", [this] {
+    return static_cast<double>(stats_.damaged_physical_blocks);
+  });
+  m.probe("engine.damaged_logical_blocks", [this] {
+    return static_cast<double>(stats_.damaged_logical_blocks);
+  });
+  m.probe("engine.failed_requests",
+          [this] { return static_cast<double>(stats_.failed_requests); });
   for (int c = 0; c < 4; ++c) {
     m.probe(std::string("engine.category.") +
                 to_string(static_cast<WriteCategory>(c)),
@@ -236,11 +285,12 @@ void DedupEngine::issue_background(OpType type, Pba block, std::uint64_t nblocks
 }
 
 void DedupEngine::execute_plan(const IoRequest& req, IoPlan plan,
-                               std::function<void()> done) {
+                               std::function<void(IoStatus)> done) {
   struct State {
     std::size_t outstanding = 0;
+    IoStatus status = IoStatus::kOk;  // worst-of across the request's ops
     OpList stage2;
-    std::function<void()> done;
+    std::function<void(IoStatus)> done;
     DedupEngine* self = nullptr;
     /// Non-null only while trace-event output is on for this run; the
     /// nested stage spans share the outer request span's (cat, id).
@@ -255,7 +305,9 @@ void DedupEngine::execute_plan(const IoRequest& req, IoPlan plan,
   state->req_id = req.id;
 
   auto finish = [state]() {
-    if (state->done) state->done();
+    if (state->status != IoStatus::kOk)
+      ++state->self->stats_.failed_requests;
+    if (state->done) state->done(state->status);
   };
 
   auto issue_stage2 = [state, finish]() {
@@ -271,7 +323,9 @@ void DedupEngine::execute_plan(const IoRequest& req, IoPlan plan,
     state->outstanding = state->stage2.size();
     for (const OpSpec& op : state->stage2) {
       self->volume_.submit(VolumeIo{
-          op.type, op.block, op.nblocks, [state, finish]() {
+          op.type, op.block, op.nblocks, [state, finish, op](IoStatus s) {
+            state->self->note_op_status(op, s);
+            state->status = combine(state->status, s);
             POD_CHECK(state->outstanding > 0);
             if (--state->outstanding == 0) {
               if (state->trace != nullptr)
@@ -296,7 +350,9 @@ void DedupEngine::execute_plan(const IoRequest& req, IoPlan plan,
     state->outstanding = stage1.size();
     for (const OpSpec& op : stage1) {
       volume_.submit(VolumeIo{op.type, op.block, op.nblocks,
-                              [state, issue_stage2]() {
+                              [state, issue_stage2, op](IoStatus s) {
+                                state->self->note_op_status(op, s);
+                                state->status = combine(state->status, s);
                                 POD_CHECK(state->outstanding > 0);
                                 if (--state->outstanding == 0) {
                                   if (state->trace != nullptr)
@@ -321,6 +377,13 @@ void DedupEngine::execute_plan(const IoRequest& req, IoPlan plan,
 }
 
 void DedupEngine::submit(const IoRequest& req, std::function<void()> done) {
+  std::function<void(IoStatus)> wrapped;
+  if (done) wrapped = [d = std::move(done)](IoStatus) { d(); };
+  submit(req, std::move(wrapped));
+}
+
+void DedupEngine::submit(const IoRequest& req,
+                         std::function<void(IoStatus)> done) {
   if (Telemetry* t = sim_.telemetry()) {
     if (!telem_.init) init_telemetry(*t);
   }

@@ -33,6 +33,7 @@
 #include "dedup/allocator.hpp"
 #include "dedup/categorizer.hpp"
 #include "dedup/ondisk_index.hpp"
+#include "fault/journal.hpp"
 #include "hash/hash_engine.hpp"
 #include "raid/volume.hpp"
 #include "sim/simulator.hpp"
@@ -84,6 +85,11 @@ struct EngineConfig {
   /// exists so that assertion has a reference to compare against.
   bool scalar_probes = false;
 
+  /// Record every dedup-metadata mutation (Map-table binds/unbinds, index
+  /// puts/dels) in a write-ahead journal for crash-recovery simulation.
+  /// Off by default: journaling is pure overhead when no crash is staged.
+  bool journal_metadata = false;
+
   HashEngineConfig hash;
 };
 
@@ -110,6 +116,20 @@ struct EngineStats {
   /// Number of distinct volume ops issued for read requests (read
   /// amplification = this / read_requests).
   std::uint64_t read_ops_issued = 0;
+
+  // ---- fault outcomes (all zero when no injector is attached) ---------
+  /// Volume ops that completed with a media error / exhausted-retry
+  /// timeout / dead-device failure.
+  std::uint64_t media_error_ops = 0;
+  std::uint64_t timeout_ops = 0;
+  std::uint64_t device_error_ops = 0;
+  /// Dedup blast radius of media errors: distinct live physical blocks in
+  /// failed op ranges, and the logical blocks mapped onto them — a shared
+  /// block with refcount N loses N LBAs' worth of data at once (§I).
+  std::uint64_t damaged_physical_blocks = 0;
+  std::uint64_t damaged_logical_blocks = 0;
+  /// Requests whose final status was not kOk.
+  std::uint64_t failed_requests = 0;
 
   double removed_write_pct() const {
     return write_requests == 0 ? 0.0
@@ -138,8 +158,16 @@ class DedupEngine {
 
   virtual const char* name() const = 0;
 
-  /// Timed processing: `done` fires at the simulated completion time.
+  /// Timed processing: `done` fires at the simulated completion time with
+  /// the request's worst per-op status (kOk when faults are disabled).
+  void submit(const IoRequest& req, std::function<void(IoStatus)> done);
+  /// Status-blind convenience overload.
   void submit(const IoRequest& req, std::function<void()> done);
+  /// A literal nullptr callback is ambiguous between the overloads above;
+  /// resolve it to the status-aware one.
+  void submit(const IoRequest& req, std::nullptr_t) {
+    submit(req, std::function<void(IoStatus)>{});
+  }
 
   /// Functional processing (state only, no simulated time).
   void warm(const IoRequest& req);
@@ -171,6 +199,10 @@ class DedupEngine {
   /// largest request processed, then stays flat — a replayer-visible proxy
   /// for "the request path has stopped allocating".
   std::uint64_t scratch_bytes() const { return scratch_.capacity_bytes(); }
+
+  /// The metadata write-ahead journal (null unless cfg.journal_metadata).
+  MetadataJournal* metadata_journal() { return journal_.get(); }
+  const MetadataJournal* metadata_journal() const { return journal_.get(); }
 
  protected:
   /// One volume operation an engine wants executed.
@@ -312,6 +344,9 @@ class DedupEngine {
   ReadCache read_cache_;
   /// Present when cfg_.index_fraction > 0 (every engine except Native).
   std::unique_ptr<IndexCache> index_cache_;
+  /// Present when cfg_.journal_metadata; attached to store_ (and to the
+  /// on-disk index by engines that have one).
+  std::unique_ptr<MetadataJournal> journal_;
   EngineStats stats_;
   /// Request-path scratch arena (see WriteScratch).
   WriteScratch scratch_;
@@ -321,7 +356,16 @@ class DedupEngine {
 
  private:
   void execute_plan(const IoRequest& req, IoPlan plan,
-                    std::function<void()> done);
+                    std::function<void(IoStatus)> done);
+
+  /// Per-op fault outcome accounting. The kOk early-out keeps the healthy
+  /// path at one compare; the cold half (counter bumps + media-error blast
+  /// radius over the op's PBA range) lives out of line.
+  void note_op_status(const OpSpec& op, IoStatus s) {
+    if (s == IoStatus::kOk) return;
+    record_op_fault(op, s);
+  }
+  void record_op_fault(const OpSpec& op, IoStatus s);
 
   /// Binds metric handles / registers pull probes on first use (telemetry
   /// may be attached to the simulator after engine construction).

@@ -26,6 +26,7 @@ FullDedupeEngine::FullDedupeEngine(Simulator& sim, Volume& volume,
                                    const EngineConfig& cfg)
     : DedupEngine(sim, volume, cfg), ondisk_(ondisk_config(this, cfg)) {
   POD_CHECK(index_cache_ != nullptr);
+  ondisk_.set_journal(metadata_journal());
 }
 
 void FullDedupeEngine::on_content_gone(Pba pba, const Fingerprint& fp) {

@@ -1,0 +1,145 @@
+#include "fault/fsck.hpp"
+
+#include <cstdio>
+
+namespace pod {
+
+namespace {
+
+constexpr std::size_t kMaxMessages = 16;
+
+void report(FsckReport& r, bool hard, const char* fmt, auto... args) {
+  if (hard) ++r.hard_errors;
+  if (r.messages.size() >= kMaxMessages) return;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  r.messages.emplace_back(buf);
+}
+
+}  // namespace
+
+void recover_from_journal(const MetadataJournal& journal, BlockStore& store,
+                          OnDiskIndex* index) {
+  for (const JournalRecord& rec : journal.records()) {
+    switch (rec.op) {
+      case JournalOp::kBind:
+        store.restore_bind(rec.lba, rec.pba, rec.fp);
+        break;
+      case JournalOp::kUnbind:
+        store.restore_unbind(rec.lba);
+        break;
+      case JournalOp::kIndexPut:
+        if (index != nullptr) index->restore_entry(rec.fp, rec.pba);
+        break;
+      case JournalOp::kIndexDel:
+        if (index != nullptr) index->erase(rec.fp);
+        break;
+    }
+  }
+  store.finish_restore();
+}
+
+FsckReport run_fsck(BlockStore& store, OnDiskIndex* index, bool repair) {
+  FsckReport r;
+  const std::uint64_t region = store.data_region_blocks();
+  const std::uint64_t logical = store.logical_blocks();
+
+  // Pass 1: recompute per-block reference counts from the logical view
+  // (identity-live bits + Map-table entries) and check each mapping's
+  // target is inside the data region and holds live content.
+  std::vector<std::uint32_t> computed(static_cast<std::size_t>(region), 0);
+  std::uint64_t logical_live = 0;
+
+  for (Lba lba = 0; lba < logical; ++lba) {
+    if (!store.identity_mapped(lba)) continue;
+    ++r.identity_blocks_checked;
+    ++logical_live;
+    ++computed[static_cast<std::size_t>(lba)];
+    if (store.map_table().is_redirected(lba)) {
+      report(r, true, "lba %llu both identity-live and redirected",
+             static_cast<unsigned long long>(lba));
+    }
+  }
+
+  store.map_table().for_each_entry([&](Lba lba, Pba pba) {
+    ++r.map_entries_checked;
+    ++logical_live;
+    if (pba >= region) {
+      report(r, true, "map entry lba %llu -> pba %llu outside data region",
+             static_cast<unsigned long long>(lba),
+             static_cast<unsigned long long>(pba));
+      return;
+    }
+    ++computed[static_cast<std::size_t>(pba)];
+    if (store.refcount(pba) == 0) {
+      report(r, true, "map entry lba %llu -> dead pba %llu",
+             static_cast<unsigned long long>(lba),
+             static_cast<unsigned long long>(pba));
+    }
+  });
+
+  // Pass 2: stored refcounts must equal the recomputed ones, block by
+  // block, and the aggregate live counters must agree.
+  std::uint64_t physical_live = 0;
+  for (Pba pba = 0; pba < region; ++pba) {
+    const std::uint32_t want = computed[static_cast<std::size_t>(pba)];
+    const std::uint32_t got = store.refcount(pba);
+    if (want > 0) ++physical_live;
+    if (want != got) {
+      report(r, true, "pba %llu refcount %u, expected %u",
+             static_cast<unsigned long long>(pba), got, want);
+    }
+  }
+  if (logical_live != store.live_logical_blocks()) {
+    report(r, true, "live logical count %llu, expected %llu",
+           static_cast<unsigned long long>(store.live_logical_blocks()),
+           static_cast<unsigned long long>(logical_live));
+  }
+  if (physical_live != store.live_physical_blocks()) {
+    report(r, true, "live physical count %llu, expected %llu",
+           static_cast<unsigned long long>(store.live_physical_blocks()),
+           static_cast<unsigned long long>(physical_live));
+  }
+
+  // Pass 3: pool occupancy must mirror liveness — a referenced pool block
+  // on the free list would get handed out again and overwrite live data;
+  // a dead pool block not on the free list leaks capacity.
+  const PoolAllocator& pool = store.pool();
+  for (Pba pba = logical; pba < region; ++pba) {
+    ++r.pool_blocks_checked;
+    const bool live = store.refcount(pba) > 0;
+    const bool free = pool.is_free(pba);
+    if (live && free) {
+      report(r, true, "pool pba %llu live but on free list",
+             static_cast<unsigned long long>(pba));
+    } else if (!live && !free) {
+      report(r, true, "pool pba %llu dead but not reusable",
+             static_cast<unsigned long long>(pba));
+    }
+  }
+
+  // Pass 4: every index entry must describe live content. A mismatch is
+  // repairable — the entry is advisory (dedup candidates are revalidated
+  // against the store before use), so dropping it loses nothing.
+  if (index != nullptr) {
+    std::vector<Fingerprint> stale;
+    index->for_each_entry([&](const Fingerprint& fp, Pba pba) {
+      ++r.index_entries_checked;
+      const Fingerprint* live = store.fingerprint_of(pba);
+      if (live != nullptr && *live == fp) return;
+      ++r.stale_index_entries;
+      if (repair) stale.push_back(fp);
+      report(r, false, "stale index entry -> pba %llu%s",
+             static_cast<unsigned long long>(pba),
+             repair ? " (repaired)" : "");
+    });
+    for (const Fingerprint& fp : stale) {
+      index->erase(fp);
+      ++r.repaired;
+    }
+  }
+
+  return r;
+}
+
+}  // namespace pod

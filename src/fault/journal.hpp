@@ -1,0 +1,89 @@
+// Write-ahead journal for dedup metadata (MapTable bindings + OnDiskIndex
+// entries), with simulated crash points.
+//
+// The mutable dedup metadata is exactly what a crash can tear: a logical
+// block re-mapped to a shared physical block, the old block's refcount
+// drop, and the fingerprint-index entry are three separate updates. The
+// journal records each logical mutation before it is applied; a simulated
+// crash truncates the journal at a chosen record ("crash point") and
+// recovery replays the surviving prefix into fresh metadata structures.
+// The fsck verifier (fault/fsck.hpp) then proves the recovered state is
+// internally consistent — the invariant is that EVERY prefix of the
+// journal recovers to a consistent state, because each record is a
+// complete logical mutation, not a physical sub-step.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "hash/fingerprint.hpp"
+
+namespace pod {
+
+enum class JournalOp : std::uint8_t {
+  /// Map lba -> pba with content fp (refcount on pba gains this mapping).
+  kBind = 0,
+  /// Drop lba's mapping (refcount on its pba loses this mapping).
+  kUnbind = 1,
+  /// Fingerprint index gained fp -> pba.
+  kIndexPut = 2,
+  /// Fingerprint index dropped fp.
+  kIndexDel = 3,
+};
+
+struct JournalRecord {
+  std::uint64_t seq = 0;
+  JournalOp op = JournalOp::kBind;
+  Lba lba = kInvalidLba;
+  Pba pba = kInvalidPba;
+  Fingerprint fp;
+};
+
+class MetadataJournal {
+ public:
+  /// Stop persisting after `n` records (simulated crash: later appends are
+  /// dropped on the floor, exactly like a torn log tail). Negative = never.
+  void set_crash_point(std::int64_t n) { crash_after_ = n; }
+
+  void bind(Lba lba, Pba pba, const Fingerprint& fp) {
+    append({next_seq_, JournalOp::kBind, lba, pba, fp});
+  }
+  void unbind(Lba lba) {
+    append({next_seq_, JournalOp::kUnbind, lba, kInvalidPba, Fingerprint{}});
+  }
+  void index_put(const Fingerprint& fp, Pba pba) {
+    append({next_seq_, JournalOp::kIndexPut, kInvalidLba, pba, fp});
+  }
+  void index_del(const Fingerprint& fp) {
+    append({next_seq_, JournalOp::kIndexDel, kInvalidLba, kInvalidPba, fp});
+  }
+
+  const std::vector<JournalRecord>& records() const { return records_; }
+  /// Total records appended, including ones lost past the crash point.
+  std::uint64_t appended() const { return next_seq_; }
+  /// Records lost to the simulated crash (appended - persisted).
+  std::uint64_t lost() const { return next_seq_ - records_.size(); }
+
+  void clear() {
+    records_.clear();
+    next_seq_ = 0;
+    crash_after_ = -1;
+  }
+
+ private:
+  void append(JournalRecord r) {
+    ++next_seq_;
+    if (crash_after_ >= 0 &&
+        records_.size() >= static_cast<std::size_t>(crash_after_)) {
+      return;  // crashed: the tail never reached stable storage
+    }
+    records_.push_back(r);
+  }
+
+  std::vector<JournalRecord> records_;
+  std::uint64_t next_seq_ = 0;
+  std::int64_t crash_after_ = -1;
+};
+
+}  // namespace pod

@@ -113,6 +113,8 @@ Raid5::WritePlan Raid5::plan_write(Pba block, std::uint64_t nblocks) const {
 void Raid5::submit(VolumeIo io) {
   POD_CHECK(io.nblocks > 0);
   POD_CHECK(io.block + io.nblocks <= capacity_);
+  if (fault_ != nullptr && fault_->disk_failure_due(sim_.now()))
+    trigger_injected_failure();
   if (io.type == OpType::kRead) {
     std::vector<DiskFragment> frags =
         degraded() ? split_read_degraded(io.block, io.nblocks)
@@ -267,13 +269,13 @@ Raid5::WritePlan Raid5::plan_write_degraded(Pba block,
 }
 
 std::uint64_t Raid5::rebuild_rows(std::uint64_t first_row, std::uint64_t nrows,
-                                  std::function<void()> done) {
+                                  std::function<void(IoStatus)> done) {
   POD_CHECK(failed_disk_.has_value());
   const std::size_t fd = *failed_disk_;
   const std::uint64_t unit = cfg_.stripe_unit_blocks;
   const std::uint64_t end_row = std::min(total_rows(), first_row + nrows);
   if (first_row >= end_row) {
-    if (done) done();
+    if (done) done(IoStatus::kOk);
     return 0;
   }
   std::vector<DiskFragment> reads;
@@ -294,6 +296,51 @@ std::uint64_t Raid5::rebuild_rows(std::uint64_t first_row, std::uint64_t nrows,
 void Raid5::complete_rebuild() {
   POD_CHECK(failed_disk_.has_value());
   failed_disk_.reset();
+}
+
+void Raid5::trigger_injected_failure() {
+  const std::size_t fd = fault_->failing_disk();
+  POD_CHECK(fd < cfg_.num_disks);
+  fault_->note_disk_failed();
+  if (degraded()) return;  // already failed via fail_disk()
+  fail_disk(fd);
+  if (!fault_->config().auto_rebuild) return;
+  // A hot spare takes the failed slot: the array stays logically degraded
+  // (reads reconstruct, writes route around fd) while the rebuild sweep
+  // repopulates the spare row by row in paced background batches.
+  fault_->attach_spare();
+  rebuild_next_row_ = 0;
+  rebuild_running_ = true;
+  schedule_rebuild_batch();
+}
+
+void Raid5::schedule_rebuild_batch() {
+  sim_.schedule_after(fault_->config().rebuild_interval,
+                      [this]() { run_rebuild_batch(); });
+}
+
+void Raid5::run_rebuild_batch() {
+  if (!rebuild_running_ || !degraded()) return;
+  const std::uint64_t rows = total_rows();
+  if (rebuild_next_row_ >= rows) {
+    rebuild_running_ = false;
+    complete_rebuild();
+    return;
+  }
+  const std::uint64_t n =
+      std::min(fault_->config().rebuild_batch_rows, rows - rebuild_next_row_);
+  const std::uint64_t first = rebuild_next_row_;
+  rebuild_next_row_ += n;
+  rebuilt_rows_ += n;
+  rebuild_rows(first, n, [this](IoStatus) {
+    if (!rebuild_running_) return;
+    if (rebuild_next_row_ >= total_rows()) {
+      rebuild_running_ = false;
+      complete_rebuild();
+    } else {
+      schedule_rebuild_batch();
+    }
+  });
 }
 
 }  // namespace pod

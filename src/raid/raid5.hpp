@@ -21,7 +21,7 @@ class Raid5 : public DiskArray {
   std::uint64_t capacity_blocks() const override { return capacity_; }
   VolumeCounters counters() const override {
     return VolumeCounters{full_stripe_writes_, rmw_writes_,
-                          reconstruction_reads_};
+                          reconstruction_reads_, rebuilt_rows_};
   }
 
   /// Parity disk for a stripe row (left-symmetric rotation).
@@ -59,7 +59,7 @@ class Raid5 : public DiskArray {
   /// reconstructed unit onto the failed member. `done` fires when the
   /// sweep's I/O completes. Returns the number of rows actually issued.
   std::uint64_t rebuild_rows(std::uint64_t first_row, std::uint64_t nrows,
-                             std::function<void()> done);
+                             std::function<void(IoStatus)> done);
 
   /// Completes recovery: clears the failed state (call after rebuilding all
   /// rows).
@@ -74,12 +74,23 @@ class Raid5 : public DiskArray {
                                                 std::uint64_t nblocks) const;
   WritePlan plan_write_degraded(Pba block, std::uint64_t nblocks) const;
 
+  /// Injector-scheduled whole-disk failure: transition to degraded mode
+  /// and, when configured, attach the hot spare and start the paced
+  /// background rebuild.
+  void trigger_injected_failure();
+  void schedule_rebuild_batch();
+  void run_rebuild_batch();
+
   std::uint64_t capacity_;
   std::uint64_t row_data_blocks_;  // stripe_unit * (N-1)
   std::uint64_t full_stripe_writes_ = 0;
   std::uint64_t rmw_writes_ = 0;
   std::optional<std::size_t> failed_disk_;
   mutable std::uint64_t reconstruction_reads_ = 0;
+  /// Background (injector-driven) rebuild progress.
+  std::uint64_t rebuild_next_row_ = 0;
+  std::uint64_t rebuilt_rows_ = 0;
+  bool rebuild_running_ = false;
   /// Telemetry handle, bound on first submit when telemetry is on (also
   /// the registered-probes sentinel).
   MetricHistogram* telem_rows_ = nullptr;

@@ -12,12 +12,31 @@ std::size_t Volume::total_queue_length() const {
   return total;
 }
 
-void Volume::read(Pba block, std::uint64_t nblocks, std::function<void()> done) {
+void Volume::read(Pba block, std::uint64_t nblocks,
+                  std::function<void(IoStatus)> done) {
   submit(VolumeIo{OpType::kRead, block, nblocks, std::move(done)});
 }
 
-void Volume::write(Pba block, std::uint64_t nblocks, std::function<void()> done) {
+void Volume::write(Pba block, std::uint64_t nblocks,
+                   std::function<void(IoStatus)> done) {
   submit(VolumeIo{OpType::kWrite, block, nblocks, std::move(done)});
+}
+
+namespace {
+
+std::function<void(IoStatus)> drop_status(std::function<void()> done) {
+  if (!done) return {};
+  return [d = std::move(done)](IoStatus) { d(); };
+}
+
+}  // namespace
+
+void Volume::read(Pba block, std::uint64_t nblocks, std::function<void()> done) {
+  submit(VolumeIo{OpType::kRead, block, nblocks, drop_status(std::move(done))});
+}
+
+void Volume::write(Pba block, std::uint64_t nblocks, std::function<void()> done) {
+  submit(VolumeIo{OpType::kWrite, block, nblocks, drop_status(std::move(done))});
 }
 
 std::vector<DiskFragment> merge_fragments(std::vector<DiskFragment> frags) {
@@ -40,23 +59,26 @@ std::vector<DiskFragment> merge_fragments(std::vector<DiskFragment> frags) {
 DiskArray::DiskArray(Simulator& sim, const ArrayConfig& cfg) : sim_(sim), cfg_(cfg) {
   POD_CHECK(cfg_.num_disks >= 1);
   POD_CHECK(cfg_.stripe_unit_blocks >= 1);
+  if (cfg_.fault.enabled) fault_ = std::make_unique<FaultInjector>(cfg_.fault);
   HddModel model(cfg_.disk_geometry, cfg_.disk_timing);
   disks_.reserve(cfg_.num_disks);
   for (std::size_t i = 0; i < cfg_.num_disks; ++i) {
     disks_.push_back(std::make_unique<Disk>(sim_, model, cfg_.scheduler,
                                             "disk" + std::to_string(i),
                                             static_cast<int>(i)));
+    if (fault_ != nullptr) disks_.back()->set_fault_injector(fault_.get(), i);
   }
 }
 
 void DiskArray::run_two_phase(std::vector<DiskFragment> phase1, OpType phase1_type,
                               std::vector<DiskFragment> phase2, OpType phase2_type,
-                              std::function<void()> done) {
+                              std::function<void(IoStatus)> done) {
   struct State {
     std::size_t outstanding = 0;
+    IoStatus status = IoStatus::kOk;  // worst-of across both phases
     std::vector<DiskFragment> phase2;
     OpType phase2_type;
-    std::function<void()> done;
+    std::function<void(IoStatus)> done;
   };
   auto state = std::make_shared<State>();
   state->phase2 = std::move(phase2);
@@ -64,7 +86,7 @@ void DiskArray::run_two_phase(std::vector<DiskFragment> phase1, OpType phase1_ty
   state->done = std::move(done);
 
   auto issue = [this](const std::vector<DiskFragment>& frags, OpType type,
-                      std::function<void()> on_each) {
+                      std::function<void(IoStatus)> on_each) {
     for (const DiskFragment& f : frags) {
       POD_CHECK(f.disk < disks_.size());
       DiskOp op;
@@ -77,15 +99,16 @@ void DiskArray::run_two_phase(std::vector<DiskFragment> phase1, OpType phase1_ty
   };
 
   // Completion handler for phase 2.
-  auto phase2_step = std::make_shared<std::function<void()>>();
-  *phase2_step = [state]() {
+  auto phase2_step = std::make_shared<std::function<void(IoStatus)>>();
+  *phase2_step = [state](IoStatus s) {
     POD_CHECK(state->outstanding > 0);
-    if (--state->outstanding == 0 && state->done) state->done();
+    state->status = combine(state->status, s);
+    if (--state->outstanding == 0 && state->done) state->done(state->status);
   };
 
   auto start_phase2 = [this, state, issue, phase2_step]() {
     if (state->phase2.empty()) {
-      if (state->done) state->done();
+      if (state->done) state->done(state->status);
       return;
     }
     state->outstanding = state->phase2.size();
@@ -97,8 +120,9 @@ void DiskArray::run_two_phase(std::vector<DiskFragment> phase1, OpType phase1_ty
     return;
   }
   state->outstanding = phase1.size();
-  auto phase1_step = [state, start_phase2]() {
+  auto phase1_step = [state, start_phase2](IoStatus s) {
     POD_CHECK(state->outstanding > 0);
+    state->status = combine(state->status, s);
     if (--state->outstanding == 0) start_phase2();
   };
   issue(phase1, phase1_type, phase1_step);

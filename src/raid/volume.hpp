@@ -12,6 +12,7 @@
 
 #include "common/types.hpp"
 #include "disk/disk.hpp"
+#include "fault/fault.hpp"
 #include "sim/simulator.hpp"
 
 namespace pod {
@@ -21,7 +22,9 @@ struct VolumeIo {
   OpType type = OpType::kRead;
   Pba block = 0;
   std::uint64_t nblocks = 1;
-  std::function<void()> done;
+  /// Fires at completion with the worst status among the op's disk
+  /// fragments (always kOk when no fault injector is attached).
+  std::function<void(IoStatus)> done;
 };
 
 /// Layout-level activity counters a volume implementation may maintain
@@ -33,6 +36,8 @@ struct VolumeCounters {
   std::uint64_t rmw_writes = 0;
   /// Reads reconstructed from parity while degraded.
   std::uint64_t reconstruction_reads = 0;
+  /// Stripe rows rewritten onto the spare by the background rebuild.
+  std::uint64_t rebuild_rows = 0;
 };
 
 class Volume {
@@ -46,13 +51,27 @@ class Volume {
   virtual const Disk& disk(std::size_t i) const = 0;
   /// Layout counters (parity write modes etc.); defaults to all-zero.
   virtual VolumeCounters counters() const { return {}; }
+  /// The array's fault injector, or null when faults are disabled.
+  virtual const FaultInjector* fault_injector() const { return nullptr; }
 
   /// Sum of member-disk queue lengths (in-flight + waiting).
   std::size_t total_queue_length() const;
 
-  /// Convenience wrappers.
+  /// Convenience wrappers (status-aware and legacy status-blind forms).
+  void read(Pba block, std::uint64_t nblocks,
+            std::function<void(IoStatus)> done);
+  void write(Pba block, std::uint64_t nblocks,
+             std::function<void(IoStatus)> done);
   void read(Pba block, std::uint64_t nblocks, std::function<void()> done);
   void write(Pba block, std::uint64_t nblocks, std::function<void()> done);
+  // A literal nullptr callback is ambiguous between the two forms above;
+  // resolve it to the status-aware one.
+  void read(Pba block, std::uint64_t nblocks, std::nullptr_t) {
+    read(block, nblocks, std::function<void(IoStatus)>{});
+  }
+  void write(Pba block, std::uint64_t nblocks, std::nullptr_t) {
+    write(block, nblocks, std::function<void(IoStatus)>{});
+  }
 };
 
 struct ArrayConfig {
@@ -62,6 +81,9 @@ struct ArrayConfig {
   HddGeometry disk_geometry;
   HddTiming disk_timing;
   SchedulerKind scheduler = SchedulerKind::kFcfs;
+  /// Fault injection (disabled by default: no injector is constructed and
+  /// the array behaves bit-for-bit as before the fault subsystem existed).
+  FaultConfig fault;
 };
 
 /// A contiguous fragment of a volume I/O on one member disk.
@@ -86,16 +108,22 @@ class DiskArray : public Volume {
   const ArrayConfig& config() const { return cfg_; }
   Simulator& sim() { return sim_; }
 
+  const FaultInjector* fault_injector() const override { return fault_.get(); }
+  FaultInjector* mutable_fault_injector() { return fault_.get(); }
+
  protected:
   /// Issues `phase1` then, once all complete, `phase2`, then `done`.
-  /// Either phase may be empty.
+  /// Either phase may be empty. `done` receives the worst status observed
+  /// across both phases' fragments.
   void run_two_phase(std::vector<DiskFragment> phase1, OpType phase1_type,
                      std::vector<DiskFragment> phase2, OpType phase2_type,
-                     std::function<void()> done);
+                     std::function<void(IoStatus)> done);
 
   Simulator& sim_;
   ArrayConfig cfg_;
   std::vector<std::unique_ptr<Disk>> disks_;
+  /// Present only when cfg_.fault.enabled.
+  std::unique_ptr<FaultInjector> fault_;
 };
 
 }  // namespace pod

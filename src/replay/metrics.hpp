@@ -57,6 +57,19 @@ struct ReplayResult {
   /// Parity-layout write-mode counters (all zero for RAID-0).
   VolumeCounters volume_counters;
 
+  /// Fault-injection outcome (all zero when faults are disabled).
+  struct FaultSummary {
+    bool enabled = false;
+    /// Injector activity (what was thrown at the disks).
+    FaultStats injected;
+    /// Request-level outcomes live in `measured` (media_error_ops,
+    /// damaged_*_blocks, failed_requests); journal state, when journaling
+    /// was on:
+    std::uint64_t journal_records = 0;
+    std::uint64_t journal_lost = 0;
+  };
+  FaultSummary fault;
+
   /// iCache end-of-run state (all zero for engines without one).
   ICacheStats icache;
   /// Final index/total memory split (0 when the engine has no iCache).

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "replay/metrics.hpp"
@@ -22,13 +23,19 @@ class ParallelRunner {
   struct RunItem {
     RunSpec spec;
     const Trace* trace = nullptr;
+    /// Optional human-readable tag carried into error messages; defaults to
+    /// "engine/trace" when empty.
+    std::string label;
   };
 
   /// @param jobs  worker threads; <= 1 executes serially on this thread.
   explicit ParallelRunner(std::size_t jobs) : jobs_(jobs) {}
 
   /// Executes every item and returns results in input order. The first
-  /// exception thrown by any run (in input order) is rethrown.
+  /// exception thrown by any run (in input order) is rethrown as a
+  /// std::runtime_error prefixed with that run's label and fault seed, so a
+  /// failure inside a large fan-out identifies its run. Items with a null
+  /// trace are rejected up front with std::invalid_argument.
   std::vector<ReplayResult> run(const std::vector<RunItem>& items) const;
 
   std::size_t jobs() const { return jobs_; }

@@ -1,6 +1,7 @@
 #include "replay/replayer.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "common/check.hpp"
 #include "common/resource.hpp"
@@ -104,7 +105,9 @@ ReplayResult Replayer::replay(Simulator& sim, DedupEngine& engine,
       if (next < total) {
         const IoRequest& req = trace.requests[next];
         const SimTime arrival = req.arrival - t0;
-        POD_CHECK(arrival >= last_arrival);  // trace must be time-ordered
+        if (arrival < last_arrival)
+          throw std::runtime_error("streaming replay: trace \"" + trace.name +
+                                   "\" is not time-ordered");
         if (sim.idle() || arrival <= sim.next_event_time()) {
           sim.advance_to(arrival);
           last_arrival = arrival;
@@ -253,6 +256,15 @@ ReplayResult run_replay(const RunSpec& spec, const Trace& trace,
   result.mean_disk_queue_depth /=
       static_cast<double>(std::max<std::size_t>(1, volume->num_disks()));
   result.volume_counters = volume->counters();
+
+  if (const FaultInjector* fi = volume->fault_injector()) {
+    result.fault.enabled = true;
+    result.fault.injected = fi->stats();
+  }
+  if (const MetadataJournal* j = engine->metadata_journal()) {
+    result.fault.journal_records = j->appended();
+    result.fault.journal_lost = j->lost();
+  }
 
   if (telemetry) {
     telemetry->finish(sim.now());

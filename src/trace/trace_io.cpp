@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "hash/fnv.hpp"
 
 namespace pod {
 
@@ -20,6 +21,24 @@ constexpr char kBinaryMagicV1[8] = {'P', 'O', 'D', 'T', 'R', 'C', '0', '1'};
 // v2: structure-of-arrays — fixed-size request records followed by one
 // contiguous fingerprint blob, loaded straight into the trace arena.
 constexpr char kBinaryMagicV2[8] = {'P', 'O', 'D', 'T', 'R', 'C', '0', '2'};
+// v3: the v2 layout prefixed with a u64 FNV-1a checksum of every body byte
+// after the checksum field. Detects silent cache-file corruption (the trace
+// cache falls back to regeneration on mismatch). v1/v2 stay readable.
+constexpr char kBinaryMagicV3[8] = {'P', 'O', 'D', 'T', 'R', 'C', '0', '3'};
+
+/// Streaming FNV-1a accumulator: both the writer and the reader feed the
+/// body byte sequences through this in identical order, so the stored and
+/// recomputed sums agree iff every body byte round-tripped.
+struct BodyChecksum {
+  std::uint64_t h = kFnvOffset;
+  void feed(const void* data, std::size_t len) {
+    h = fnv1a64(static_cast<const std::uint8_t*>(data), len, h);
+  }
+  template <typename T>
+  void feed_pod(const T& v) {
+    feed(&v, sizeof(v));
+  }
+};
 
 /// Fixed-size on-disk request record of the v2 format.
 #pragma pack(push, 1)
@@ -122,29 +141,57 @@ Trace read_trace_binary_v1(std::istream& in) {
   return trace;
 }
 
-/// v2 body: bulk-read request records, then the fingerprint arena in one
-/// contiguous read; spans are assigned by walking per-request counts.
-Trace read_trace_binary_v2(std::istream& in) {
+/// v2/v3 body: bulk-read request records, then the fingerprint arena in one
+/// contiguous read; spans are assigned by walking per-request counts. When
+/// `ck` is non-null (v3), every body byte is fed through it in read order.
+Trace read_trace_binary_v2(std::istream& in, BodyChecksum* ck = nullptr) {
   Trace trace;
   const auto name_len = read_pod<std::uint32_t>(in);
+  if (name_len > (1u << 20))
+    throw std::runtime_error("implausible trace name length");
   trace.name.resize(name_len);
   in.read(trace.name.data(), name_len);
   if (!in) throw std::runtime_error("truncated binary trace");
   const auto count = read_pod<std::uint64_t>(in);
   trace.warmup_count = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
   const auto total_fps = read_pod<std::uint64_t>(in);
+  if (ck != nullptr) {
+    ck->feed_pod(name_len);
+    ck->feed(trace.name.data(), name_len);
+    ck->feed_pod(count);
+    ck->feed_pod(static_cast<std::uint64_t>(trace.warmup_count));
+    ck->feed_pod(total_fps);
+  }
   if (trace.warmup_count > count) throw std::runtime_error("bad warmup count");
+
+  // Bound the bulk allocations by the bytes actually left in the stream —
+  // a corrupted count must surface as "truncated", not as a giant alloc.
+  const auto body_pos = in.tellg();
+  if (body_pos != std::istream::pos_type(-1)) {
+    in.seekg(0, std::ios::end);
+    const auto end_pos = in.tellg();
+    in.seekg(body_pos);
+    if (end_pos != std::istream::pos_type(-1)) {
+      const auto remaining =
+          static_cast<std::uint64_t>(end_pos - body_pos);
+      if (count > remaining / sizeof(DiskRecord) ||
+          total_fps > remaining / sizeof(Fingerprint))
+        throw std::runtime_error("truncated binary trace");
+    }
+  }
 
   std::vector<DiskRecord> records(count);
   in.read(reinterpret_cast<char*>(records.data()),
           static_cast<std::streamsize>(count * sizeof(DiskRecord)));
   if (!in) throw std::runtime_error("truncated binary trace");
+  if (ck != nullptr) ck->feed(records.data(), count * sizeof(DiskRecord));
 
   trace.arena().reserve(total_fps);
   const std::span<Fingerprint> arena = trace.arena().alloc(total_fps);
   in.read(reinterpret_cast<char*>(arena.data()),
           static_cast<std::streamsize>(arena.size_bytes()));
   if (!in) throw std::runtime_error("truncated binary trace");
+  if (ck != nullptr) ck->feed(arena.data(), arena.size_bytes());
 
   trace.requests.reserve(count);
   std::uint64_t offset = 0;
@@ -238,15 +285,11 @@ Trace read_trace_csv(std::istream& in, std::string name) {
 }
 
 void write_trace_binary(std::ostream& out, const Trace& trace) {
-  out.write(kBinaryMagicV2, sizeof(kBinaryMagicV2));
   const std::uint32_t name_len = static_cast<std::uint32_t>(trace.name.size());
-  write_pod(out, name_len);
-  out.write(trace.name.data(), name_len);
-  write_pod(out, static_cast<std::uint64_t>(trace.requests.size()));
-  write_pod(out, static_cast<std::uint64_t>(trace.warmup_count));
+  const std::uint64_t count = trace.requests.size();
+  const std::uint64_t warmup = trace.warmup_count;
   std::uint64_t total_fps = 0;
   for (const IoRequest& r : trace.requests) total_fps += r.chunks.size();
-  write_pod(out, total_fps);
 
   std::vector<DiskRecord> records;
   records.reserve(trace.requests.size());
@@ -255,6 +298,26 @@ void write_trace_binary(std::ostream& out, const Trace& trace) {
                                  r.lba, r.nblocks,
                                  static_cast<std::uint32_t>(r.chunks.size())});
   }
+
+  // Checksum the body without buffering it: feed exactly the byte sequence
+  // written below, in the same order.
+  BodyChecksum ck;
+  ck.feed_pod(name_len);
+  ck.feed(trace.name.data(), name_len);
+  ck.feed_pod(count);
+  ck.feed_pod(warmup);
+  ck.feed_pod(total_fps);
+  ck.feed(records.data(), records.size() * sizeof(DiskRecord));
+  for (const IoRequest& r : trace.requests)
+    ck.feed(r.chunks.data(), r.chunks.size_bytes());
+
+  out.write(kBinaryMagicV3, sizeof(kBinaryMagicV3));
+  write_pod(out, ck.h);
+  write_pod(out, name_len);
+  out.write(trace.name.data(), name_len);
+  write_pod(out, count);
+  write_pod(out, warmup);
+  write_pod(out, total_fps);
   out.write(reinterpret_cast<const char*>(records.data()),
             static_cast<std::streamsize>(records.size() * sizeof(DiskRecord)));
   // Fingerprint blob, in request order (== arena order for traces built
@@ -270,6 +333,14 @@ Trace read_trace_binary(std::istream& in) {
   char magic[8];
   in.read(magic, sizeof(magic));
   if (!in) throw std::runtime_error("not a pod binary trace");
+  if (std::memcmp(magic, kBinaryMagicV3, sizeof(magic)) == 0) {
+    const auto stored = read_pod<std::uint64_t>(in);
+    BodyChecksum ck;
+    Trace trace = read_trace_binary_v2(in, &ck);
+    if (ck.h != stored)
+      throw std::runtime_error("binary trace checksum mismatch");
+    return trace;
+  }
   if (std::memcmp(magic, kBinaryMagicV2, sizeof(magic)) == 0)
     return read_trace_binary_v2(in);
   if (std::memcmp(magic, kBinaryMagicV1, sizeof(magic)) == 0)

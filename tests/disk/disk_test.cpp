@@ -21,7 +21,7 @@ TEST(Disk, CompletesSingleOp) {
   op.type = OpType::kRead;
   op.block = 1000;
   op.nblocks = 1;
-  op.done = [&] { done = true; };
+  op.done = [&](IoStatus) { done = true; };
   disk.submit(std::move(op));
   sim.run();
   EXPECT_TRUE(done);
@@ -51,7 +51,7 @@ TEST(Disk, QueueSerializesOps) {
     DiskOp op;
     op.block = static_cast<std::uint64_t>(i) * 100000;
     op.nblocks = 1;
-    op.done = [&] { completions.push_back(sim.now()); };
+    op.done = [&](IoStatus) { completions.push_back(sim.now()); };
     disk.submit(std::move(op));
   }
   EXPECT_EQ(disk.queue_length(), 4u);
@@ -116,12 +116,12 @@ TEST(Disk, CompletionCanSubmitMoreWork) {
   DiskOp first;
   first.block = 0;
   first.nblocks = 1;
-  first.done = [&] {
+  first.done = [&](IoStatus) {
     ++completed;
     DiskOp second;
     second.block = 8;
     second.nblocks = 1;
-    second.done = [&] { ++completed; };
+    second.done = [&](IoStatus) { ++completed; };
     disk.submit(std::move(second));
   };
   disk.submit(std::move(first));

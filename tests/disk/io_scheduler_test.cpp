@@ -85,12 +85,12 @@ TEST(Scheduler, OpPayloadPreserved) {
   op.type = OpType::kWrite;
   op.block = 7;
   op.nblocks = 3;
-  op.done = [&fired] { ++fired; };
+  op.done = [&fired](IoStatus) { ++fired; };
   s->push(std::move(op));
   DiskOp out = s->pop(0);
   EXPECT_EQ(out.type, OpType::kWrite);
   EXPECT_EQ(out.nblocks, 3u);
-  out.done();
+  out.done(IoStatus::kOk);
   EXPECT_EQ(fired, 1);
 }
 

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "synth/generator.hpp"
@@ -109,6 +112,64 @@ TEST(ParallelRunner, ResultsStayInInputOrder) {
   ASSERT_EQ(out.size(), kinds.size());
   for (std::size_t i = 0; i < kinds.size(); ++i)
     EXPECT_EQ(out[i].engine_name, to_string(kinds[i]));
+}
+
+TEST(ParallelRunner, NullTraceRejectedUpFront) {
+  std::vector<ParallelRunner::RunItem> items;
+  items.push_back({small_spec(EngineKind::kNative), nullptr, "null-run"});
+  try {
+    ParallelRunner(2).run(items);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("null-run"), std::string::npos);
+  }
+}
+
+TEST(ParallelRunner, WorkerExceptionCarriesLabelAndSeed) {
+  // A non-time-ordered trace makes run_replay throw inside the worker; the
+  // rethrown error must identify which run failed.
+  Trace bad = small_trace();
+  ASSERT_GT(bad.requests.size(), bad.warmup_count + 2);
+  std::swap(bad.requests[bad.warmup_count].arrival,
+            bad.requests[bad.warmup_count + 1].arrival);
+  bad.requests[bad.warmup_count].arrival += 1;  // strictly out of order
+
+  const Trace good = small_trace();
+  RunSpec failing_spec = small_spec(EngineKind::kNative);
+  failing_spec.array_cfg.fault.seed = 1234;
+  std::vector<ParallelRunner::RunItem> items;
+  items.push_back({small_spec(EngineKind::kNative), &good, "good-run"});
+  items.push_back({failing_spec, &bad, "bad-run"});
+
+  try {
+    ParallelRunner(2).run(items);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bad-run"), std::string::npos) << what;
+    EXPECT_NE(what.find("1234"), std::string::npos) << what;
+    EXPECT_NE(what.find("not time-ordered"), std::string::npos) << what;
+  }
+}
+
+TEST(ParallelRunner, DefaultLabelNamesEngineAndTrace) {
+  Trace bad = small_trace();
+  ASSERT_GT(bad.requests.size(), bad.warmup_count + 2);
+  std::swap(bad.requests[bad.warmup_count].arrival,
+            bad.requests[bad.warmup_count + 1].arrival);
+  bad.requests[bad.warmup_count].arrival += 1;
+
+  std::vector<ParallelRunner::RunItem> items;
+  items.push_back({small_spec(EngineKind::kIDedup), &bad});  // no label
+
+  try {
+    ParallelRunner(1).run(items);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("idedup"), std::string::npos) << what;
+    EXPECT_NE(what.find(bad.name), std::string::npos) << what;
+  }
 }
 
 }  // namespace

@@ -114,7 +114,7 @@ TEST_P(SchedulerSweep, AllOpsComplete) {
     op.type = rng.chance(0.5) ? OpType::kRead : OpType::kWrite;
     op.block = rng.uniform(0, g.total_blocks - 8);
     op.nblocks = 1 + rng.uniform(0, 7);
-    op.done = [&completed] { ++completed; };
+    op.done = [&completed](IoStatus) { ++completed; };
     disk.submit(std::move(op));
   }
   sim.run();
@@ -135,7 +135,7 @@ TEST_P(SchedulerSweep, ReorderingNeverLosesOps) {
       DiskOp op;
       op.block = rng.uniform(0, g.total_blocks - 1);
       op.nblocks = 1;
-      op.done = [&completed] { ++completed; };
+      op.done = [&completed](IoStatus) { ++completed; };
       disk.submit(std::move(op));
     }
     sim.run_until(sim.now() + ms(20));

@@ -158,7 +158,7 @@ TEST(Raid5Degraded, RebuildSweepsRows) {
   Raid5 r(sim, small_array());
   r.fail_disk(2);
   bool done = false;
-  const std::uint64_t issued = r.rebuild_rows(0, 8, [&] { done = true; });
+  const std::uint64_t issued = r.rebuild_rows(0, 8, [&](IoStatus) { done = true; });
   sim.run();
   EXPECT_TRUE(done);
   EXPECT_EQ(issued, 8u);
@@ -176,12 +176,12 @@ TEST(Raid5Degraded, RebuildClampsToVolumeEnd) {
   r.fail_disk(0);
   const std::uint64_t rows = r.total_rows();
   bool done = false;
-  EXPECT_EQ(r.rebuild_rows(rows - 2, 100, [&] { done = true; }), 2u);
+  EXPECT_EQ(r.rebuild_rows(rows - 2, 100, [&](IoStatus) { done = true; }), 2u);
   sim.run();
   EXPECT_TRUE(done);
   // Past-the-end request completes immediately with zero rows.
   bool done2 = false;
-  EXPECT_EQ(r.rebuild_rows(rows, 4, [&] { done2 = true; }), 0u);
+  EXPECT_EQ(r.rebuild_rows(rows, 4, [&](IoStatus) { done2 = true; }), 0u);
   EXPECT_TRUE(done2);
 }
 

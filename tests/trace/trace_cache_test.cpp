@@ -97,6 +97,35 @@ TEST(TraceCache, TruncatedEntryIsAMiss) {
   EXPECT_FALSE(try_load_cached_trace(dir, p).has_value());
 }
 
+TEST(TraceCache, BitFlippedEntryIsAMissThatRegenerates) {
+  // Silent corruption (one flipped byte deep in the fingerprint blob, where
+  // no structural check would notice) must be caught by the file checksum
+  // and treated as a cache miss — obtain_trace falls back to regeneration.
+  const WorkloadProfile p = cache_profile();
+  const std::string dir = fresh_dir("pod_cache_bitflip");
+  const Trace generated = TraceGenerator(p).generate();
+  ASSERT_TRUE(store_cached_trace(dir, p, generated));
+
+  const std::string path = trace_cache_path(dir, p);
+  const auto size = std::filesystem::file_size(path);
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(static_cast<std::streamoff>(size - size / 4));
+  char byte = 0;
+  f.seekg(f.tellp());
+  f.read(&byte, 1);
+  f.seekp(static_cast<std::streamoff>(size - size / 4));
+  byte = static_cast<char>(byte ^ 0x01);
+  f.write(&byte, 1);
+  f.close();
+
+  EXPECT_FALSE(try_load_cached_trace(dir, p).has_value());
+
+  ASSERT_EQ(setenv("POD_TRACE_CACHE", dir.c_str(), 1), 0);
+  const Trace regenerated = obtain_trace(p);
+  unsetenv("POD_TRACE_CACHE");
+  expect_equal(regenerated, generated);
+}
+
 TEST(TraceCache, ObtainTracePopulatesAndHits) {
   const WorkloadProfile p = cache_profile();
   const std::string dir = fresh_dir("pod_cache_obtain");

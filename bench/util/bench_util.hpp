@@ -65,7 +65,9 @@ std::vector<EngineKind> figure11_engines();
 RunSpec paper_spec(EngineKind engine, const WorkloadProfile& profile,
                    double scale);
 
-/// Parallel job count from POD_JOBS (default: hardware concurrency).
+/// Parallel job count from POD_JOBS (default: hardware concurrency),
+/// capped at hardware concurrency — oversubscribing CPU-bound replays
+/// only adds scheduling overhead.
 std::size_t bench_jobs();
 
 /// Runs every engine over one trace, fanning runs across bench_jobs()

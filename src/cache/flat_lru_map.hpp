@@ -4,9 +4,10 @@
 // insert and chases three pointers per lookup; profiled replays spend more
 // time in those maps than in the disks. FlatLruMap keeps entries in a
 // stable slot pool threaded onto an intrusive MRU..LRU list and locates
-// them through a linear-probe index table of 32-bit slot numbers:
+// them through a linear-probe index table of {slot, tag} pairs:
 //
-//   table_  : power-of-two vector of slot indices (kEmpty when free)
+//   table_  : power-of-two vector of {32-bit slot index, 32-bit hash tag}
+//             (slot == kEmpty when free)
 //   slots_  : entry pool; erased slots are recycled via free_, and the
 //             intrusive list is threaded by index, so index-table rehashes
 //             never move entries. Value pointers follow vector rules:
@@ -14,8 +15,14 @@
 //             as all callers here do; LruMap remains for callers that need
 //             unconditional stability).
 //
-// Erasures use backward-shift deletion on the index table (only 32-bit
-// indices move; entries stay put), so steady LRU churn leaves no
+// The tag is the scrambled hash: probes compare tags before touching the
+// slot pool at all, so a miss or a displaced-cluster scan costs sequential
+// index-table loads only — no dependent cache miss into slots_ per probed
+// bucket. The home bucket is recoverable from the tag (home = tag & mask),
+// which keeps backward-shift deletion entirely inside the index table.
+//
+// Erasures use backward-shift deletion on the index table (only the 8-byte
+// table entries move; slot entries stay put), so steady LRU churn leaves no
 // tombstones and never forces compaction rebuilds. Keys are scrambled
 // with a Fibonacci multiplier so identity hashes (std::hash<uint64_t>,
 // FingerprintHash) do not cluster under linear probing.
@@ -47,6 +54,15 @@ class FlatLruMap {
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  /// Pre-sizes the index table for `expected` live entries. Fixed-capacity
+  /// caches that always fill (index/read/ghost caches) reserve their
+  /// capacity up front so steady growth pays no incremental rehashes.
+  void reserve(std::size_t expected) {
+    std::size_t required = 16;
+    while (required < 2 * (expected + 1)) required <<= 1;
+    if (table_.size() < required) rebuild_table(required);
+  }
+
   /// Looks up `key`; promotes to MRU on hit.
   V* get(const K& key) {
     const std::uint32_t s = find_slot(key);
@@ -68,7 +84,7 @@ class FlatLruMap {
   /// be precomputed (e.g. ghost probes, whose erasures shift the table).
   void prefetch(const K& key) const {
     if (table_.empty()) return;
-    prefetch_read(&table_[home_of(key)]);
+    prefetch_read(&table_[tag_of(key) & mask_]);
   }
 
   /// Two-phase batched lookup: equivalent to `out[i] = get(keys[i])` for
@@ -85,20 +101,21 @@ class FlatLruMap {
       std::fill(out, out + n, nullptr);
       return;
     }
-    std::size_t homes[kBatchWindow];
+    std::uint32_t tags[kBatchWindow];
     for (std::size_t done = 0; done < n; done += kBatchWindow) {
       const std::size_t m = std::min(kBatchWindow, n - done);
       for (std::size_t j = 0; j < m; ++j) {
-        const std::size_t h = home_of(keys[done + j]);
-        homes[j] = h;
-        prefetch_read(&table_[h]);
+        const std::uint32_t tag = tag_of(keys[done + j]);
+        tags[j] = tag;
+        prefetch_read(&table_[tag & mask_]);
       }
       for (std::size_t j = 0; j < m; ++j) {
-        const std::uint32_t t = table_[homes[j]];
-        if (t != kEmpty) prefetch_read(&slots_[t]);
+        const Bucket b = table_[tags[j] & mask_];
+        if (b.slot != kEmpty && b.tag == tags[j]) prefetch_read(&slots_[b.slot]);
       }
       for (std::size_t j = 0; j < m; ++j) {
-        const std::uint32_t s = find_slot_from(homes[j], keys[done + j]);
+        const std::uint32_t s =
+            find_slot_from(tags[j] & mask_, tags[j], keys[done + j]);
         if (s == kNil) {
           out[done + j] = nullptr;
         } else {
@@ -111,20 +128,33 @@ class FlatLruMap {
 
   /// Inserts or overwrites; promotes to MRU. Evictions (if over capacity)
   /// are reported through `on_evict`. A capacity of 0 means nothing is
-  /// retained: the insert is dropped (and reported as evicted).
+  /// retained: the insert is dropped (and reported as evicted). One probe
+  /// pass resolves hit-overwrite and miss-insert alike: the scan that
+  /// rules the key out ends exactly at the bucket a new entry belongs in.
   template <typename EvictFn>
   void put(const K& key, V value, EvictFn&& on_evict) {
     if (capacity_ == 0) {
       on_evict(key, std::move(value));
       return;
     }
-    const std::uint32_t s = find_slot(key);
-    if (s != kNil) {
-      slots_[s].value = std::move(value);
-      promote(s);
-      return;
+    ensure_table_space();
+    const std::uint32_t tag = tag_of(key);
+    std::size_t i = tag & mask_;
+    for (;;) {
+      const Bucket b = table_[i];
+      if (b.slot == kEmpty) break;
+      if (b.tag == tag && slots_[b.slot].key == key) {
+        slots_[b.slot].value = std::move(value);
+        promote(b.slot);
+        return;
+      }
+      i = (i + 1) & mask_;
     }
-    insert_new(key, std::move(value));
+    const std::uint32_t s = alloc_slot(key, std::move(value));
+    table_[i] = Bucket{s, tag};
+    slots_[s].tpos = static_cast<std::uint32_t>(i);
+    push_front(s);
+    ++size_;
     while (size_ > capacity_) evict_lru(on_evict);
   }
 
@@ -206,26 +236,34 @@ class FlatLruMap {
     std::uint32_t tpos;  // current position in table_ (updated on rehash)
   };
 
-  std::size_t home_of(const K& key) const {
-    // Fibonacci scramble: spreads identity hashes across the table.
-    return static_cast<std::size_t>(
-               (static_cast<std::uint64_t>(Hash{}(key)) *
-                0x9E3779B97F4A7C15ull) >>
-               32) &
-           mask_;
+  /// Index-table bucket: which pool slot lives here plus its hash tag.
+  struct Bucket {
+    std::uint32_t slot;
+    std::uint32_t tag;
+  };
+
+  /// Scrambled-hash tag; the home bucket is `tag & mask_`. (Fibonacci
+  /// scramble spreads identity hashes across the table; the table stays
+  /// below 2^32 buckets, so the tag's low bits always cover the mask.)
+  std::uint32_t tag_of(const K& key) const {
+    return static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(Hash{}(key)) * 0x9E3779B97F4A7C15ull) >>
+        32);
   }
 
   std::uint32_t find_slot(const K& key) const {
     if (table_.empty()) return kNil;
-    return find_slot_from(home_of(key), key);
+    const std::uint32_t tag = tag_of(key);
+    return find_slot_from(tag & mask_, tag, key);
   }
 
-  std::uint32_t find_slot_from(std::size_t home, const K& key) const {
+  std::uint32_t find_slot_from(std::size_t home, std::uint32_t tag,
+                               const K& key) const {
     std::size_t i = home;
     for (;;) {
-      const std::uint32_t t = table_[i];
-      if (t == kEmpty) return kNil;
-      if (slots_[t].key == key) return t;
+      const Bucket b = table_[i];
+      if (b.slot == kEmpty) return kNil;
+      if (b.tag == tag && slots_[b.slot].key == key) return b.slot;
       i = (i + 1) & mask_;
     }
   }
@@ -255,14 +293,15 @@ class FlatLruMap {
 
   /// Places slot `s` (whose key is known absent) into the index table.
   void place(std::uint32_t s) {
-    std::size_t i = home_of(slots_[s].key);
-    while (table_[i] != kEmpty) i = (i + 1) & mask_;
-    table_[i] = s;
+    const std::uint32_t tag = tag_of(slots_[s].key);
+    std::size_t i = tag & mask_;
+    while (table_[i].slot != kEmpty) i = (i + 1) & mask_;
+    table_[i] = Bucket{s, tag};
     slots_[s].tpos = static_cast<std::uint32_t>(i);
   }
 
   void rebuild_table(std::size_t new_size) {
-    table_.assign(new_size, kEmpty);
+    table_.assign(new_size, Bucket{kEmpty, 0});
     mask_ = new_size - 1;
     for (std::uint32_t s = head_; s != kNil; s = slots_[s].next) place(s);
   }
@@ -274,22 +313,20 @@ class FlatLruMap {
     if (table_.size() < required) rebuild_table(required);
   }
 
-  void insert_new(const K& key, V&& value) {
-    ensure_table_space();
-    std::uint32_t s;
+  /// Pops a recycled slot (or grows the pool) and fills in key/value; the
+  /// caller links it into the index table and LRU list.
+  std::uint32_t alloc_slot(const K& key, V&& value) {
     if (!free_.empty()) {
-      s = free_.back();
+      const std::uint32_t s = free_.back();
       free_.pop_back();
       slots_[s].key = key;
       slots_[s].value = std::move(value);
-    } else {
-      s = static_cast<std::uint32_t>(slots_.size());
-      POD_CHECK(s < kNil);
-      slots_.push_back(Slot{key, std::move(value), kNil, kNil, kNil});
+      return s;
     }
-    place(s);
-    push_front(s);
-    ++size_;
+    const std::uint32_t s = static_cast<std::uint32_t>(slots_.size());
+    POD_CHECK(s < kNil);
+    slots_.push_back(Slot{key, std::move(value), kNil, kNil, kNil});
+    return s;
   }
 
   void remove_slot(std::uint32_t s) {
@@ -298,20 +335,21 @@ class FlatLruMap {
     free_.push_back(s);
     --size_;
     // Backward-shift deletion: slide displaced successors toward their
-    // home slots so the probe chain stays tombstone-free.
+    // home slots so the probe chain stays tombstone-free. Homes come from
+    // the stored tags, so the scan never leaves the index table.
     bool shifting = true;
     while (shifting) {
-      table_[i] = kEmpty;
+      table_[i].slot = kEmpty;
       shifting = false;
       std::size_t j = i;
       for (;;) {
         j = (j + 1) & mask_;
-        const std::uint32_t t = table_[j];
-        if (t == kEmpty) break;
-        const std::size_t h = home_of(slots_[t].key);
+        const Bucket b = table_[j];
+        if (b.slot == kEmpty) break;
+        const std::size_t h = b.tag & mask_;
         if (((i - h) & mask_) < ((j - h) & mask_)) {
-          table_[i] = t;
-          slots_[t].tpos = static_cast<std::uint32_t>(i);
+          table_[i] = b;
+          slots_[b.slot].tpos = static_cast<std::uint32_t>(i);
           i = j;
           shifting = true;
           break;
@@ -330,7 +368,7 @@ class FlatLruMap {
   }
 
   std::size_t capacity_;
-  std::vector<std::uint32_t> table_;
+  std::vector<Bucket> table_;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_;
   std::size_t mask_ = 0;

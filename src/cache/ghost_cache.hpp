@@ -19,6 +19,9 @@ class GhostCache {
  public:
   explicit GhostCache(std::size_t capacity) : entries_(capacity) {}
 
+  /// Pre-sizes the underlying table for the configured capacity.
+  void reserve(std::size_t expected) { entries_.reserve(expected); }
+
   /// Records an eviction from the actual cache.
   void remember(const K& key) {
     entries_.put(key, seq_++, [](const K&, std::uint64_t&&) {});

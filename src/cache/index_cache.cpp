@@ -5,7 +5,12 @@ namespace pod {
 IndexCache::IndexCache(std::uint64_t capacity_bytes,
                        std::uint64_t ghost_capacity_bytes)
     : entries_(entries_for(capacity_bytes)),
-      ghost_(entries_for(ghost_capacity_bytes)) {}
+      ghost_(entries_for(ghost_capacity_bytes)) {
+  // Both maps run at capacity for the whole replay; sizing them now keeps
+  // incremental rehash pauses off the per-chunk insert path.
+  entries_.reserve(entries_.capacity());
+  ghost_.reserve(ghost_.capacity());
+}
 
 const IndexEntry* IndexCache::lookup(const Fingerprint& fp) {
   IndexEntry* e = entries_.get(fp);

@@ -9,7 +9,12 @@ std::size_t blocks_for(std::uint64_t bytes) {
 }  // namespace
 
 ReadCache::ReadCache(std::uint64_t capacity_bytes, std::uint64_t ghost_capacity_bytes)
-    : entries_(blocks_for(capacity_bytes)), ghost_(blocks_for(ghost_capacity_bytes)) {}
+    : entries_(blocks_for(capacity_bytes)), ghost_(blocks_for(ghost_capacity_bytes)) {
+  // Both maps run at capacity for the whole replay; sizing them now keeps
+  // incremental rehash pauses off the insert path.
+  entries_.reserve(entries_.capacity());
+  ghost_.reserve(ghost_.capacity());
+}
 
 bool ReadCache::lookup(Pba block) {
   if (entries_.get(block) != nullptr) {

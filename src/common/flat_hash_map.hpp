@@ -1,11 +1,14 @@
 // Minimal open-addressing hash map for trivially-small key/value pairs.
 //
-// Backs the Map table's Lba -> Pba redirections (and similar flat integer
+// Backs the on-disk fingerprint index's in-memory table (and similar flat
 // maps) without std::unordered_map's per-node allocation. Linear probing
-// over a power-of-two table with one state byte per slot; erasures use
-// backward-shift deletion, so the table carries no tombstones and never
-// needs compaction rebuilds under steady insert/erase churn. Keys are
-// scrambled with a Fibonacci multiplier so identity hashes do not cluster.
+// over a power-of-two table with one state byte per slot; the state byte
+// doubles as a 7-bit hash tag (0 = empty), so probe mismatches are ruled
+// out by the sequential state scan alone and the slot array is only
+// touched on a tag match. Erasures use backward-shift deletion, so the
+// table carries no tombstones and never needs compaction rebuilds under
+// steady insert/erase churn. Keys are scrambled with a Fibonacci
+// multiplier so identity hashes do not cluster.
 #pragma once
 
 #include <algorithm>
@@ -74,18 +77,31 @@ class FlatHashMap {
     }
   }
 
-  /// Inserts or overwrites.
+  /// Pre-sizes the table for `expected` entries so steady growth to that
+  /// size pays no incremental rebuilds.
+  void reserve(std::size_t expected) {
+    std::size_t required = 16;
+    while (required < 2 * (expected + 1)) required <<= 1;
+    if (state_.size() < required) rebuild(required);
+  }
+
+  /// Inserts or overwrites. One probe pass: the scan that rules the key
+  /// out ends exactly at the slot a new entry belongs in.
   void insert_or_assign(const K& key, V value) {
-    const std::size_t i = find_index(key);
-    if (i != kNpos) {
-      slots_[i].second = std::move(value);
-      return;
-    }
     ensure_space();
-    std::size_t j = home_of(key);
-    while (state_[j] == kFull) j = (j + 1) & mask_;
-    state_[j] = kFull;
-    slots_[j] = {key, std::move(value)};
+    const std::uint8_t tag = tag_of(key);
+    std::size_t i = home_of(key);
+    for (;;) {
+      const std::uint8_t st = state_[i];
+      if (st == kEmpty) break;
+      if (st == tag && slots_[i].first == key) {
+        slots_[i].second = std::move(value);
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+    state_[i] = tag;
+    slots_[i] = {key, std::move(value)};
     ++size_;
   }
 
@@ -101,12 +117,12 @@ class FlatHashMap {
       std::size_t j = i;
       for (;;) {
         j = (j + 1) & mask_;
-        if (state_[j] != kFull) return true;
+        if (state_[j] == kEmpty) return true;
         const std::size_t h = home_of(slots_[j].first);
         // Move j back only if its probe path from h passes through i.
         if (((i - h) & mask_) < ((j - h) & mask_)) {
           slots_[i] = std::move(slots_[j]);
-          state_[i] = kFull;
+          state_[i] = state_[j];
           i = j;
           break;
         }
@@ -125,23 +141,30 @@ class FlatHashMap {
   template <typename Fn>
   void for_each(Fn&& fn) const {
     for (std::size_t i = 0; i < state_.size(); ++i)
-      if (state_[i] == kFull) fn(slots_[i].first, slots_[i].second);
+      if (state_[i] != kEmpty) fn(slots_[i].first, slots_[i].second);
   }
 
  private:
   static constexpr std::size_t kNpos = ~std::size_t{0};
   static constexpr std::uint8_t kEmpty = 0;
-  static constexpr std::uint8_t kFull = 1;
   /// Batch window: enough probes in flight to cover DRAM latency, small
   /// enough for the home array to live on the stack.
   static constexpr std::size_t kBatchWindow = 16;
 
+  std::uint64_t scramble(const K& key) const {
+    return static_cast<std::uint64_t>(Hash{}(key)) * 0x9E3779B97F4A7C15ull;
+  }
+
   std::size_t home_of(const K& key) const {
-    return static_cast<std::size_t>(
-               (static_cast<std::uint64_t>(Hash{}(key)) *
-                0x9E3779B97F4A7C15ull) >>
-               32) &
-           mask_;
+    return static_cast<std::size_t>(scramble(key) >> 32) & mask_;
+  }
+
+  /// Nonzero 7-bit tag from the scramble's top bits (independent of the
+  /// home bits for any table below 2^25 buckets; harmlessly correlated
+  /// above that).
+  std::uint8_t tag_of(const K& key) const {
+    const std::uint8_t t = static_cast<std::uint8_t>(scramble(key) >> 57);
+    return t == kEmpty ? std::uint8_t{0x7F} : t;
   }
 
   std::size_t find_index(const K& key) const {
@@ -150,10 +173,12 @@ class FlatHashMap {
   }
 
   std::size_t find_index_from(std::size_t home, const K& key) const {
+    const std::uint8_t tag = tag_of(key);
     std::size_t i = home;
     for (;;) {
-      if (state_[i] == kEmpty) return kNpos;
-      if (state_[i] == kFull && slots_[i].first == key) return i;
+      const std::uint8_t st = state_[i];
+      if (st == kEmpty) return kNpos;
+      if (st == tag && slots_[i].first == key) return i;
       i = (i + 1) & mask_;
     }
   }
@@ -171,10 +196,10 @@ class FlatHashMap {
     state_.assign(new_size, kEmpty);
     mask_ = new_size - 1;
     for (std::size_t i = 0; i < old_state.size(); ++i) {
-      if (old_state[i] != kFull) continue;
+      if (old_state[i] == kEmpty) continue;
       std::size_t j = home_of(old_slots[i].first);
-      while (state_[j] == kFull) j = (j + 1) & mask_;
-      state_[j] = kFull;
+      while (state_[j] != kEmpty) j = (j + 1) & mask_;
+      state_[j] = old_state[i];
       slots_[j] = std::move(old_slots[i]);
     }
   }

@@ -88,6 +88,28 @@ class InlineVec {
     spill_.clear();
   }
 
+  /// Drops elements past the first `n` (no-op when already <= n). Elements
+  /// stay where they are — a spilled list stays spilled — so surviving
+  /// pointers from data() remain valid.
+  void truncate(std::size_t n) {
+    if (n >= size_) return;
+    if (spilled()) spill_.resize(n);
+    size_ = n;
+  }
+
+  /// Replaces the contents with a copy of `src` (e.g. staging a fragment
+  /// list into a pooled slot). Reuses spilled capacity, so repeated assigns
+  /// through the same high-water mark do not allocate.
+  void assign(const T* src, std::size_t n) {
+    clear();
+    if (n <= N) {
+      for (std::size_t i = 0; i < n; ++i) inline_[i] = src[i];
+    } else {
+      spill_.assign(src, src + n);
+    }
+    size_ = n;
+  }
+
   /// Heap bytes currently reserved by the spill vector (0 while inline).
   std::size_t spill_capacity_bytes() const {
     return spill_.capacity() * sizeof(T);

@@ -94,7 +94,6 @@ BlockStore::BlockStore(const Config& cfg)
                           static_cast<double>(cfg.logical_blocks) *
                           cfg.pool_fraction))) {
   POD_CHECK(logical_blocks_ > 0);
-  identity_live_.assign(static_cast<std::size_t>(logical_blocks_), false);
   refs_.assign(static_cast<std::size_t>(data_region_blocks()), 0);
   fps_.resize(static_cast<std::size_t>(data_region_blocks()));
   map_.reserve(logical_blocks_);
@@ -104,18 +103,14 @@ bool BlockStore::is_live(Lba lba) const {
   return identity_live(lba) || map_.is_redirected(lba);
 }
 
-Pba BlockStore::resolve(Lba lba) const {
-  const Pba redirected = map_.lookup(lba);
-  if (redirected != kInvalidPba) return redirected;
-  return identity_live(lba) ? static_cast<Pba>(lba) : kInvalidPba;
-}
+Pba BlockStore::resolve(Lba lba) const { return map_.resolve(lba); }
 
 void BlockStore::unref(Pba pba) {
-  POD_CHECK(pba < refs_.size());
+  POD_DCHECK(pba < refs_.size());
   std::uint32_t& refs = refs_[static_cast<std::size_t>(pba)];
-  POD_CHECK(refs > 0);
+  POD_DCHECK(refs > 0);
   if (--refs == 0) {
-    POD_CHECK(live_physical_ > 0);
+    POD_DCHECK(live_physical_ > 0);
     --live_physical_;
     if (restoring_) return;  // recovery: no observers, pool rebuilt later
     // Copy the fingerprint out: the content-gone observers may place new
@@ -128,10 +123,8 @@ void BlockStore::unref(Pba pba) {
 
 void BlockStore::bind(Lba lba, Pba pba) {
   if (pba == static_cast<Pba>(lba)) {
-    map_.clear(lba);
-    identity_live_[static_cast<std::size_t>(lba)] = true;
+    map_.set_identity(lba);
   } else {
-    identity_live_[static_cast<std::size_t>(lba)] = false;
     map_.set(lba, pba);
   }
 }
@@ -177,9 +170,7 @@ void BlockStore::bind_run(Lba lba0, const Pba* targets, std::size_t n) {
     }
   }
   if (identity) {
-    map_.clear_run(lba0, n);
-    for (std::size_t k = 0; k < n; ++k)
-      identity_live_[static_cast<std::size_t>(lba0 + k)] = true;
+    map_.set_identity_run(lba0, n);
     return;
   }
   // Sequential redirect: targets form one run that is not the identity run
@@ -194,8 +185,6 @@ void BlockStore::bind_run(Lba lba0, const Pba* targets, std::size_t n) {
       }
     }
     if (sequential) {
-      for (std::size_t k = 0; k < n; ++k)
-        identity_live_[static_cast<std::size_t>(lba0 + k)] = false;
       map_.set_run(lba0, targets[0], n);
       return;
     }
@@ -260,7 +249,6 @@ void BlockStore::discard(Lba lba) {
   if (old == kInvalidPba) return;
   if (journal_ != nullptr) journal_->unbind(lba);
   unref(old);
-  if (lba < logical_blocks_) identity_live_[static_cast<std::size_t>(lba)] = false;
   map_.clear(lba);
   POD_CHECK(live_count_ > 0);
   --live_count_;
@@ -274,7 +262,6 @@ void BlockStore::discard_run(Lba lba0, std::uint64_t n) {
     if (old == kInvalidPba) continue;
     if (journal_ != nullptr) journal_->unbind(lba);
     unref(old);
-    identity_live_[static_cast<std::size_t>(lba)] = false;
     POD_CHECK(live_count_ > 0);
     --live_count_;
   }
@@ -314,7 +301,6 @@ void BlockStore::restore_unbind(Lba lba) {
   const Pba old = resolve(lba);
   if (old != kInvalidPba) {
     unref(old);
-    identity_live_[static_cast<std::size_t>(lba)] = false;
     map_.clear(lba);
     POD_CHECK(live_count_ > 0);
     --live_count_;

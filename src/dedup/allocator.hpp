@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/prefetch.hpp"
 #include "common/types.hpp"
 #include "dedup/map_table.hpp"
 #include "hash/fingerprint.hpp"
@@ -136,6 +137,15 @@ class BlockStore {
   std::uint32_t refcount(Pba pba) const {
     return pba < refs_.size() ? refs_[static_cast<std::size_t>(pba)] : 0;
   }
+  /// Warms the refcount and fingerprint lines for `pba` ahead of a
+  /// candidate_valid/dedup_to burst (engines prefetch a request's dup
+  /// targets before revalidating them one by one).
+  void prefetch_block(Pba pba) const {
+    if (pba < refs_.size()) {
+      prefetch_read(&refs_[static_cast<std::size_t>(pba)]);
+      prefetch_read(&fps_[static_cast<std::size_t>(pba)]);
+    }
+  }
   /// Fingerprint of the live content at `pba`, or nullptr.
   const Fingerprint* fingerprint_of(Pba pba) const {
     return refcount(pba) > 0 ? &fps_[static_cast<std::size_t>(pba)] : nullptr;
@@ -181,14 +191,10 @@ class BlockStore {
 
   std::uint64_t logical_blocks_;
   PoolAllocator pool_;
+  // Identity-live LBAs are tracked inside the Map table's flat array (an
+  // in-slot sentinel), so resolve() is a single load — see map_table.hpp.
   MapTable map_;
-  bool identity_live(Lba lba) const {
-    return lba < logical_blocks_ && identity_live_[static_cast<std::size_t>(lba)];
-  }
-
-  // Live LBAs that map to their identity home (no MapTable entry). The
-  // logical space is dense and bounded, so one bit per LBA beats a hash set.
-  std::vector<bool> identity_live_;
+  bool identity_live(Lba lba) const { return map_.is_identity(lba); }
   // Per-PBA state, direct-indexed over the dense data region
   // [0, data_region_blocks()): refcount and fingerprint of live content
   // (fps_[pba] is meaningful only while refs_[pba] > 0). The flat layout

@@ -12,15 +12,28 @@ std::vector<DataChunk> FixedChunker::chunk(std::span<const std::uint8_t> data,
                                            const HashEngine& engine) const {
   std::vector<DataChunk> chunks;
   chunks.reserve(data.size() / chunk_size_ + 1);
-  std::size_t offset = 0;
-  while (offset < data.size()) {
-    const std::size_t size = std::min(chunk_size_, data.size() - offset);
+
+  // Full-size chunks go through the bulk fingerprint path (SIMD-capable for
+  // the xx64 algorithm); only a short final chunk is hashed individually.
+  const std::size_t full = data.size() / chunk_size_;
+  if (full > 0) {
+    std::vector<Fingerprint> fps(full);
+    engine.fingerprint_bulk(data.data(), chunk_size_, full, fps.data());
+    for (std::size_t i = 0; i < full; ++i) {
+      DataChunk c;
+      c.offset = i * chunk_size_;
+      c.size = chunk_size_;
+      c.fp = fps[i];
+      chunks.push_back(c);
+    }
+  }
+  const std::size_t tail_off = full * chunk_size_;
+  if (tail_off < data.size()) {
     DataChunk c;
-    c.offset = offset;
-    c.size = size;
-    c.fp = engine.fingerprint(data.subspan(offset, size));
+    c.offset = tail_off;
+    c.size = data.size() - tail_off;
+    c.fp = engine.fingerprint(data.subspan(tail_off, c.size));
     chunks.push_back(c);
-    offset += size;
   }
   return chunks;
 }

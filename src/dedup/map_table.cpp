@@ -13,11 +13,30 @@ void MapTable::set(Lba lba, Pba pba) {
   if (lba >= table_.size())
     table_.resize(static_cast<std::size_t>(lba) + 1, kInvalidPba);
   Pba& slot = table_[static_cast<std::size_t>(lba)];
-  if (slot == kInvalidPba) {
+  if (slot >= kIdentityHome) {
     ++entries_;
     max_entries_ = std::max(max_entries_, entries_);
   }
   slot = pba;
+}
+
+void MapTable::set_identity(Lba lba) {
+  if (lba >= table_.size())
+    table_.resize(static_cast<std::size_t>(lba) + 1, kInvalidPba);
+  Pba& slot = table_[static_cast<std::size_t>(lba)];
+  if (slot < kIdentityHome) --entries_;
+  slot = kIdentityHome;
+}
+
+void MapTable::set_identity_run(Lba lba0, std::size_t n) {
+  if (n == 0) return;
+  if (lba0 + n > table_.size())
+    table_.resize(static_cast<std::size_t>(lba0 + n), kInvalidPba);
+  Pba* slot = table_.data() + static_cast<std::size_t>(lba0);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (slot[k] < kIdentityHome) --entries_;
+    slot[k] = kIdentityHome;
+  }
 }
 
 void MapTable::set_run(Lba lba0, Pba pba0, std::size_t n) {
@@ -26,7 +45,7 @@ void MapTable::set_run(Lba lba0, Pba pba0, std::size_t n) {
     table_.resize(static_cast<std::size_t>(lba0 + n), kInvalidPba);
   Pba* slot = table_.data() + static_cast<std::size_t>(lba0);
   for (std::size_t k = 0; k < n; ++k) {
-    if (slot[k] == kInvalidPba) ++entries_;
+    if (slot[k] >= kIdentityHome) ++entries_;
     slot[k] = pba0 + k;
   }
   max_entries_ = std::max(max_entries_, entries_);
@@ -37,20 +56,16 @@ void MapTable::clear_run(Lba lba0, std::size_t n) {
   const std::size_t end =
       std::min(table_.size(), static_cast<std::size_t>(lba0) + n);
   for (std::size_t k = static_cast<std::size_t>(lba0); k < end; ++k) {
-    if (table_[k] != kInvalidPba) {
-      table_[k] = kInvalidPba;
-      --entries_;
-    }
+    if (table_[k] < kIdentityHome) --entries_;
+    table_[k] = kInvalidPba;
   }
 }
 
 void MapTable::clear(Lba lba) {
   if (lba >= table_.size()) return;
   Pba& slot = table_[static_cast<std::size_t>(lba)];
-  if (slot != kInvalidPba) {
-    slot = kInvalidPba;
-    --entries_;
-  }
+  if (slot < kIdentityHome) --entries_;
+  slot = kInvalidPba;
 }
 
 }  // namespace pod

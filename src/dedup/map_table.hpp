@@ -11,6 +11,14 @@
 // lookup — the hottest operation on the replay write path — is one
 // bounds-checked load. entries()/bytes() still report only the redirected
 // count, matching the paper's NVRAM accounting.
+//
+// The table also tracks which unredirected LBAs are *live at their
+// identity home* (written, but mapped to PBA == LBA) using a reserved
+// in-slot sentinel. BlockStore::resolve — the single hottest call on the
+// replay write path — then needs exactly one load here instead of a
+// Map-table probe plus a separate liveness-bitmap load. Identity entries
+// are invisible to lookup()/entries()/for_each_entry(): they carry no
+// NVRAM cost (no redirection is stored for them in the modelled system).
 #pragma once
 
 #include <cstdint>
@@ -29,18 +37,37 @@ class MapTable {
   /// incremental resizes on the hot path.
   void reserve(std::uint64_t logical_blocks);
 
-  /// PBA an LBA redirects to, or kInvalidPba when unredirected.
+  /// PBA an LBA redirects to, or kInvalidPba when unredirected (dead or
+  /// identity-live — neither carries a stored redirection).
   Pba lookup(Lba lba) const {
-    return lba < table_.size() ? table_[static_cast<std::size_t>(lba)]
-                               : kInvalidPba;
+    const Pba v = raw(lba);
+    return v < kIdentityHome ? v : kInvalidPba;
   }
 
-  bool is_redirected(Lba lba) const { return lookup(lba) != kInvalidPba; }
+  bool is_redirected(Lba lba) const { return raw(lba) < kIdentityHome; }
+
+  /// Physical location of a live LBA in one load: the redirected PBA, the
+  /// identity home (PBA == LBA), or kInvalidPba when dead.
+  Pba resolve(Lba lba) const {
+    const Pba v = raw(lba);
+    if (v < kIdentityHome) return v;
+    return v == kIdentityHome ? static_cast<Pba>(lba) : kInvalidPba;
+  }
+
+  /// True when `lba` is live at its identity home (no redirection stored).
+  bool is_identity(Lba lba) const { return raw(lba) == kIdentityHome; }
 
   /// Installs/overwrites a redirection.
   void set(Lba lba, Pba pba);
 
-  /// Removes a redirection (LBA back to identity mapping).
+  /// Marks an LBA live at its identity home (drops any redirection).
+  void set_identity(Lba lba);
+
+  /// Run variant of set_identity for `n` sequential LBAs from `lba0`.
+  void set_identity_run(Lba lba0, std::size_t n);
+
+  /// Removes any mapping — redirection or identity mark — leaving the LBA
+  /// dead (never written / discarded).
   void clear(Lba lba);
 
   /// Run variant of set: redirects `n` sequential LBAs from `lba0` to the
@@ -57,7 +84,7 @@ class MapTable {
   template <typename Fn>
   void for_each_entry(Fn&& fn) const {
     for (std::size_t i = 0; i < table_.size(); ++i) {
-      if (table_[i] != kInvalidPba) fn(static_cast<Lba>(i), table_[i]);
+      if (table_[i] < kIdentityHome) fn(static_cast<Lba>(i), table_[i]);
     }
   }
 
@@ -68,6 +95,16 @@ class MapTable {
   std::uint64_t max_bytes() const { return max_entries_ * kEntryBytes; }
 
  private:
+  /// In-slot sentinel for "live at identity home". Every real PBA is far
+  /// below it (the sentinel sits just under kInvalidPba at the top of the
+  /// 64-bit range), so `v < kIdentityHome` tests "stores a redirection".
+  static constexpr Pba kIdentityHome = kInvalidPba - 1;
+
+  Pba raw(Lba lba) const {
+    return lba < table_.size() ? table_[static_cast<std::size_t>(lba)]
+                               : kInvalidPba;
+  }
+
   std::vector<Pba> table_;
   std::size_t entries_ = 0;
   std::size_t max_entries_ = 0;

@@ -21,6 +21,8 @@ OnDiskIndex::OnDiskIndex(const Config& cfg) : cfg_(cfg) {
   POD_CHECK(cfg_.insert_batch > 0);
   POD_CHECK(cfg_.bloom_bits >= 64);
   bloom_.assign(static_cast<std::size_t>((cfg_.bloom_bits + 63) / 64), 0);
+  if (cfg_.expected_entries > 0)
+    table_.reserve(static_cast<std::size_t>(cfg_.expected_entries));
 }
 
 Pba OnDiskIndex::bucket_of(const Fingerprint& fp) const {

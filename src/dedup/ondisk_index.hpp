@@ -41,6 +41,9 @@ class OnDiskIndex {
     /// the plain Full-Dedupe of the paper's §II-B. Enabling the Bloom
     /// filter (DDFS-style, [36]) is an ablation.
     bool bloom_enabled = true;
+    /// Expected unique-fingerprint count; pre-sizes the in-memory table so
+    /// steady growth pays no incremental rehash pauses (0 = grow on demand).
+    std::uint64_t expected_entries = 0;
   };
 
   explicit OnDiskIndex(const Config& cfg);

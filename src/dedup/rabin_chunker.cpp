@@ -1,6 +1,7 @@
 #include "dedup/rabin_chunker.hpp"
 
 #include "common/check.hpp"
+#include "hash/simd.hpp"
 
 namespace pod {
 
@@ -47,18 +48,12 @@ std::vector<DataChunk> RabinChunker::chunk(std::span<const std::uint8_t> data,
       for (std::size_t i = pos - cfg_.window; i < pos; ++i)
         h = h * kPoly + push_table_[data[i]];
       const std::size_t limit = start + std::min(remaining, cfg_.max_chunk);
-      std::size_t cut = 0;
-      for (;;) {
-        if ((h & mask_) == mask_) {
-          cut = pos - start;
-          break;
-        }
-        if (pos >= limit) break;
-        h = (h - pop_table_[data[pos - cfg_.window]]) * kPoly +
-            push_table_[data[pos]];
-        ++pos;
-      }
-      if (cut != 0) len = cut;
+      // Boundary scan through the runtime-dispatched (scalar/SSE/AVX2)
+      // rolling-hash kernel; all tiers produce the identical cut.
+      const RabinScanResult scan =
+          rabin_scan(data.data(), pos, limit, cfg_.window, h, mask_, kPoly,
+                     push_table_, pop_table_);
+      if (scan.found) len = scan.pos - start;
     }
     DataChunk c;
     c.offset = start;

@@ -58,16 +58,17 @@ void Disk::dispatch_next() {
   POD_CHECK(!busy_);
   if (queue_->empty()) return;
   busy_ = true;
-  DiskOp op = queue_->pop(head_cylinder_);
+  in_service_ = queue_->pop(head_cylinder_);
+  DiskOp& op = in_service_;
 
   if (fault_ != nullptr && fault_->disk_dead(fault_index_, sim_.now())) {
     // The device is gone: the controller returns an error without any
     // mechanical service. Head state and mechanical stats are untouched.
     ++fault_->stats().dead_disk_ops;
-    auto op_ptr = std::make_shared<DiskOp>(std::move(op));
-    sim_.schedule_after(us(50), [this, op_ptr]() {
+    sim_.schedule_after(us(50), [this]() {
+      DiskOp dead = std::move(in_service_);
       busy_ = false;
-      if (op_ptr->done) op_ptr->done(IoStatus::kFailedDevice);
+      if (dead.done) dead.done(IoStatus::kFailedDevice);
       if (!busy_) dispatch_next();
     });
     return;
@@ -130,15 +131,16 @@ void Disk::dispatch_next() {
 
   stats_.busy_time += service;
 
-  // Move into the event to keep the op alive until completion.
-  auto op_ptr = std::make_shared<DiskOp>(std::move(op));
-  sim_.schedule_after(service, [this, op_ptr, svc, service, status]() {
-    complete(std::move(*op_ptr), svc, service, status);
+  // The op stays in the in_service_ slot until completion; the event
+  // carries only the timing split (fits InlineEvent's inline buffer).
+  sim_.schedule_after(service, [this, svc, service, status]() {
+    complete(svc, service, status);
   });
 }
 
-void Disk::complete(DiskOp op, const HddModel::Service& svc, Duration service,
+void Disk::complete(const HddModel::Service& svc, Duration service,
                     IoStatus status) {
+  DiskOp op = std::move(in_service_);
   head_cylinder_ = model_.cylinder_of(op.block + op.nblocks - 1);
   next_sequential_block_ = op.block + op.nblocks;
   if (next_sequential_block_ >= model_.total_blocks())

@@ -63,9 +63,10 @@ class Disk {
 
  private:
   void dispatch_next();
-  /// `service` is the total busy time charged (mechanical service plus any
-  /// injected retry rounds); `svc` carries the mechanical split for traces.
-  void complete(DiskOp op, const HddModel::Service& svc, Duration service,
+  /// Completes the op held in `in_service_`. `service` is the total busy
+  /// time charged (mechanical service plus any injected retry rounds);
+  /// `svc` carries the mechanical split for traces.
+  void complete(const HddModel::Service& svc, Duration service,
                 IoStatus status);
 
   /// Lazily binds telemetry handles (registry probes for the cumulative
@@ -94,6 +95,10 @@ class Disk {
   Telem telem_;
 
   bool busy_ = false;
+  /// The op currently in service (valid while busy_). One op is in service
+  /// at a time, so a member slot — not a heap box moved into the completion
+  /// event — keeps dispatch allocation-free.
+  DiskOp in_service_;
   std::uint64_t head_cylinder_ = 0;
   std::uint64_t next_sequential_block_ = ~std::uint64_t{0};
   SimTime last_completion_ = 0;

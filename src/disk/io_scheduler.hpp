@@ -11,10 +11,16 @@
 #include <memory>
 #include <vector>
 
+#include "common/inline_fn.hpp"
 #include "common/types.hpp"
 #include "fault/fault.hpp"
 
 namespace pod {
+
+/// Completion callback carried by disk and volume operations. Sized so
+/// every hot-path callback (pooled-state pointers, replayer latency
+/// recorders) stays inline; oversized test captures fall back to the heap.
+using IoDoneFn = InlineFn<void(IoStatus), 56>;
 
 /// One operation addressed to a single disk (disk-local block address).
 struct DiskOp {
@@ -23,7 +29,7 @@ struct DiskOp {
   std::uint64_t nblocks = 1;
   /// Invoked at the simulated completion time with the op's outcome
   /// (always IoStatus::kOk unless a fault injector is attached).
-  std::function<void(IoStatus)> done;
+  IoDoneFn done;
   /// Set by the disk when the op is accepted.
   SimTime enqueue_time = 0;
 };

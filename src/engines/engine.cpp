@@ -284,106 +284,105 @@ void DedupEngine::issue_background(OpType type, Pba block, std::uint64_t nblocks
   volume_.submit(VolumeIo{type, block, nblocks, /*done=*/nullptr});
 }
 
+DedupEngine::RequestState* DedupEngine::acquire_state() {
+  if (free_requests_ == nullptr) {
+    request_pool_.push_back(std::make_unique<RequestState>());
+    free_requests_ = request_pool_.back().get();
+  }
+  RequestState* st = free_requests_;
+  free_requests_ = st->next_free;
+  st->next_free = nullptr;
+  st->outstanding = 0;
+  st->status = IoStatus::kOk;
+  return st;
+}
+
+void DedupEngine::release_state(RequestState* st) {
+  st->stage1.clear();
+  st->stage2.clear();
+  st->done.reset();
+  st->trace = nullptr;
+  st->next_free = free_requests_;
+  free_requests_ = st;
+}
+
+void DedupEngine::finish_request(RequestState* st) {
+  if (st->status != IoStatus::kOk) ++stats_.failed_requests;
+  IoDoneFn done = std::move(st->done);
+  const IoStatus status = st->status;
+  release_state(st);  // before `done`: a resubmitting callback reuses the slot
+  if (done) done(status);
+}
+
+void DedupEngine::issue_stage(RequestState* st, bool stage1) {
+  const OpList& ops = stage1 ? st->stage1 : st->stage2;
+  if (ops.empty()) {
+    if (stage1)
+      issue_stage(st, /*stage1=*/false);
+    else
+      finish_request(st);
+    return;
+  }
+  if (st->trace != nullptr)
+    st->trace->async_begin(kTraceCatRequest, st->req_id,
+                           stage1 ? "stage1-io" : "stage2-io", sim_.now(),
+                           {{"ops", ops.size()}});
+  st->outstanding = ops.size();
+  // Volume submission never completes synchronously (disk completions are
+  // simulator events), so iterating the state's own list is safe.
+  for (const OpSpec& op : ops) {
+    volume_.submit(VolumeIo{op.type, op.block, op.nblocks,
+                            [this, st, op, stage1](IoStatus s) {
+                              stage_op_done(st, op, s, stage1);
+                            }});
+  }
+}
+
+void DedupEngine::stage_op_done(RequestState* st, const OpSpec& op, IoStatus s,
+                                bool stage1) {
+  note_op_status(op, s);
+  st->status = combine(st->status, s);
+  POD_CHECK(st->outstanding > 0);
+  if (--st->outstanding != 0) return;
+  if (st->trace != nullptr)
+    st->trace->async_end(kTraceCatRequest, st->req_id,
+                         stage1 ? "stage1-io" : "stage2-io", sim_.now());
+  if (stage1)
+    issue_stage(st, /*stage1=*/false);
+  else
+    finish_request(st);
+}
+
+void DedupEngine::start_io(RequestState* st) { issue_stage(st, /*stage1=*/true); }
+
 void DedupEngine::execute_plan(const IoRequest& req, IoPlan plan,
-                               std::function<void(IoStatus)> done) {
-  struct State {
-    std::size_t outstanding = 0;
-    IoStatus status = IoStatus::kOk;  // worst-of across the request's ops
-    OpList stage2;
-    std::function<void(IoStatus)> done;
-    DedupEngine* self = nullptr;
-    /// Non-null only while trace-event output is on for this run; the
-    /// nested stage spans share the outer request span's (cat, id).
-    TraceEventWriter* trace = nullptr;
-    std::uint64_t req_id = 0;
-  };
-  auto state = std::make_shared<State>();
-  state->stage2 = std::move(plan.stage2);
-  state->done = std::move(done);
-  state->self = this;
-  state->trace = telem_.init ? telem_.trace : nullptr;
-  state->req_id = req.id;
-
-  auto finish = [state]() {
-    if (state->status != IoStatus::kOk)
-      ++state->self->stats_.failed_requests;
-    if (state->done) state->done(state->status);
-  };
-
-  auto issue_stage2 = [state, finish]() {
-    if (state->stage2.empty()) {
-      finish();
-      return;
-    }
-    DedupEngine* self = state->self;
-    if (state->trace != nullptr)
-      state->trace->async_begin(kTraceCatRequest, state->req_id, "stage2-io",
-                                self->sim_.now(),
-                                {{"ops", state->stage2.size()}});
-    state->outstanding = state->stage2.size();
-    for (const OpSpec& op : state->stage2) {
-      self->volume_.submit(VolumeIo{
-          op.type, op.block, op.nblocks, [state, finish, op](IoStatus s) {
-            state->self->note_op_status(op, s);
-            state->status = combine(state->status, s);
-            POD_CHECK(state->outstanding > 0);
-            if (--state->outstanding == 0) {
-              if (state->trace != nullptr)
-                state->trace->async_end(kTraceCatRequest, state->req_id,
-                                        "stage2-io", state->self->sim_.now());
-              finish();
-            }
-          }});
-    }
-  };
+                               IoDoneFn done) {
+  RequestState* st = acquire_state();
+  st->stage1 = std::move(plan.stage1);
+  st->stage2 = std::move(plan.stage2);
+  st->done = std::move(done);
+  st->trace = telem_.init ? telem_.trace : nullptr;
+  st->req_id = req.id;
 
   // CPU delay (hashing) precedes all disk activity for this request.
-  auto start_io = [this, state, issue_stage2,
-                   stage1 = std::move(plan.stage1)]() mutable {
-    if (stage1.empty()) {
-      issue_stage2();
-      return;
-    }
-    if (state->trace != nullptr)
-      state->trace->async_begin(kTraceCatRequest, state->req_id, "stage1-io",
-                                sim_.now(), {{"ops", stage1.size()}});
-    state->outstanding = stage1.size();
-    for (const OpSpec& op : stage1) {
-      volume_.submit(VolumeIo{op.type, op.block, op.nblocks,
-                              [state, issue_stage2, op](IoStatus s) {
-                                state->self->note_op_status(op, s);
-                                state->status = combine(state->status, s);
-                                POD_CHECK(state->outstanding > 0);
-                                if (--state->outstanding == 0) {
-                                  if (state->trace != nullptr)
-                                    state->trace->async_end(
-                                        kTraceCatRequest, state->req_id,
-                                        "stage1-io", state->self->sim_.now());
-                                  issue_stage2();
-                                }
-                              }});
-    }
-  };
-
   if (plan.cpu > 0) {
-    if (state->trace != nullptr)
-      state->trace->async_span(kTraceCatRequest, req.id, "classify", sim_.now(),
-                               sim_.now() + plan.cpu,
-                               {{"cpu_us", to_us(plan.cpu)}});
-    sim_.schedule_after(plan.cpu, std::move(start_io));
+    if (st->trace != nullptr)
+      st->trace->async_span(kTraceCatRequest, req.id, "classify", sim_.now(),
+                            sim_.now() + plan.cpu,
+                            {{"cpu_us", to_us(plan.cpu)}});
+    sim_.schedule_after(plan.cpu, [this, st]() { start_io(st); });
   } else {
-    start_io();
+    start_io(st);
   }
 }
 
 void DedupEngine::submit(const IoRequest& req, std::function<void()> done) {
-  std::function<void(IoStatus)> wrapped;
+  IoDoneFn wrapped;
   if (done) wrapped = [d = std::move(done)](IoStatus) { d(); };
   submit(req, std::move(wrapped));
 }
 
-void DedupEngine::submit(const IoRequest& req,
-                         std::function<void(IoStatus)> done) {
+void DedupEngine::submit(const IoRequest& req, IoDoneFn done) {
   if (Telemetry* t = sim_.telemetry()) {
     if (!telem_.init) init_telemetry(*t);
   }

@@ -160,13 +160,13 @@ class DedupEngine {
 
   /// Timed processing: `done` fires at the simulated completion time with
   /// the request's worst per-op status (kOk when faults are disabled).
-  void submit(const IoRequest& req, std::function<void(IoStatus)> done);
+  void submit(const IoRequest& req, IoDoneFn done);
   /// Status-blind convenience overload.
   void submit(const IoRequest& req, std::function<void()> done);
   /// A literal nullptr callback is ambiguous between the overloads above;
   /// resolve it to the status-aware one.
   void submit(const IoRequest& req, std::nullptr_t) {
-    submit(req, std::function<void(IoStatus)>{});
+    submit(req, IoDoneFn{});
   }
 
   /// Functional processing (state only, no simulated time).
@@ -355,8 +355,34 @@ class DedupEngine {
   bool warming_ = false;
 
  private:
-  void execute_plan(const IoRequest& req, IoPlan plan,
-                    std::function<void(IoStatus)> done);
+  /// In-flight request state, pooled and recycled through a freelist. The
+  /// per-op volume callbacks capture {state pointer, op}; stage lists keep
+  /// their capacity across reuse — the request path allocates nothing at
+  /// steady state.
+  struct RequestState {
+    std::size_t outstanding = 0;
+    IoStatus status = IoStatus::kOk;  // worst-of across the request's ops
+    OpList stage1;
+    OpList stage2;
+    IoDoneFn done;
+    /// Non-null only while trace-event output is on for this run; the
+    /// nested stage spans share the outer request span's (cat, id).
+    TraceEventWriter* trace = nullptr;
+    std::uint64_t req_id = 0;
+    RequestState* next_free = nullptr;
+  };
+
+  void execute_plan(const IoRequest& req, IoPlan plan, IoDoneFn done);
+
+  RequestState* acquire_state();
+  void release_state(RequestState* st);
+  void start_io(RequestState* st);
+  /// Issues one stage's ops in parallel (`stage1` selects the list and the
+  /// follow-on: stage2 after stage1, finish after stage2).
+  void issue_stage(RequestState* st, bool stage1);
+  void stage_op_done(RequestState* st, const OpSpec& op, IoStatus s,
+                     bool stage1);
+  void finish_request(RequestState* st);
 
   /// Per-op fault outcome accounting. The kOk early-out keeps the healthy
   /// path at one compare; the cold half (counter bumps + media-error blast
@@ -380,6 +406,10 @@ class DedupEngine {
     MetricCounter* batch_probe_hits = nullptr;
     TraceEventWriter* trace = nullptr;
   } telem_;
+
+  /// Request-state pool (see RequestState).
+  std::vector<std::unique_ptr<RequestState>> request_pool_;
+  RequestState* free_requests_ = nullptr;
 };
 
 }  // namespace pod

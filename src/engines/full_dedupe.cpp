@@ -17,6 +17,11 @@ OnDiskIndex::Config ondisk_config(const DedupEngine* engine,
   c.region_start = cfg.logical_blocks + pool;
   c.region_blocks = cfg.index_region_blocks;
   c.bloom_enabled = cfg.full_dedupe_bloom;
+  // Unique content is a fraction of the logical space. A 1/16 floor skips
+  // the small early rehashes without oversizing the probe table (growing
+  // workloads still rehash a few times, but only at sizes where the copy
+  // is cheap relative to the inserts that earned it).
+  c.expected_entries = cfg.logical_blocks / 16;
   (void)engine;
   return c;
 }

@@ -13,36 +13,12 @@ Fingerprint Fingerprint::of_data(std::span<const std::uint8_t> data) {
   return f;
 }
 
-namespace {
-
-std::uint64_t mix64(std::uint64_t z) {
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
-}
-
-}  // namespace
-
 Fingerprint Fingerprint::of_content_id(std::uint64_t content_id) {
   // SplitMix-style mixing of the id so synthetic fingerprints are
   // well-distributed but still a bijection of the content id (two chunks
   // share a fingerprint iff they share a content id). The high lane is
   // derived from the low lane so that of_prefix(prefix64()) round-trips.
   return of_prefix(mix64(content_id + 0x9E3779B97F4A7C15ULL));
-}
-
-Fingerprint Fingerprint::of_prefix(std::uint64_t prefix) {
-  const std::uint64_t hi = mix64(prefix ^ 0xD1B54A32D192ED03ULL);
-  Fingerprint f;
-  std::memcpy(f.bytes_.data(), &prefix, 8);
-  std::memcpy(f.bytes_.data() + 8, &hi, 8);
-  return f;
-}
-
-std::uint64_t Fingerprint::prefix64() const {
-  std::uint64_t v;
-  std::memcpy(&v, bytes_.data(), 8);
-  return v;
 }
 
 std::string Fingerprint::hex() const {

@@ -9,6 +9,7 @@
 #include <array>
 #include <compare>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <span>
 #include <string>
@@ -29,12 +30,25 @@ class Fingerprint {
 
   /// Canonical fingerprint with the given 64-bit prefix (the high lane is
   /// derived deterministically). Used when deserializing the CSV trace
-  /// format, which stores only prefix64().
-  static Fingerprint of_prefix(std::uint64_t prefix);
+  /// format, which stores only prefix64(). Header-inline: trace loading
+  /// calls this once per stored fingerprint.
+  static Fingerprint of_prefix(std::uint64_t prefix) {
+    const std::uint64_t hi = mix64(prefix ^ 0xD1B54A32D192ED03ULL);
+    Fingerprint f;
+    std::memcpy(f.bytes_.data(), &prefix, 8);
+    std::memcpy(f.bytes_.data() + 8, &hi, 8);
+    return f;
+  }
 
   /// First 8 bytes as an integer — used as the hash-table key and as the
-  /// on-trace representation.
-  std::uint64_t prefix64() const;
+  /// on-trace representation. Header-inline: every index-cache, ghost and
+  /// map probe hashes through this (tens of millions of calls per replay),
+  /// and out of line it was a measurable fraction of a replay's profile.
+  std::uint64_t prefix64() const {
+    std::uint64_t v;
+    std::memcpy(&v, bytes_.data(), 8);
+    return v;
+  }
 
   std::string hex() const;
 
@@ -44,6 +58,13 @@ class Fingerprint {
   const std::array<std::uint8_t, kSize>& bytes() const { return bytes_; }
 
  private:
+  /// SplitMix64 finalizer (shared by of_content_id / of_prefix).
+  static std::uint64_t mix64(std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
   std::array<std::uint8_t, kSize> bytes_;
 };
 

@@ -1,0 +1,112 @@
+// Runtime-dispatched SIMD kernels for the compute-side of replay:
+// multi-buffer xx64 fingerprinting and the Rabin rolling-hash boundary
+// scan used by content-defined chunking.
+//
+// Dispatch model: every kernel has a scalar reference implementation plus
+// SSE4.2 and AVX2 variants compiled with per-TU `target` attributes (no
+// global -mavx2 — the library stays runnable on any x86-64, and the
+// -mno-avx2 CI leg keeps the fallback honest). The active tier is resolved
+// once per process from CPUID, clamped by the POD_SIMD environment
+// override (scalar | sse | avx2), and verified on first use: each
+// vectorized kernel is cross-checked against the scalar reference on a
+// deterministic pattern, and a mismatch demotes the process to scalar
+// rather than silently diverging. All variants compute bit-identical
+// results — the vector math is the same arithmetic mod 2^64, evaluated
+// four (or two) lanes at a time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pod {
+
+enum class SimdTier { kScalar = 0, kSse42 = 1, kAvx2 = 2 };
+
+const char* to_string(SimdTier tier);
+
+/// Highest tier the CPU supports (CPUID, cached).
+SimdTier max_hw_simd_tier();
+
+/// The tier kernels actually dispatch to: hardware clamped by POD_SIMD
+/// (scalar | sse | avx2), self-checked against scalar on first call.
+SimdTier active_simd_tier();
+
+// ---- xx64 bulk fingerprinting ----------------------------------------
+//
+// Hashes `n` equal-length buffers: buffer i is data + i * stride, `len`
+// bytes. Results match xx64() on each buffer exactly. The equal-length
+// layout is the fingerprinting case (consecutive 4 KB chunks of a write
+// buffer, stride == len), which is what lets all lanes share one control
+// flow.
+
+void xx64_bulk(const std::uint8_t* data, std::size_t stride, std::size_t len,
+               std::size_t n, std::uint64_t seed, std::uint64_t* out);
+
+/// Test/bench hook: run a specific tier regardless of the active one.
+/// Tiers above the hardware's capability fall back to scalar.
+void xx64_bulk_tier(SimdTier tier, const std::uint8_t* data,
+                    std::size_t stride, std::size_t len, std::size_t n,
+                    std::uint64_t seed, std::uint64_t* out);
+
+// ---- Rabin rolling-hash boundary scan --------------------------------
+//
+// Replicates the chunker's inner loop exactly: with `h` the window hash at
+// `pos`, repeatedly (1) stop at `pos` if (h & mask) == mask, (2) stop
+// without a match once pos >= limit, (3) roll data[pos] in and
+// data[pos - window] out and advance. The vector variants evaluate the
+// roll recurrence h' = h * poly + (push[in] - pop[out] * poly) for a block
+// of positions via a Kogge-Stone prefix scan; since all arithmetic is mod
+// 2^64 the hashes — and therefore the chosen boundary — are bit-identical
+// to the scalar loop.
+
+struct RabinScanResult {
+  std::size_t pos = 0;   ///< position of the match, or the stop position
+  std::uint64_t h = 0;   ///< window hash at `pos`
+  bool found = false;
+};
+
+RabinScanResult rabin_scan(const std::uint8_t* data, std::size_t pos,
+                           std::size_t limit, std::size_t window,
+                           std::uint64_t h, std::uint64_t mask,
+                           std::uint64_t poly, const std::uint64_t* push,
+                           const std::uint64_t* pop);
+
+/// Test/bench hook (see xx64_bulk_tier).
+RabinScanResult rabin_scan_tier(SimdTier tier, const std::uint8_t* data,
+                                std::size_t pos, std::size_t limit,
+                                std::size_t window, std::uint64_t h,
+                                std::uint64_t mask, std::uint64_t poly,
+                                const std::uint64_t* push,
+                                const std::uint64_t* pop);
+
+namespace detail {
+// Per-tier entry points (defined in their own TUs; null-function-pointer
+// style indirection is avoided — the dispatchers switch on tier).
+void xx64_bulk_scalar(const std::uint8_t* data, std::size_t stride,
+                      std::size_t len, std::size_t n, std::uint64_t seed,
+                      std::uint64_t* out);
+void xx64_bulk_sse(const std::uint8_t* data, std::size_t stride,
+                   std::size_t len, std::size_t n, std::uint64_t seed,
+                   std::uint64_t* out);
+void xx64_bulk_avx2(const std::uint8_t* data, std::size_t stride,
+                    std::size_t len, std::size_t n, std::uint64_t seed,
+                    std::uint64_t* out);
+RabinScanResult rabin_scan_scalar(const std::uint8_t* data, std::size_t pos,
+                                  std::size_t limit, std::size_t window,
+                                  std::uint64_t h, std::uint64_t mask,
+                                  std::uint64_t poly,
+                                  const std::uint64_t* push,
+                                  const std::uint64_t* pop);
+RabinScanResult rabin_scan_sse(const std::uint8_t* data, std::size_t pos,
+                               std::size_t limit, std::size_t window,
+                               std::uint64_t h, std::uint64_t mask,
+                               std::uint64_t poly, const std::uint64_t* push,
+                               const std::uint64_t* pop);
+RabinScanResult rabin_scan_avx2(const std::uint8_t* data, std::size_t pos,
+                                std::size_t limit, std::size_t window,
+                                std::uint64_t h, std::uint64_t mask,
+                                std::uint64_t poly, const std::uint64_t* push,
+                                const std::uint64_t* pop);
+}  // namespace detail
+
+}  // namespace pod

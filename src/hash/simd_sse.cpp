@@ -1,0 +1,215 @@
+// SSE4.2 variants of the SIMD kernels: same arithmetic as the AVX2 TU but
+// two 64-bit lanes per register. See simd_avx2.cpp for the derivations; the
+// 64-bit multiply emulation and the prefix-scan recurrence are identical,
+// just narrower (the 2-lane prefix needs a single combine step).
+#include "hash/simd.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <nmmintrin.h>
+
+#include <cstring>
+
+namespace pod::detail {
+
+namespace {
+
+#define POD_SSE __attribute__((target("sse4.2"), always_inline)) inline
+
+constexpr std::uint64_t kPrime1 = 0x9E3779B185EBCA87ULL;
+constexpr std::uint64_t kPrime2 = 0xC2B2AE3D27D4EB4FULL;
+constexpr std::uint64_t kPrime3 = 0x165667B19E3779F9ULL;
+constexpr std::uint64_t kPrime4 = 0x85EBCA77C2B2AE63ULL;
+constexpr std::uint64_t kPrime5 = 0x27D4EB2F165667C5ULL;
+
+inline std::uint64_t read64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+inline std::uint32_t read32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+POD_SSE __m128i mul64(__m128i a, __m128i b) {
+  const __m128i lo = _mm_mul_epu32(a, b);
+  const __m128i ah = _mm_srli_epi64(a, 32);
+  const __m128i bh = _mm_srli_epi64(b, 32);
+  const __m128i cross =
+      _mm_add_epi64(_mm_mul_epu32(ah, b), _mm_mul_epu32(a, bh));
+  return _mm_add_epi64(lo, _mm_slli_epi64(cross, 32));
+}
+
+template <int K>
+POD_SSE __m128i rotl(__m128i x) {
+  return _mm_or_si128(_mm_slli_epi64(x, K), _mm_srli_epi64(x, 64 - K));
+}
+
+POD_SSE __m128i round_step(__m128i acc, __m128i input, __m128i p1,
+                           __m128i p2) {
+  acc = _mm_add_epi64(acc, mul64(input, p2));
+  return mul64(rotl<31>(acc), p1);
+}
+
+POD_SSE __m128i merge_round(__m128i acc, __m128i val, __m128i p1, __m128i p2,
+                            __m128i p4) {
+  val = round_step(_mm_setzero_si128(), val, p1, p2);
+  acc = _mm_xor_si128(acc, val);
+  return _mm_add_epi64(mul64(acc, p1), p4);
+}
+
+POD_SSE __m128i gather64(const std::uint8_t* p0, const std::uint8_t* p1,
+                         std::size_t off) {
+  return _mm_set_epi64x(static_cast<long long>(read64(p1 + off)),
+                        static_cast<long long>(read64(p0 + off)));
+}
+
+__attribute__((target("sse4.2"))) void xx64_x2(const std::uint8_t* p0,
+                                               const std::uint8_t* p1,
+                                               std::size_t len,
+                                               std::uint64_t seed,
+                                               std::uint64_t* out) {
+  const __m128i vp1 = _mm_set1_epi64x(static_cast<long long>(kPrime1));
+  const __m128i vp2 = _mm_set1_epi64x(static_cast<long long>(kPrime2));
+  const __m128i vp3 = _mm_set1_epi64x(static_cast<long long>(kPrime3));
+  const __m128i vp4 = _mm_set1_epi64x(static_cast<long long>(kPrime4));
+  const __m128i vp5 = _mm_set1_epi64x(static_cast<long long>(kPrime5));
+  const __m128i vseed = _mm_set1_epi64x(static_cast<long long>(seed));
+
+  std::size_t off = 0;
+  __m128i h;
+  if (len >= 32) {
+    __m128i v1 = _mm_add_epi64(vseed, _mm_add_epi64(vp1, vp2));
+    __m128i v2 = _mm_add_epi64(vseed, vp2);
+    __m128i v3 = vseed;
+    __m128i v4 = _mm_sub_epi64(vseed, vp1);
+    do {
+      v1 = round_step(v1, gather64(p0, p1, off), vp1, vp2);
+      v2 = round_step(v2, gather64(p0, p1, off + 8), vp1, vp2);
+      v3 = round_step(v3, gather64(p0, p1, off + 16), vp1, vp2);
+      v4 = round_step(v4, gather64(p0, p1, off + 24), vp1, vp2);
+      off += 32;
+    } while (off + 32 <= len);
+    h = _mm_add_epi64(_mm_add_epi64(rotl<1>(v1), rotl<7>(v2)),
+                      _mm_add_epi64(rotl<12>(v3), rotl<18>(v4)));
+    h = merge_round(h, v1, vp1, vp2, vp4);
+    h = merge_round(h, v2, vp1, vp2, vp4);
+    h = merge_round(h, v3, vp1, vp2, vp4);
+    h = merge_round(h, v4, vp1, vp2, vp4);
+  } else {
+    h = _mm_add_epi64(vseed, vp5);
+  }
+
+  h = _mm_add_epi64(h, _mm_set1_epi64x(static_cast<long long>(len)));
+
+  while (off + 8 <= len) {
+    h = _mm_xor_si128(h, round_step(_mm_setzero_si128(),
+                                    gather64(p0, p1, off), vp1, vp2));
+    h = _mm_add_epi64(mul64(rotl<27>(h), vp1), vp4);
+    off += 8;
+  }
+  if (off + 4 <= len) {
+    const __m128i w =
+        _mm_set_epi64x(static_cast<long long>(read32(p1 + off)),
+                       static_cast<long long>(read32(p0 + off)));
+    h = _mm_xor_si128(h, mul64(w, vp1));
+    h = _mm_add_epi64(mul64(rotl<23>(h), vp2), vp3);
+    off += 4;
+  }
+  while (off < len) {
+    const __m128i b = _mm_set_epi64x(p1[off], p0[off]);
+    h = _mm_xor_si128(h, mul64(b, vp5));
+    h = mul64(rotl<11>(h), vp1);
+    ++off;
+  }
+
+  h = _mm_xor_si128(h, _mm_srli_epi64(h, 33));
+  h = mul64(h, vp2);
+  h = _mm_xor_si128(h, _mm_srli_epi64(h, 29));
+  h = mul64(h, vp3);
+  h = _mm_xor_si128(h, _mm_srli_epi64(h, 32));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), h);
+}
+
+}  // namespace
+
+void xx64_bulk_sse(const std::uint8_t* data, std::size_t stride,
+                   std::size_t len, std::size_t n, std::uint64_t seed,
+                   std::uint64_t* out) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2)
+    xx64_x2(data + i * stride, data + (i + 1) * stride, len, seed, out + i);
+  if (i < n)
+    xx64_bulk_scalar(data + i * stride, stride, len, n - i, seed, out + i);
+}
+
+__attribute__((target("sse4.2"))) RabinScanResult rabin_scan_sse(
+    const std::uint8_t* data, std::size_t pos, std::size_t limit,
+    std::size_t window, std::uint64_t h, std::uint64_t mask,
+    std::uint64_t poly, const std::uint64_t* push, const std::uint64_t* pop) {
+  const std::uint64_t k2 = poly * poly;
+  const __m128i vk = _mm_set1_epi64x(static_cast<long long>(poly));
+  const __m128i vkpow = _mm_set_epi64x(static_cast<long long>(k2),
+                                       static_cast<long long>(poly));
+  const __m128i vmask = _mm_set1_epi64x(static_cast<long long>(mask));
+
+  for (;;) {
+    if ((h & mask) == mask) return {pos, h, true};
+    if (pos >= limit) return {pos, h, false};
+    if (pos + 2 > limit) {  // scalar tail: one position left
+      h = (h - pop[data[pos - window]]) * poly + push[data[pos]];
+      ++pos;
+      continue;
+    }
+    const std::uint64_t d0 =
+        push[data[pos]] - pop[data[pos - window]] * poly;
+    const std::uint64_t d1 =
+        push[data[pos + 1]] - pop[data[pos + 1 - window]] * poly;
+    __m128i p = _mm_set_epi64x(static_cast<long long>(d1),
+                               static_cast<long long>(d0));
+    // 2-lane prefix: lane 1 += lane 0 * poly (byte shift zero-fills lane 0).
+    p = _mm_add_epi64(p, mul64(_mm_slli_si128(p, 8), vk));
+    const __m128i vh = _mm_add_epi64(
+        mul64(_mm_set1_epi64x(static_cast<long long>(h)), vkpow), p);
+
+    const __m128i eq = _mm_cmpeq_epi64(_mm_and_si128(vh, vmask), vmask);
+    alignas(16) std::uint64_t lanes[2];
+    _mm_store_si128(reinterpret_cast<__m128i*>(lanes), vh);
+    const int hits = _mm_movemask_pd(_mm_castsi128_pd(eq));
+    if (hits != 0) {
+      const int lane = __builtin_ctz(static_cast<unsigned>(hits));
+      return {pos + 1 + static_cast<std::size_t>(lane), lanes[lane], true};
+    }
+    h = lanes[1];
+    pos += 2;
+  }
+}
+
+#undef POD_SSE
+
+}  // namespace pod::detail
+
+#else  // non-x86: forward to scalar so the symbols still link
+
+namespace pod::detail {
+
+void xx64_bulk_sse(const std::uint8_t* data, std::size_t stride,
+                   std::size_t len, std::size_t n, std::uint64_t seed,
+                   std::uint64_t* out) {
+  xx64_bulk_scalar(data, stride, len, n, seed, out);
+}
+
+RabinScanResult rabin_scan_sse(const std::uint8_t* data, std::size_t pos,
+                               std::size_t limit, std::size_t window,
+                               std::uint64_t h, std::uint64_t mask,
+                               std::uint64_t poly, const std::uint64_t* push,
+                               const std::uint64_t* pop) {
+  return rabin_scan_scalar(data, pos, limit, window, h, mask, poly, push, pop);
+}
+
+}  // namespace pod::detail
+
+#endif

@@ -17,8 +17,8 @@ DiskFragment Raid0::map_block(Pba block) const {
   return DiskFragment{disk, row * unit + within, 1};
 }
 
-std::vector<DiskFragment> Raid0::split(Pba block, std::uint64_t nblocks) const {
-  std::vector<DiskFragment> frags;
+void Raid0::split_into(Pba block, std::uint64_t nblocks, FragList& out) const {
+  out.clear();
   const std::uint64_t unit = cfg_.stripe_unit_blocks;
   Pba cur = block;
   std::uint64_t remaining = nblocks;
@@ -26,18 +26,19 @@ std::vector<DiskFragment> Raid0::split(Pba block, std::uint64_t nblocks) const {
     const DiskFragment start = map_block(cur);
     const std::uint64_t left_in_unit = unit - (cur % unit);
     const std::uint64_t take = std::min(remaining, left_in_unit);
-    frags.push_back(DiskFragment{start.disk, start.block, take});
+    out.push_back(DiskFragment{start.disk, start.block, take});
     cur += take;
     remaining -= take;
   }
-  return merge_fragments(std::move(frags));
+  merge_fragments_inplace(out);
 }
 
 void Raid0::submit(VolumeIo io) {
   POD_CHECK(io.nblocks > 0);
   POD_CHECK(io.block + io.nblocks <= capacity_);
-  std::vector<DiskFragment> frags = split(io.block, io.nblocks);
-  run_two_phase(/*phase1=*/{}, OpType::kRead, std::move(frags), io.type,
+  split_into(io.block, io.nblocks, scratch_frags_);
+  run_two_phase(/*phase1=*/{}, OpType::kRead,
+                {scratch_frags_.data(), scratch_frags_.size()}, io.type,
                 std::move(io.done));
 }
 

@@ -16,9 +16,14 @@ class Raid0 : public DiskArray {
   DiskFragment map_block(Pba block) const;
 
  private:
-  std::vector<DiskFragment> split(Pba block, std::uint64_t nblocks) const;
+  /// Clears `out` and fills it with the merged per-disk fragments of
+  /// [block, block+nblocks).
+  void split_into(Pba block, std::uint64_t nblocks, FragList& out) const;
 
   std::uint64_t capacity_;
+  /// Reused per-submit scratch (cleared by split_into); the steady-state
+  /// submit path allocates nothing.
+  FragList scratch_frags_;
 };
 
 }  // namespace pod

@@ -33,8 +33,9 @@ DiskFragment Raid5::map_block(Pba block) const {
   return DiskFragment{disk, row * unit + within, 1};
 }
 
-std::vector<DiskFragment> Raid5::split_read(Pba block, std::uint64_t nblocks) const {
-  std::vector<DiskFragment> frags;
+void Raid5::split_read_into(Pba block, std::uint64_t nblocks,
+                            FragList& out) const {
+  out.clear();
   const std::uint64_t unit = cfg_.stripe_unit_blocks;
   Pba cur = block;
   std::uint64_t remaining = nblocks;
@@ -42,15 +43,16 @@ std::vector<DiskFragment> Raid5::split_read(Pba block, std::uint64_t nblocks) co
     const DiskFragment start = map_block(cur);
     const std::uint64_t left_in_unit = unit - (cur % unit);
     const std::uint64_t take = std::min(remaining, left_in_unit);
-    frags.push_back(DiskFragment{start.disk, start.block, take});
+    out.push_back(DiskFragment{start.disk, start.block, take});
     cur += take;
     remaining -= take;
   }
-  return merge_fragments(std::move(frags));
+  merge_fragments_inplace(out);
 }
 
-Raid5::WritePlan Raid5::plan_write(Pba block, std::uint64_t nblocks) const {
-  WritePlan plan;
+void Raid5::plan_write_into(Pba block, std::uint64_t nblocks,
+                            WritePlan& plan) const {
+  plan.clear();
   const std::uint64_t unit = cfg_.stripe_unit_blocks;
   Pba cur = block;
   std::uint64_t remaining = nblocks;
@@ -93,10 +95,8 @@ Raid5::WritePlan Raid5::plan_write(Pba block, std::uint64_t nblocks) const {
     } else {
       // Read-modify-write: read old data (same fragments) + old parity.
       ++plan.rmw_rows;
-      plan.pre_reads.insert(plan.pre_reads.end(),
-                            plan.writes.begin() +
-                                static_cast<std::ptrdiff_t>(row_writes_begin),
-                            plan.writes.end());
+      for (std::size_t k = row_writes_begin; k < plan.writes.size(); ++k)
+        plan.pre_reads.push_back(plan.writes[k]);
       plan.pre_reads.push_back(parity_frag);
       plan.writes.push_back(parity_frag);
     }
@@ -105,9 +105,8 @@ Raid5::WritePlan Raid5::plan_write(Pba block, std::uint64_t nblocks) const {
     remaining -= in_row;
   }
 
-  plan.pre_reads = merge_fragments(std::move(plan.pre_reads));
-  plan.writes = merge_fragments(std::move(plan.writes));
-  return plan;
+  merge_fragments_inplace(plan.pre_reads);
+  merge_fragments_inplace(plan.writes);
 }
 
 void Raid5::submit(VolumeIo io) {
@@ -116,15 +115,20 @@ void Raid5::submit(VolumeIo io) {
   if (fault_ != nullptr && fault_->disk_failure_due(sim_.now()))
     trigger_injected_failure();
   if (io.type == OpType::kRead) {
-    std::vector<DiskFragment> frags =
-        degraded() ? split_read_degraded(io.block, io.nblocks)
-                   : split_read(io.block, io.nblocks);
-    run_two_phase({}, OpType::kRead, std::move(frags), OpType::kRead,
+    if (degraded())
+      split_read_degraded_into(io.block, io.nblocks, scratch_frags_);
+    else
+      split_read_into(io.block, io.nblocks, scratch_frags_);
+    run_two_phase({}, OpType::kRead,
+                  {scratch_frags_.data(), scratch_frags_.size()}, OpType::kRead,
                   std::move(io.done));
     return;
   }
-  WritePlan plan = degraded() ? plan_write_degraded(io.block, io.nblocks)
-                              : plan_write(io.block, io.nblocks);
+  WritePlan& plan = scratch_plan_;
+  if (degraded())
+    plan_write_degraded_into(io.block, io.nblocks, plan);
+  else
+    plan_write_into(io.block, io.nblocks, plan);
   full_stripe_writes_ += plan.full_stripes;
   rmw_writes_ += plan.rmw_rows;
   if (Telemetry* t = sim_.telemetry()) {
@@ -141,8 +145,9 @@ void Raid5::submit(VolumeIo io) {
     }
     telem_rows_->add(static_cast<double>(plan.rmw_rows));
   }
-  run_two_phase(std::move(plan.pre_reads), OpType::kRead,
-                std::move(plan.writes), OpType::kWrite, std::move(io.done));
+  run_two_phase({plan.pre_reads.data(), plan.pre_reads.size()}, OpType::kRead,
+                {plan.writes.data(), plan.writes.size()}, OpType::kWrite,
+                std::move(io.done));
 }
 
 void Raid5::fail_disk(std::size_t disk) {
@@ -160,11 +165,11 @@ std::uint64_t Raid5::total_rows() const {
   return disks_[0]->total_blocks() / cfg_.stripe_unit_blocks;
 }
 
-std::vector<DiskFragment> Raid5::split_read_degraded(
-    Pba block, std::uint64_t nblocks) const {
+void Raid5::split_read_degraded_into(Pba block, std::uint64_t nblocks,
+                                     FragList& out) const {
   const std::size_t fd = *failed_disk_;
   const std::uint64_t unit = cfg_.stripe_unit_blocks;
-  std::vector<DiskFragment> frags;
+  out.clear();
   Pba cur = block;
   std::uint64_t remaining = nblocks;
   while (remaining > 0) {
@@ -172,26 +177,26 @@ std::vector<DiskFragment> Raid5::split_read_degraded(
     const std::uint64_t left_in_unit = unit - (cur % unit);
     const std::uint64_t take = std::min(remaining, left_in_unit);
     if (f.disk != fd) {
-      frags.push_back(DiskFragment{f.disk, f.block, take});
+      out.push_back(DiskFragment{f.disk, f.block, take});
     } else {
       // Reconstruction: the lost range is recomputed from the same
       // disk-local range on every surviving member (data + parity).
       ++reconstruction_reads_;
       for (std::size_t d = 0; d < cfg_.num_disks; ++d) {
         if (d == fd) continue;
-        frags.push_back(DiskFragment{d, f.block, take});
+        out.push_back(DiskFragment{d, f.block, take});
       }
     }
     cur += take;
     remaining -= take;
   }
-  return merge_fragments(std::move(frags));
+  merge_fragments_inplace(out);
 }
 
-Raid5::WritePlan Raid5::plan_write_degraded(Pba block,
-                                            std::uint64_t nblocks) const {
+void Raid5::plan_write_degraded_into(Pba block, std::uint64_t nblocks,
+                                     WritePlan& plan) const {
   const std::size_t fd = *failed_disk_;
-  WritePlan plan;
+  plan.clear();
   const std::uint64_t unit = cfg_.stripe_unit_blocks;
   Pba cur = block;
   std::uint64_t remaining = nblocks;
@@ -204,7 +209,9 @@ Raid5::WritePlan Raid5::plan_write_degraded(Pba block,
     const std::size_t pd = parity_disk(row);
     const std::uint64_t disk_row_base = row * unit;
 
-    std::vector<DiskFragment> data_frags;
+    // Per-row staging: at most one fragment per surviving data column, so
+    // this stays inline for any realistic array width.
+    InlineVec<DiskFragment, 12> data_frags;
     bool writes_failed_disk = false;
     std::uint64_t pmin = unit, pmax = 0;
     {
@@ -263,13 +270,12 @@ Raid5::WritePlan Raid5::plan_write_degraded(Pba block,
     remaining -= in_row;
   }
 
-  plan.pre_reads = merge_fragments(std::move(plan.pre_reads));
-  plan.writes = merge_fragments(std::move(plan.writes));
-  return plan;
+  merge_fragments_inplace(plan.pre_reads);
+  merge_fragments_inplace(plan.writes);
 }
 
 std::uint64_t Raid5::rebuild_rows(std::uint64_t first_row, std::uint64_t nrows,
-                                  std::function<void(IoStatus)> done) {
+                                  IoDoneFn done) {
   POD_CHECK(failed_disk_.has_value());
   const std::size_t fd = *failed_disk_;
   const std::uint64_t unit = cfg_.stripe_unit_blocks;
@@ -278,8 +284,8 @@ std::uint64_t Raid5::rebuild_rows(std::uint64_t first_row, std::uint64_t nrows,
     if (done) done(IoStatus::kOk);
     return 0;
   }
-  std::vector<DiskFragment> reads;
-  std::vector<DiskFragment> writes;
+  FragList reads;
+  FragList writes;
   for (std::uint64_t row = first_row; row < end_row; ++row) {
     for (std::size_t d = 0; d < cfg_.num_disks; ++d) {
       if (d == fd) continue;
@@ -287,8 +293,10 @@ std::uint64_t Raid5::rebuild_rows(std::uint64_t first_row, std::uint64_t nrows,
     }
     writes.push_back(DiskFragment{fd, row * unit, unit});
   }
-  run_two_phase(merge_fragments(std::move(reads)), OpType::kRead,
-                merge_fragments(std::move(writes)), OpType::kWrite,
+  merge_fragments_inplace(reads);
+  merge_fragments_inplace(writes);
+  run_two_phase({reads.data(), reads.size()}, OpType::kRead,
+                {writes.data(), writes.size()}, OpType::kWrite,
                 std::move(done));
   return end_row - first_row;
 }

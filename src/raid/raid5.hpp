@@ -31,14 +31,25 @@ class Raid5 : public DiskArray {
   DiskFragment map_block(Pba block) const;
 
   struct WritePlan {
-    std::vector<DiskFragment> pre_reads;
-    std::vector<DiskFragment> writes;
+    FragList pre_reads;
+    FragList writes;
     std::uint64_t full_stripes = 0;
     std::uint64_t rmw_rows = 0;
+
+    void clear() {
+      pre_reads.clear();
+      writes.clear();
+      full_stripes = 0;
+      rmw_rows = 0;
+    }
   };
   /// Computes the pre-read / write fragment sets for a write (exposed for
   /// tests and for the bench that reports write amplification).
-  WritePlan plan_write(Pba block, std::uint64_t nblocks) const;
+  WritePlan plan_write(Pba block, std::uint64_t nblocks) const {
+    WritePlan plan;
+    plan_write_into(block, nblocks, plan);
+    return plan;
+  }
 
   std::uint64_t full_stripe_writes() const { return full_stripe_writes_; }
   std::uint64_t rmw_writes() const { return rmw_writes_; }
@@ -59,7 +70,7 @@ class Raid5 : public DiskArray {
   /// reconstructed unit onto the failed member. `done` fires when the
   /// sweep's I/O completes. Returns the number of rows actually issued.
   std::uint64_t rebuild_rows(std::uint64_t first_row, std::uint64_t nrows,
-                             std::function<void(IoStatus)> done);
+                             IoDoneFn done);
 
   /// Completes recovery: clears the failed state (call after rebuilding all
   /// rows).
@@ -69,10 +80,14 @@ class Raid5 : public DiskArray {
   std::uint64_t reconstruction_reads() const { return reconstruction_reads_; }
 
  private:
-  std::vector<DiskFragment> split_read(Pba block, std::uint64_t nblocks) const;
-  std::vector<DiskFragment> split_read_degraded(Pba block,
-                                                std::uint64_t nblocks) const;
-  WritePlan plan_write_degraded(Pba block, std::uint64_t nblocks) const;
+  /// The _into planners clear `out` and fill it; submit() reuses member
+  /// scratch through them so the steady-state write path never allocates.
+  void split_read_into(Pba block, std::uint64_t nblocks, FragList& out) const;
+  void split_read_degraded_into(Pba block, std::uint64_t nblocks,
+                                FragList& out) const;
+  void plan_write_into(Pba block, std::uint64_t nblocks, WritePlan& out) const;
+  void plan_write_degraded_into(Pba block, std::uint64_t nblocks,
+                                WritePlan& out) const;
 
   /// Injector-scheduled whole-disk failure: transition to degraded mode
   /// and, when configured, attach the hot spare and start the paced
@@ -94,6 +109,9 @@ class Raid5 : public DiskArray {
   /// Telemetry handle, bound on first submit when telemetry is on (also
   /// the registered-probes sentinel).
   MetricHistogram* telem_rows_ = nullptr;
+  /// Reused per-submit planning scratch (cleared by the _into planners).
+  FragList scratch_frags_;
+  WritePlan scratch_plan_;
 };
 
 }  // namespace pod

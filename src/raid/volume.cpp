@@ -12,19 +12,17 @@ std::size_t Volume::total_queue_length() const {
   return total;
 }
 
-void Volume::read(Pba block, std::uint64_t nblocks,
-                  std::function<void(IoStatus)> done) {
+void Volume::read(Pba block, std::uint64_t nblocks, IoDoneFn done) {
   submit(VolumeIo{OpType::kRead, block, nblocks, std::move(done)});
 }
 
-void Volume::write(Pba block, std::uint64_t nblocks,
-                   std::function<void(IoStatus)> done) {
+void Volume::write(Pba block, std::uint64_t nblocks, IoDoneFn done) {
   submit(VolumeIo{OpType::kWrite, block, nblocks, std::move(done)});
 }
 
 namespace {
 
-std::function<void(IoStatus)> drop_status(std::function<void()> done) {
+IoDoneFn drop_status(std::function<void()> done) {
   if (!done) return {};
   return [d = std::move(done)](IoStatus) { d(); };
 }
@@ -56,6 +54,69 @@ std::vector<DiskFragment> merge_fragments(std::vector<DiskFragment> frags) {
   return out;
 }
 
+DiskArray::TwoPhaseState* DiskArray::acquire_state() {
+  if (free_states_ == nullptr) {
+    state_pool_.push_back(std::make_unique<TwoPhaseState>());
+    free_states_ = state_pool_.back().get();
+  }
+  TwoPhaseState* st = free_states_;
+  free_states_ = st->next_free;
+  st->next_free = nullptr;
+  st->outstanding = 0;
+  st->status = IoStatus::kOk;
+  return st;
+}
+
+void DiskArray::release_state(TwoPhaseState* st) {
+  st->phase2.clear();  // keeps spill capacity for the next op
+  st->done.reset();
+  st->next_free = free_states_;
+  free_states_ = st;
+}
+
+void DiskArray::issue_fragments(std::span<const DiskFragment> frags,
+                                OpType type, TwoPhaseState* st, bool phase1) {
+  for (const DiskFragment& f : frags) {
+    POD_CHECK(f.disk < disks_.size());
+    DiskOp op;
+    op.type = type;
+    op.block = f.block;
+    op.nblocks = f.nblocks;
+    op.done = [this, st, phase1](IoStatus s) { fragment_done(st, s, phase1); };
+    disks_[f.disk]->submit(std::move(op));
+  }
+}
+
+void DiskArray::fragment_done(TwoPhaseState* st, IoStatus s, bool phase1) {
+  POD_CHECK(st->outstanding > 0);
+  st->status = combine(st->status, s);
+  if (--st->outstanding != 0) return;
+  if (phase1) {
+    start_phase2(st);
+  } else {
+    finish_two_phase(st);
+  }
+}
+
+void DiskArray::start_phase2(TwoPhaseState* st) {
+  if (st->phase2.empty()) {
+    finish_two_phase(st);
+    return;
+  }
+  st->outstanding = st->phase2.size();
+  // Disk::submit never completes synchronously (completions arrive as
+  // simulator events), so iterating st->phase2 while issuing is safe.
+  issue_fragments({st->phase2.data(), st->phase2.size()}, st->phase2_type, st,
+                  /*phase1=*/false);
+}
+
+void DiskArray::finish_two_phase(TwoPhaseState* st) {
+  IoDoneFn done = std::move(st->done);
+  const IoStatus status = st->status;
+  release_state(st);  // before `done`: a resubmitting callback reuses the slot
+  if (done) done(status);
+}
+
 DiskArray::DiskArray(Simulator& sim, const ArrayConfig& cfg) : sim_(sim), cfg_(cfg) {
   POD_CHECK(cfg_.num_disks >= 1);
   POD_CHECK(cfg_.stripe_unit_blocks >= 1);
@@ -70,62 +131,21 @@ DiskArray::DiskArray(Simulator& sim, const ArrayConfig& cfg) : sim_(sim), cfg_(c
   }
 }
 
-void DiskArray::run_two_phase(std::vector<DiskFragment> phase1, OpType phase1_type,
-                              std::vector<DiskFragment> phase2, OpType phase2_type,
-                              std::function<void(IoStatus)> done) {
-  struct State {
-    std::size_t outstanding = 0;
-    IoStatus status = IoStatus::kOk;  // worst-of across both phases
-    std::vector<DiskFragment> phase2;
-    OpType phase2_type;
-    std::function<void(IoStatus)> done;
-  };
-  auto state = std::make_shared<State>();
-  state->phase2 = std::move(phase2);
-  state->phase2_type = phase2_type;
-  state->done = std::move(done);
-
-  auto issue = [this](const std::vector<DiskFragment>& frags, OpType type,
-                      std::function<void(IoStatus)> on_each) {
-    for (const DiskFragment& f : frags) {
-      POD_CHECK(f.disk < disks_.size());
-      DiskOp op;
-      op.type = type;
-      op.block = f.block;
-      op.nblocks = f.nblocks;
-      op.done = on_each;
-      disks_[f.disk]->submit(std::move(op));
-    }
-  };
-
-  // Completion handler for phase 2.
-  auto phase2_step = std::make_shared<std::function<void(IoStatus)>>();
-  *phase2_step = [state](IoStatus s) {
-    POD_CHECK(state->outstanding > 0);
-    state->status = combine(state->status, s);
-    if (--state->outstanding == 0 && state->done) state->done(state->status);
-  };
-
-  auto start_phase2 = [this, state, issue, phase2_step]() {
-    if (state->phase2.empty()) {
-      if (state->done) state->done(state->status);
-      return;
-    }
-    state->outstanding = state->phase2.size();
-    issue(state->phase2, state->phase2_type, *phase2_step);
-  };
+void DiskArray::run_two_phase(std::span<const DiskFragment> phase1,
+                              OpType phase1_type,
+                              std::span<const DiskFragment> phase2,
+                              OpType phase2_type, IoDoneFn done) {
+  TwoPhaseState* st = acquire_state();
+  st->phase2.assign(phase2.data(), phase2.size());
+  st->phase2_type = phase2_type;
+  st->done = std::move(done);
 
   if (phase1.empty()) {
-    start_phase2();
+    start_phase2(st);
     return;
   }
-  state->outstanding = phase1.size();
-  auto phase1_step = [state, start_phase2](IoStatus s) {
-    POD_CHECK(state->outstanding > 0);
-    state->status = combine(state->status, s);
-    if (--state->outstanding == 0) start_phase2();
-  };
-  issue(phase1, phase1_type, phase1_step);
+  st->outstanding = phase1.size();
+  issue_fragments(phase1, phase1_type, st, /*phase1=*/true);
 }
 
 }  // namespace pod

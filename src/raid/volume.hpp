@@ -5,11 +5,15 @@
 // completion in simulated time.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "common/inline_fn.hpp"
+#include "common/inline_vec.hpp"
 #include "common/types.hpp"
 #include "disk/disk.hpp"
 #include "fault/fault.hpp"
@@ -24,7 +28,7 @@ struct VolumeIo {
   std::uint64_t nblocks = 1;
   /// Fires at completion with the worst status among the op's disk
   /// fragments (always kOk when no fault injector is attached).
-  std::function<void(IoStatus)> done;
+  IoDoneFn done;
 };
 
 /// Layout-level activity counters a volume implementation may maintain
@@ -58,19 +62,17 @@ class Volume {
   std::size_t total_queue_length() const;
 
   /// Convenience wrappers (status-aware and legacy status-blind forms).
-  void read(Pba block, std::uint64_t nblocks,
-            std::function<void(IoStatus)> done);
-  void write(Pba block, std::uint64_t nblocks,
-             std::function<void(IoStatus)> done);
+  void read(Pba block, std::uint64_t nblocks, IoDoneFn done);
+  void write(Pba block, std::uint64_t nblocks, IoDoneFn done);
   void read(Pba block, std::uint64_t nblocks, std::function<void()> done);
   void write(Pba block, std::uint64_t nblocks, std::function<void()> done);
   // A literal nullptr callback is ambiguous between the two forms above;
   // resolve it to the status-aware one.
   void read(Pba block, std::uint64_t nblocks, std::nullptr_t) {
-    read(block, nblocks, std::function<void(IoStatus)>{});
+    read(block, nblocks, IoDoneFn{});
   }
   void write(Pba block, std::uint64_t nblocks, std::nullptr_t) {
-    write(block, nblocks, std::function<void(IoStatus)>{});
+    write(block, nblocks, IoDoneFn{});
   }
 };
 
@@ -93,7 +95,33 @@ struct DiskFragment {
   std::uint64_t nblocks = 0;
 };
 
-/// Merges fragments that are adjacent on the same disk (sorted input).
+/// Fragment list sized for the common case: a request split across a
+/// 4-disk array needs a handful of fragments, so layout planning carries
+/// them inline and only pathological scatter (or the rebuild sweep) spills.
+using FragList = InlineVec<DiskFragment, 12>;
+
+/// Sorts `frags` by (disk, block) and merges adjacent fragments in place —
+/// the allocation-free form layout planning uses on reused scratch lists.
+inline void merge_fragments_inplace(FragList& frags) {
+  std::sort(frags.begin(), frags.end(),
+            [](const DiskFragment& a, const DiskFragment& b) {
+              if (a.disk != b.disk) return a.disk < b.disk;
+              return a.block < b.block;
+            });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < frags.size(); ++i) {
+    if (out > 0 && frags[out - 1].disk == frags[i].disk &&
+        frags[out - 1].block + frags[out - 1].nblocks == frags[i].block) {
+      frags[out - 1].nblocks += frags[i].nblocks;
+    } else {
+      frags[out++] = frags[i];
+    }
+  }
+  frags.truncate(out);
+}
+
+/// Merges fragments that are adjacent on the same disk (sorted copy;
+/// test-facing convenience over merge_fragments_inplace).
 std::vector<DiskFragment> merge_fragments(std::vector<DiskFragment> frags);
 
 /// Shared machinery: owns the member disks.
@@ -114,16 +142,43 @@ class DiskArray : public Volume {
  protected:
   /// Issues `phase1` then, once all complete, `phase2`, then `done`.
   /// Either phase may be empty. `done` receives the worst status observed
-  /// across both phases' fragments.
-  void run_two_phase(std::vector<DiskFragment> phase1, OpType phase1_type,
-                     std::vector<DiskFragment> phase2, OpType phase2_type,
-                     std::function<void(IoStatus)> done);
+  /// across both phases' fragments. The spans need only stay valid for the
+  /// duration of the call (phase2 is staged into a pooled state slot), so
+  /// callers may pass reused scratch lists; steady state allocates nothing.
+  void run_two_phase(std::span<const DiskFragment> phase1, OpType phase1_type,
+                     std::span<const DiskFragment> phase2, OpType phase2_type,
+                     IoDoneFn done);
 
   Simulator& sim_;
   ArrayConfig cfg_;
   std::vector<std::unique_ptr<Disk>> disks_;
   /// Present only when cfg_.fault.enabled.
   std::unique_ptr<FaultInjector> fault_;
+
+ private:
+  /// In-flight two-phase op state, pooled and recycled through a freelist:
+  /// per-fragment disk callbacks capture one pointer to a slot, and the
+  /// slot's staged phase-2 list keeps its spill capacity across reuse — the
+  /// volume layer performs no steady-state allocation.
+  struct TwoPhaseState {
+    std::size_t outstanding = 0;
+    IoStatus status = IoStatus::kOk;  // worst-of across both phases
+    FragList phase2;
+    OpType phase2_type = OpType::kRead;
+    IoDoneFn done;
+    TwoPhaseState* next_free = nullptr;
+  };
+
+  TwoPhaseState* acquire_state();
+  void release_state(TwoPhaseState* st);
+  void issue_fragments(std::span<const DiskFragment> frags, OpType type,
+                       TwoPhaseState* st, bool phase1);
+  void fragment_done(TwoPhaseState* st, IoStatus s, bool phase1);
+  void start_phase2(TwoPhaseState* st);
+  void finish_two_phase(TwoPhaseState* st);
+
+  std::vector<std::unique_ptr<TwoPhaseState>> state_pool_;
+  TwoPhaseState* free_states_ = nullptr;
 };
 
 }  // namespace pod

@@ -232,6 +232,57 @@ void BM_IndexCacheLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_IndexCacheLookup)->Arg(65536);
 
+// The metadata-update floor: 16 inserts (one request's tail loop) per
+// iteration into a full cache — every insert evicts into the ghost list,
+// so the scalar form pays probe + LRU splice + backward-shift delete +
+// ghost insert serially per chunk. The batch form tag-prefetches the
+// whole request, splices the recency list once, and runs one eviction
+// sweep + one ghost remember_batch.
+void BM_IndexInsert_Scalar(benchmark::State& state) {
+  const auto entries = static_cast<std::uint64_t>(state.range(0));
+  IndexCache cache(entries * IndexCache::kEntryBytes,
+                   entries * IndexCache::kEntryBytes);
+  for (std::uint64_t i = 0; i < entries; ++i)
+    cache.insert(Fingerprint::of_content_id(i + (1ull << 40)), i);
+  Rng rng(34);
+  std::vector<Fingerprint> keys(1 << 16);
+  std::vector<Pba> pbas(1 << 16);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = Fingerprint::of_content_id(rng.uniform(0, 4 * entries));
+    pbas[i] = i;
+  }
+  std::size_t pos = 0;
+  for (auto _ : state) {
+    for (std::size_t j = 0; j < 16; ++j)
+      cache.insert(keys[pos + j], pbas[pos + j]);
+    pos = (pos + 16) & (keys.size() - 1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_IndexInsert_Scalar)->Arg(1024)->Arg(65536)->Arg(1 << 20)->Arg(1 << 22);
+
+void BM_IndexInsert_Batch(benchmark::State& state) {
+  const auto entries = static_cast<std::uint64_t>(state.range(0));
+  IndexCache cache(entries * IndexCache::kEntryBytes,
+                   entries * IndexCache::kEntryBytes);
+  for (std::uint64_t i = 0; i < entries; ++i)
+    cache.insert(Fingerprint::of_content_id(i + (1ull << 40)), i);
+  Rng rng(34);
+  std::vector<Fingerprint> keys(1 << 16);
+  std::vector<Pba> pbas(1 << 16);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = Fingerprint::of_content_id(rng.uniform(0, 4 * entries));
+    pbas[i] = i;
+  }
+  std::size_t pos = 0;
+  for (auto _ : state) {
+    cache.insert_batch(keys.data() + pos, pbas.data() + pos, 16);
+    pos = (pos + 16) & (keys.size() - 1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_IndexInsert_Batch)->Arg(1024)->Arg(65536)->Arg(1 << 20)->Arg(1 << 22);
+
 void BM_ArcCacheZipf(benchmark::State& state) {
   ArcCache cache(static_cast<std::size_t>(state.range(0)));
   Rng rng(9);

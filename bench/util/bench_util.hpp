@@ -15,9 +15,11 @@
 //                and later runs bulk-load them instead of regenerating.
 //   POD_BENCH_JSON  — file to append per-run replay counters to, one JSON
 //                object per line (mean latency, events scheduled, peak
-//                event-heap depth, peak RSS, plus per-disk breakdowns,
-//                RAID5 parity write modes, iCache adaptation state, and —
-//                when telemetry is on — the metrics-registry snapshot).
+//                event-heap depth, peak RSS, plus host execution context
+//                (hardware threads, active SIMD tier, pipeline state),
+//                per-disk breakdowns, RAID5 parity write modes, iCache
+//                adaptation state, and — when telemetry is on — the
+//                metrics-registry snapshot).
 //   POD_TRACE_EVENTS / POD_TELEMETRY_CSV / POD_TELEMETRY_INTERVAL_MS /
 //   POD_TRACE_LIMIT — sim-time telemetry sinks; see
 //                src/telemetry/telemetry.hpp.

@@ -91,16 +91,20 @@ class FlatLruMap {
   /// every i in order (same promotions, same LRU end state). Keys are
   /// processed in fixed windows: phase 1 hashes the window and prefetches
   /// every home bucket of the index table, phase 2 prefetches the slot
-  /// entries those buckets name, phase 3 resolves the probes and promotes
-  /// hits in order. Lookups never mutate the index table (only the
-  /// intrusive LRU list), so the precomputed homes stay valid across the
-  /// window even with duplicate keys. Returned pointers follow the same
-  /// vector rules as get().
+  /// entries those buckets name, phase 3 resolves the probes and collects
+  /// hits onto a detached recency chain. One splice publishes the chain at
+  /// MRU after the last window — a request's worth of promotions costs one
+  /// head update instead of one per hit. Lookups never mutate the index
+  /// table (only the intrusive LRU list), so the precomputed homes stay
+  /// valid across the window even with duplicate keys. Returned pointers
+  /// follow the same vector rules as get().
   void get_batch(const K* keys, std::size_t n, V** out) {
     if (table_.empty()) {
       std::fill(out, out + n, nullptr);
       return;
     }
+    std::uint32_t chain_front = kNil;
+    std::uint32_t chain_back = kNil;
     std::uint32_t tags[kBatchWindow];
     for (std::size_t done = 0; done < n; done += kBatchWindow) {
       const std::size_t m = std::min(kBatchWindow, n - done);
@@ -119,11 +123,26 @@ class FlatLruMap {
         if (s == kNil) {
           out[done + j] = nullptr;
         } else {
-          promote(s);
+          chain_promote(s, chain_front, chain_back);
           out[done + j] = &slots_[s].value;
         }
       }
     }
+    splice_chain_front(chain_front, chain_back);
+  }
+
+  /// Promotes every present key to MRU — equivalent to calling get() on
+  /// each key in order and discarding the results, but with the grouped
+  /// single-splice recency update of get_batch. Absent keys are ignored.
+  void promote_batch(const K* keys, std::size_t n) {
+    if (table_.empty() || n == 0) return;
+    std::uint32_t chain_front = kNil;
+    std::uint32_t chain_back = kNil;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t s = find_slot(keys[i]);
+      if (s != kNil) chain_promote(s, chain_front, chain_back);
+    }
+    splice_chain_front(chain_front, chain_back);
   }
 
   /// Inserts or overwrites; promotes to MRU. Evictions (if over capacity)
@@ -160,6 +179,83 @@ class FlatLruMap {
 
   void put(const K& key, V value) {
     put(key, std::move(value), [](const K&, V&&) {});
+  }
+
+  /// Request-scoped bulk insert: equivalent to `put(keys[i], values[i],
+  /// on_evict)` for every i in order — same final map contents, same LRU
+  /// order, same eviction sequence — but amortized: tags are hashed and
+  /// home buckets prefetched up front, the index table is pre-reserved so
+  /// no rehash lands mid-batch, inserted/overwritten entries collect onto
+  /// a detached recency chain published with ONE splice, and evictions are
+  /// detached from the table at the exact per-put points the scalar loop
+  /// would evict them (so probe outcomes match bit-for-bit) while their
+  /// `on_evict` callbacks are staged and delivered together after the
+  /// batch. Requires copy-constructible V (values are read from an array);
+  /// `on_evict` must not reenter this map.
+  template <typename EvictFn>
+  void put_batch(const K* keys, const V* values, std::size_t n,
+                 EvictFn&& on_evict) {
+    if (n == 0) return;
+    if (capacity_ == 0) {
+      for (std::size_t i = 0; i < n; ++i) on_evict(keys[i], V(values[i]));
+      return;
+    }
+    reserve(size_ + n);  // no rebuild mid-batch: chained slots are off-list
+    std::uint32_t chain_front = kNil;
+    std::uint32_t chain_back = kNil;
+    tag_scratch_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t tag = tag_of(keys[i]);
+      tag_scratch_[i] = tag;
+      prefetch_read(&table_[tag & mask_]);
+    }
+    if (size_ + n > capacity_ && tail_ != kNil) prefetch_read(&slots_[tail_]);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t tag = tag_scratch_[i];
+      std::size_t b_i = tag & mask_;
+      std::uint32_t hit = kNil;
+      for (;;) {
+        const Bucket b = table_[b_i];
+        if (b.slot == kEmpty) break;
+        if (b.tag == tag && slots_[b.slot].key == keys[i]) {
+          hit = b.slot;
+          break;
+        }
+        b_i = (b_i + 1) & mask_;
+      }
+      if (hit != kNil) {  // overwrite + promote; size unchanged, no evict
+        slots_[hit].value = values[i];
+        chain_promote(hit, chain_front, chain_back);
+        continue;
+      }
+      const std::uint32_t s = alloc_slot(keys[i], V(values[i]));
+      table_[b_i] = Bucket{s, tag};
+      slots_[s].tpos = static_cast<std::uint32_t>(b_i);
+      chain_push_front(s, chain_front, chain_back);
+      ++size_;
+      while (size_ > capacity_) {
+        // Victim selection mirrors the scalar loop: the global LRU is the
+        // old list's tail until the batch drains it, then the oldest entry
+        // of this batch (the chain back).
+        std::uint32_t victim;
+        if (tail_ != kNil) {
+          victim = tail_;
+          unlink(victim);
+        } else {
+          victim = chain_back;
+          chain_unlink(victim, chain_front, chain_back);
+        }
+        // Move key/value out NOW: the freed slot may be recycled by a
+        // later insert of this same batch.
+        evicted_scratch_.emplace_back(slots_[victim].key,
+                                      std::move(slots_[victim].value));
+        detach_table(victim);
+        if (tail_ != kNil) prefetch_read(&slots_[tail_]);
+      }
+    }
+    splice_chain_front(chain_front, chain_back);
+    for (auto& [k, v] : evicted_scratch_) on_evict(k, std::move(v));
+    evicted_scratch_.clear();
   }
 
   /// Removes a specific key; returns true if it was present.
@@ -207,6 +303,19 @@ class FlatLruMap {
       fn(slots_[s].key, slots_[s].value);
   }
 
+  /// Visits up to `limit` entries from LRU toward MRU without promoting —
+  /// the likely victims of an upcoming put_batch. Callers use this to warm
+  /// downstream structures (e.g. ghost-cache home buckets) before the
+  /// eviction sweep runs.
+  template <typename Fn>
+  void for_each_lru(std::size_t limit, Fn&& fn) const {
+    std::uint32_t s = tail_;
+    for (std::size_t i = 0; i < limit && s != kNil; ++i) {
+      fn(slots_[s].key, slots_[s].value);
+      s = slots_[s].prev;
+    }
+  }
+
   void clear() {
     table_.clear();
     slots_.clear();
@@ -234,6 +343,11 @@ class FlatLruMap {
     std::uint32_t prev;
     std::uint32_t next;
     std::uint32_t tpos;  // current position in table_ (updated on rehash)
+    // Nonzero while the slot sits on a batch's detached recency chain;
+    // splice_chain_front() and chain_unlink() clear it, so outside a batch
+    // every slot reads 0. One byte (vs a 64-bit epoch) keeps the slot
+    // compact — it usually hides in the struct's tail padding.
+    std::uint8_t in_chain = 0;
   };
 
   /// Index-table bucket: which pool slot lives here plus its hash tag.
@@ -291,6 +405,66 @@ class FlatLruMap {
     push_front(s);
   }
 
+  // --- detached recency chain (batch operations) ---
+  //
+  // Batched ops collect touched slots onto a private doubly-linked chain
+  // threaded through the same prev/next fields (front = most recent).
+  // splice_chain_front() then publishes the whole chain at MRU with one
+  // head update. The chain is ordered exactly as sequential promotes would
+  // have left those entries, so the spliced list is bit-identical to the
+  // scalar loop's result.
+
+  void chain_push_front(std::uint32_t s, std::uint32_t& chain_front,
+                        std::uint32_t& chain_back) {
+    Slot& slot = slots_[s];
+    slot.in_chain = 1;
+    slot.prev = kNil;
+    slot.next = chain_front;
+    if (chain_front != kNil) slots_[chain_front].prev = s;
+    chain_front = s;
+    if (chain_back == kNil) chain_back = s;
+  }
+
+  void chain_unlink(std::uint32_t s, std::uint32_t& chain_front,
+                    std::uint32_t& chain_back) {
+    Slot& slot = slots_[s];
+    slot.in_chain = 0;
+    if (slot.prev != kNil) slots_[slot.prev].next = slot.next;
+    else chain_front = slot.next;
+    if (slot.next != kNil) slots_[slot.next].prev = slot.prev;
+    else chain_back = slot.prev;
+  }
+
+  /// Moves slot `s` (live, possibly already chained) to the chain front —
+  /// the batched equivalent of promote(s).
+  void chain_promote(std::uint32_t s, std::uint32_t& chain_front,
+                     std::uint32_t& chain_back) {
+    if (chain_front == s) return;
+    if (slots_[s].in_chain) {
+      chain_unlink(s, chain_front, chain_back);
+    } else {
+      unlink(s);
+    }
+    chain_push_front(s, chain_front, chain_back);
+  }
+
+  /// Publishes the chain (front = newest) ahead of the current head. Also
+  /// clears every member's in_chain flag — an O(batch) walk over lines the
+  /// batch just touched, restoring the all-zeros invariant between batches.
+  void splice_chain_front(std::uint32_t chain_front,
+                          std::uint32_t chain_back) {
+    if (chain_front == kNil) return;
+    for (std::uint32_t s = chain_front;; s = slots_[s].next) {
+      slots_[s].in_chain = 0;
+      if (s == chain_back) break;
+    }
+    slots_[chain_back].next = head_;
+    if (head_ != kNil) slots_[head_].prev = chain_back;
+    else tail_ = chain_back;
+    slots_[chain_front].prev = kNil;
+    head_ = chain_front;
+  }
+
   /// Places slot `s` (whose key is known absent) into the index table.
   void place(std::uint32_t s) {
     const std::uint32_t tag = tag_of(slots_[s].key);
@@ -330,8 +504,15 @@ class FlatLruMap {
   }
 
   void remove_slot(std::uint32_t s) {
-    std::size_t i = slots_[s].tpos;
     unlink(s);
+    detach_table(s);
+  }
+
+  /// Removes slot `s` from the index table (backward-shift) and recycles
+  /// it. The caller has already unlinked it from whichever recency list —
+  /// main or batch chain — held it.
+  void detach_table(std::uint32_t s) {
+    std::size_t i = slots_[s].tpos;
     free_.push_back(s);
     --size_;
     // Backward-shift deletion: slide displaced successors toward their
@@ -375,6 +556,9 @@ class FlatLruMap {
   std::size_t size_ = 0;
   std::uint32_t head_ = kNil;
   std::uint32_t tail_ = kNil;
+  // put_batch staging (kept across calls so steady state allocates nothing).
+  std::vector<std::uint32_t> tag_scratch_;
+  std::vector<std::pair<K, V>> evicted_scratch_;
 };
 
 }  // namespace pod

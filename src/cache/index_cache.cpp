@@ -58,6 +58,34 @@ void IndexCache::insert(const Fingerprint& fp, Pba pba) {
                });
 }
 
+void IndexCache::insert_batch(const Fingerprint* fps, const Pba* pbas,
+                              std::size_t n) {
+  if (n == 0) return;
+  value_scratch_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) value_scratch_[i] = IndexEntry{pbas[i], 0};
+  // Warm the ghost home buckets of the likely victims: the entries the
+  // eviction sweep will pop are the current LRU tail, and each evicted key
+  // is immediately remembered by the ghost list below.
+  if (entries_.size() + n > entries_.capacity()) {
+    entries_.for_each_lru(n, [this](const Fingerprint& fp, const IndexEntry&) {
+      ghost_.prefetch(fp);
+    });
+  }
+  evicted_fp_scratch_.clear();
+  evicted_entry_scratch_.clear();
+  entries_.put_batch(fps, value_scratch_.data(), n,
+                     [this](const Fingerprint& evicted, IndexEntry&& entry) {
+                       evicted_fp_scratch_.push_back(evicted);
+                       evicted_entry_scratch_.push_back(entry);
+                     });
+  if (evicted_fp_scratch_.empty()) return;
+  ghost_.remember_batch(evicted_fp_scratch_.data(), evicted_fp_scratch_.size());
+  if (evict_hook) {
+    for (std::size_t i = 0; i < evicted_fp_scratch_.size(); ++i)
+      evict_hook(evicted_fp_scratch_[i], evicted_entry_scratch_[i]);
+  }
+}
+
 void IndexCache::invalidate(const Fingerprint& fp) { entries_.erase(fp); }
 
 void IndexCache::rebind(const Fingerprint& fp, Pba pba) {

@@ -72,6 +72,17 @@ class IndexCache {
   /// insert, incremented on each subsequent write hit).
   void insert(const Fingerprint& fp, Pba pba);
 
+  /// Request-scoped bulk insert: equivalent to `insert(fps[i], pbas[i])`
+  /// for every i in order — same cache contents and LRU order, same ghost
+  /// list state, same evict_hook invocation sequence. The entry map is
+  /// mutated through one put_batch (one LRU splice, one eviction sweep),
+  /// evicted entries are staged, then the ghost list learns all of them in
+  /// one remember_batch and evict_hook fires per entry in eviction order.
+  /// The regrouping is state-identical because entry-map updates and
+  /// ghost/hook side effects touch disjoint structures (see the scalar
+  /// insert: the ghost/hook work keys off the evicted entry only).
+  void insert_batch(const Fingerprint* fps, const Pba* pbas, std::size_t n);
+
   /// Drops an entry whose physical block was freed.
   void invalidate(const Fingerprint& fp);
 
@@ -112,6 +123,10 @@ class IndexCache {
   // lookup_batch scratch (capacity reaches the largest request and stays).
   std::vector<IndexEntry*> probe_scratch_;
   std::vector<Fingerprint> miss_scratch_;
+  // insert_batch staging (evictions deferred past the put_batch).
+  std::vector<IndexEntry> value_scratch_;
+  std::vector<Fingerprint> evicted_fp_scratch_;
+  std::vector<IndexEntry> evicted_entry_scratch_;
 };
 
 }  // namespace pod

@@ -228,6 +228,49 @@ void BlockStore::place_write_run(Lba lba0, std::span<const Fingerprint> fps,
   bind_run(lba0, out.data() + base, n);
 }
 
+Pba BlockStore::place_chunk_write(Lba lba0, std::uint32_t nblocks,
+                                  std::uint64_t bytes, const Fingerprint& fp) {
+  POD_CHECK(nblocks > 0 && lba0 + nblocks <= logical_blocks_);
+  POD_CHECK(bytes > blocks_to_bytes(nblocks - 1) &&
+            bytes <= blocks_to_bytes(nblocks));
+  for (std::uint32_t k = 0; k < nblocks; ++k) {
+    const Lba lba = lba0 + k;
+    POD_DCHECK(!is_live(lba));
+    const std::size_t home = static_cast<std::size_t>(lba);
+    POD_DCHECK(refs_[home] == 0);
+    refs_[home] = 1;
+    fps_[home] = fp;
+    ++live_physical_;
+    ++live_count_;
+    if (journal_ != nullptr) journal_->bind(lba, static_cast<Pba>(lba), fp);
+  }
+  map_.set_identity_run(lba0, nblocks);
+  ++chunk_counters_.chunks_placed;
+  chunk_counters_.stored_bytes += bytes;
+  chunk_counters_.padding_bytes += blocks_to_bytes(nblocks) - bytes;
+  return static_cast<Pba>(lba0);
+}
+
+bool BlockStore::dedup_chunk_to(Lba lba0, Pba pba0, std::uint32_t nblocks,
+                                const Fingerprint& fp) {
+  POD_CHECK(nblocks > 0 && lba0 + nblocks <= logical_blocks_);
+  if (pba0 + nblocks > refs_.size()) return false;
+  for (std::uint32_t k = 0; k < nblocks; ++k) {
+    const Fingerprint* live = fingerprint_of(pba0 + k);
+    if (live == nullptr || !(*live == fp)) return false;
+  }
+  for (std::uint32_t k = 0; k < nblocks; ++k) {
+    const Lba lba = lba0 + k;
+    POD_DCHECK(!is_live(lba));
+    ++refs_[static_cast<std::size_t>(pba0 + k)];
+    ++live_count_;
+    if (journal_ != nullptr) journal_->bind(lba, pba0 + k, fp);
+  }
+  map_.set_run(lba0, pba0, nblocks);
+  ++chunk_counters_.chunks_deduped;
+  return true;
+}
+
 void BlockStore::dedup_to(Lba lba, Pba pba) {
   POD_CHECK(lba < logical_blocks_);
   POD_CHECK(pba < refs_.size() && refs_[static_cast<std::size_t>(pba)] > 0);

@@ -80,6 +80,11 @@ class BlockStore {
   bool is_live(Lba lba) const;
   /// Physical location of a live LBA (kInvalidPba when never written).
   Pba resolve(Lba lba) const;
+  /// Run variant: `out[i] = resolve(lba0 + i)` for i in [0, n) — one call
+  /// resolves a read request's whole extent (see MapTable::resolve_run).
+  void resolve_run(Lba lba0, std::size_t n, Pba* out) const {
+    map_.resolve_run(lba0, n, out);
+  }
 
   /// Places new unique content for `lba`: releases the old mapping, picks
   /// the home block when legal, otherwise redirects into the pool
@@ -125,6 +130,41 @@ class BlockStore {
     }
     return remapped;
   }
+
+  // ---- variable-size-chunk extents (CDC ingest path) ------------------
+  // A content-defined chunk of `bytes` payload occupies ceil(bytes/4K)
+  // blocks; its fingerprint is replicated across every block of the extent
+  // so per-block revalidation (candidate_valid, media-error blast radius)
+  // keeps working unchanged. The ingest path is append-only: extents bind
+  // fresh, never-written LBAs, so a unique chunk lands at its identity
+  // home run and only deduplicated extents consume Map-table entries.
+
+  /// Per-chunk accounting for the CDC path (all zero on the fixed path).
+  struct ChunkCounters {
+    std::uint64_t chunks_placed = 0;
+    std::uint64_t chunks_deduped = 0;
+    /// Payload bytes of unique (physically stored) chunks.
+    std::uint64_t stored_bytes = 0;
+    /// Block-rounding overhead of unique chunks (last-block padding).
+    std::uint64_t padding_bytes = 0;
+  };
+
+  /// Places one unique chunk: binds [lba0, lba0+nblocks) — all fresh LBAs
+  /// — to the identity home run, stamping `fp` on every block. `bytes` is
+  /// the chunk payload ((nblocks-1)*4K < bytes <= nblocks*4K). Returns the
+  /// head PBA (== lba0).
+  Pba place_chunk_write(Lba lba0, std::uint32_t nblocks, std::uint64_t bytes,
+                        const Fingerprint& fp);
+
+  /// Deduplicates the fresh logical extent [lba0, +nblocks) against the
+  /// physical extent [pba0, +nblocks) holding a chunk fingerprinted `fp`.
+  /// Every target block is revalidated first; on any mismatch the call
+  /// returns false without mutating anything (the caller writes the chunk
+  /// normally — same contract as a failed candidate_valid).
+  bool dedup_chunk_to(Lba lba0, Pba pba0, std::uint32_t nblocks,
+                      const Fingerprint& fp);
+
+  const ChunkCounters& chunk_counters() const { return chunk_counters_; }
 
   /// Invalidates an LBA (e.g. TRIM); releases its physical reference.
   void discard(Lba lba);
@@ -204,6 +244,7 @@ class BlockStore {
   std::vector<Fingerprint> fps_;
   std::uint64_t live_physical_ = 0;
   std::uint64_t live_count_ = 0;
+  ChunkCounters chunk_counters_;
   MetadataJournal* journal_ = nullptr;
   /// True while restore_* replays the journal: unref must not fire
   /// observers or touch the pool (occupancy is rebuilt afterwards).

@@ -11,20 +11,29 @@ FixedChunker::FixedChunker(std::size_t chunk_size) : chunk_size_(chunk_size) {
 std::vector<DataChunk> FixedChunker::chunk(std::span<const std::uint8_t> data,
                                            const HashEngine& engine) const {
   std::vector<DataChunk> chunks;
-  chunks.reserve(data.size() / chunk_size_ + 1);
+  FixedChunker scratch(chunk_size_);  // keep this overload const
+  scratch.chunk_into(data, engine, chunks);
+  return chunks;
+}
+
+void FixedChunker::chunk_into(std::span<const std::uint8_t> data,
+                              const HashEngine& engine,
+                              std::vector<DataChunk>& out) {
+  out.clear();
+  out.reserve(data.size() / chunk_size_ + 1);
 
   // Full-size chunks go through the bulk fingerprint path (SIMD-capable for
   // the xx64 algorithm); only a short final chunk is hashed individually.
   const std::size_t full = data.size() / chunk_size_;
   if (full > 0) {
-    std::vector<Fingerprint> fps(full);
-    engine.fingerprint_bulk(data.data(), chunk_size_, full, fps.data());
+    if (fp_scratch_.size() < full) fp_scratch_.resize(full);
+    engine.fingerprint_bulk(data.data(), chunk_size_, full, fp_scratch_.data());
     for (std::size_t i = 0; i < full; ++i) {
       DataChunk c;
       c.offset = i * chunk_size_;
       c.size = chunk_size_;
-      c.fp = fps[i];
-      chunks.push_back(c);
+      c.fp = fp_scratch_[i];
+      out.push_back(c);
     }
   }
   const std::size_t tail_off = full * chunk_size_;
@@ -33,9 +42,8 @@ std::vector<DataChunk> FixedChunker::chunk(std::span<const std::uint8_t> data,
     c.offset = tail_off;
     c.size = data.size() - tail_off;
     c.fp = engine.fingerprint(data.subspan(tail_off, c.size));
-    chunks.push_back(c);
+    out.push_back(c);
   }
-  return chunks;
 }
 
 }  // namespace pod

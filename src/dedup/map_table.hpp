@@ -57,6 +57,25 @@ class MapTable {
   /// True when `lba` is live at its identity home (no redirection stored).
   bool is_identity(Lba lba) const { return raw(lba) == kIdentityHome; }
 
+  /// Run variant of resolve: `out[i] = resolve(lba0 + i)` for i in [0, n).
+  /// One bounds check covers the in-table span; the tail past the table is
+  /// dead by definition. The in-range loop is branch-light and auto-
+  /// vectorizable — read requests resolve their whole extent in one call.
+  void resolve_run(Lba lba0, std::size_t n, Pba* out) const {
+    const std::size_t start =
+        lba0 < table_.size() ? static_cast<std::size_t>(lba0) : table_.size();
+    const std::size_t in_range =
+        table_.size() - start < n ? table_.size() - start : n;
+    for (std::size_t i = 0; i < in_range; ++i) {
+      const Pba v = table_[start + i];
+      out[i] = v < kIdentityHome
+                   ? v
+                   : (v == kIdentityHome ? static_cast<Pba>(lba0 + i)
+                                         : kInvalidPba);
+    }
+    for (std::size_t i = in_range; i < n; ++i) out[i] = kInvalidPba;
+  }
+
   /// Installs/overwrites a redirection.
   void set(Lba lba, Pba pba);
 

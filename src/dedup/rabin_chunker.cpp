@@ -36,6 +36,14 @@ RabinChunker::RabinChunker(const RabinConfig& cfg) : cfg_(cfg) {
 std::vector<DataChunk> RabinChunker::chunk(std::span<const std::uint8_t> data,
                                            const HashEngine& engine) const {
   std::vector<DataChunk> chunks;
+  chunk_into(data, engine, chunks);
+  return chunks;
+}
+
+void RabinChunker::chunk_into(std::span<const std::uint8_t> data,
+                              const HashEngine& engine,
+                              std::vector<DataChunk>& out) const {
+  out.clear();
   std::size_t start = 0;
   while (start < data.size()) {
     const std::size_t remaining = data.size() - start;
@@ -59,10 +67,9 @@ std::vector<DataChunk> RabinChunker::chunk(std::span<const std::uint8_t> data,
     c.offset = start;
     c.size = len;
     c.fp = engine.fingerprint(data.subspan(start, len));
-    chunks.push_back(c);
+    out.push_back(c);
     start += len;
   }
-  return chunks;
 }
 
 }  // namespace pod

@@ -29,6 +29,10 @@ class RabinChunker {
   std::vector<DataChunk> chunk(std::span<const std::uint8_t> data,
                                const HashEngine& engine) const;
 
+  /// Steady-state variant: clears and refills `out`, reusing its capacity.
+  void chunk_into(std::span<const std::uint8_t> data, const HashEngine& engine,
+                  std::vector<DataChunk>& out) const;
+
   const RabinConfig& config() const { return cfg_; }
 
  private:

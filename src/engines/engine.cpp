@@ -1,11 +1,18 @@
 #include "engines/engine.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/check.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace pod {
+
+bool scalar_probes_from_env() {
+  const char* env = std::getenv("POD_SCALAR_PROBES");
+  return env != nullptr && std::strcmp(env, "0") != 0;
+}
 
 std::uint64_t required_volume_blocks(const EngineConfig& cfg) {
   const std::uint64_t pool = std::max<std::uint64_t>(
@@ -123,21 +130,19 @@ void DedupEngine::coalesce_into(std::vector<std::pair<Pba, std::uint64_t>>& runs
 DedupEngine::IoPlan DedupEngine::build_read_plan(const IoRequest& req) {
   IoPlan plan;
   WriteScratch& s = scratch_;
-  // Pass 1: resolve the whole request and prefetch the read-cache buckets
-  // each target will probe. Resolution touches only the store; the cache
-  // probes below touch only the cache — so hoisting resolution ahead of
-  // the probe loop cannot change either one's outcome.
-  s.read_pbas.clear();
+  // Pass 1: resolve the whole request in one run call, then prefetch the
+  // read-cache buckets each target will probe. Resolution touches only the
+  // store; the cache probes below touch only the cache — so hoisting
+  // resolution ahead of the probe loop cannot change either one's outcome.
+  s.read_pbas.resize(req.nblocks);
+  store_.resolve_run(req.lba, req.nblocks, s.read_pbas.data());
   for (std::uint32_t i = 0; i < req.nblocks; ++i) {
-    const Lba lba = req.lba + i;
-    Pba pba = store_.resolve(lba);
-    if (pba == kInvalidPba) {
+    if (s.read_pbas[i] == kInvalidPba) {
       // Read of never-written data: served from the home location (the
       // device returns whatever is there), no cache involvement skew.
-      pba = static_cast<Pba>(lba);
+      s.read_pbas[i] = static_cast<Pba>(req.lba + i);
     }
-    s.read_pbas.push_back(pba);
-    read_cache_.prefetch(pba);
+    read_cache_.prefetch(s.read_pbas[i]);
   }
   // Pass 2: per-block cache probes, in request order (inserts must be
   // visible to later duplicate targets, so this loop stays sequential).

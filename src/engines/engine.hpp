@@ -46,6 +46,10 @@ class Telemetry;
 class TraceEventWriter;
 class MetricCounter;
 
+/// POD_SCALAR_PROBES env default for EngineConfig::scalar_probes: unset or
+/// "0" → false, anything else → true.
+bool scalar_probes_from_env();
+
 struct EngineConfig {
   /// Total DRAM budget split between index cache and read cache.
   std::uint64_t memory_bytes = 64 * kMiB;
@@ -79,11 +83,13 @@ struct EngineConfig {
   /// Reserved swap region for iCache, in blocks.
   std::uint64_t swap_region_blocks = 1 << 15;
 
-  /// Test-only: route index probes through the scalar per-chunk path
-  /// instead of the batched two-phase path. Replay output is asserted
-  /// byte-identical between the two (batch_equivalence_test); this switch
-  /// exists so that assertion has a reference to compare against.
-  bool scalar_probes = false;
+  /// Test-only: route index probes AND index inserts through the scalar
+  /// per-chunk path instead of the batched two-phase / request-scoped bulk
+  /// path. Replay output is asserted byte-identical between the two
+  /// (batch_equivalence_test); this switch exists so that assertion has a
+  /// reference to compare against. Defaults to POD_SCALAR_PROBES when set
+  /// (so CI can force whole suites onto the reference path), else false.
+  bool scalar_probes = scalar_probes_from_env();
 
   /// Record every dedup-metadata mutation (Map-table binds/unbinds, index
   /// puts/dels) in a write-ahead journal for crash-recovery simulation.
@@ -240,6 +246,12 @@ class DedupEngine {
     std::vector<std::pair<Pba, std::uint64_t>> write_runs;  // stage2 coalescing
     std::vector<std::pair<Pba, std::uint64_t>> aux_runs;    // stage1 coalescing
     std::vector<Pba> read_pbas;         // resolved targets of a read request
+    // Request-scoped index-insert staging: the write tail loops collect
+    // (fingerprint, pba) pairs here and flush_index_inserts() hands them to
+    // IndexCache::insert_batch — one LRU splice and one eviction sweep per
+    // request instead of per chunk.
+    std::vector<Fingerprint> stage_fps;
+    std::vector<Pba> stage_pbas;
 
     /// Prepares the write-path buffers for an `n`-chunk request.
     void reset_write(std::size_t n) {
@@ -254,6 +266,8 @@ class DedupEngine {
       dedup_runs.clear();
       write_runs.clear();
       aux_runs.clear();
+      stage_fps.clear();
+      stage_pbas.clear();
     }
 
     bool masked(std::size_t i) const {
@@ -274,7 +288,9 @@ class DedupEngine {
              dedup_runs.capacity() * sizeof(DupRun) +
              write_runs.capacity() * sizeof(std::pair<Pba, std::uint64_t>) +
              aux_runs.capacity() * sizeof(std::pair<Pba, std::uint64_t>) +
-             read_pbas.capacity() * sizeof(Pba);
+             read_pbas.capacity() * sizeof(Pba) +
+             stage_fps.capacity() * sizeof(Fingerprint) +
+             stage_pbas.capacity() * sizeof(Pba);
     }
   };
 
@@ -317,6 +333,29 @@ class DedupEngine {
 
   /// Verifies a dedup candidate still holds the expected content.
   bool candidate_valid(const Fingerprint& fp, Pba pba) const;
+
+  /// Stages an index-cache insert for the current request (or performs it
+  /// immediately on the scalar reference path). Safe only for inserts whose
+  /// visibility nothing later in the same request depends on — the write
+  /// tail loops qualify (they run after every probe and store mutation);
+  /// Full-Dedupe's mid-request promotions do not and stay immediate.
+  void stage_index_insert(WriteScratch& s, const Fingerprint& fp, Pba pba) {
+    if (cfg_.scalar_probes) {
+      index_cache_->insert(fp, pba);
+      return;
+    }
+    s.stage_fps.push_back(fp);
+    s.stage_pbas.push_back(pba);
+  }
+
+  /// Flushes staged inserts as one IndexCache::insert_batch.
+  void flush_index_inserts(WriteScratch& s) {
+    if (s.stage_fps.empty()) return;
+    index_cache_->insert_batch(s.stage_fps.data(), s.stage_pbas.data(),
+                               s.stage_fps.size());
+    s.stage_fps.clear();
+    s.stage_pbas.clear();
+  }
 
   /// Coalesces (type-homogeneous) block ops into contiguous OpSpecs.
   /// Sorts `runs` in place.

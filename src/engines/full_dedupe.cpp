@@ -88,17 +88,21 @@ DedupEngine::IoPlan FullDedupeEngine::process_write(const IoRequest& req) {
 
   write_remaining_chunks(req, s, plan);
 
-  // Index maintenance for freshly written chunks.
+  // Index maintenance for freshly written chunks. The in-memory inserts
+  // stage into one insert_batch (nothing later this request reads the index
+  // cache — unlike the mid-loop promotions above, which must stay
+  // immediate); the on-disk index keeps its sequential flush order.
   std::size_t w = 0;
   for (std::uint32_t i = 0; i < req.nblocks; ++i) {
     if (s.masked(i)) continue;
     const Pba pba = s.written[w++];
-    index_cache_->insert(req.chunks[i], pba);
+    stage_index_insert(s, req.chunks[i], pba);
     if (const auto flush = ondisk_.insert(req.chunks[i], pba)) {
       ++stats_.index_disk_writes;
       issue_background(OpType::kWrite, *flush, 1);
     }
   }
+  flush_index_inserts(s);
 
   // Charge the index-bucket reads as stage-1 (they gate the decision).
   std::sort(s.aux_runs.begin(), s.aux_runs.end());

@@ -47,8 +47,9 @@ DedupEngine::IoPlan IDedupEngine::process_write(const IoRequest& req) {
     if (s.masked(i)) continue;
     const Pba pba = s.written[w++];
     if (s.dups[i].redundant) continue;
-    index_cache_->insert(req.chunks[i], pba);
+    stage_index_insert(s, req.chunks[i], pba);
   }
+  flush_index_inserts(s);
   return plan;
 }
 

@@ -43,14 +43,16 @@ DedupEngine::IoPlan SelectDedupeEngine::select_dedupe_write(const IoRequest& req
   // duplicates of them can be detected. Chunks that were redundant but not
   // deduplicated (category 2) keep their existing canonical entry — binding
   // the fingerprint to the newly written scattered copy would destroy run
-  // detection for every later replay of the source extent.
+  // detection for every later replay of the source extent. Inserts are the
+  // request's final metadata action, so they stage into one insert_batch.
   std::size_t w = 0;
   for (std::uint32_t i = 0; i < req.nblocks; ++i) {
     if (s.masked(i)) continue;
     const Pba pba = s.written[w++];
     if (s.dups[i].redundant) continue;
-    index_cache_->insert(req.chunks[i], pba);
+    stage_index_insert(s, req.chunks[i], pba);
   }
+  flush_index_inserts(s);
   return plan;
 }
 

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/check.hpp"
+#include "common/logging.hpp"
 #include "common/resource.hpp"
 #include "common/spsc_ring.hpp"
 #include "engines/full_dedupe.hpp"
@@ -29,8 +30,19 @@ PipelineConfig PipelineConfig::from_env() {
   if (const char* env = std::getenv("POD_PIPELINE"))
     cfg.enabled = env[0] != '0';
   if (const char* env = std::getenv("POD_PIPELINE_DEPTH")) {
-    const long v = std::strtol(env, nullptr, 10);
-    cfg.depth = static_cast<std::size_t>(std::clamp(v, 1L, 1024L));
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0') {
+      POD_LOG_WARN("replay: ignoring malformed POD_PIPELINE_DEPTH=\"%s\" "
+                   "(want an integer in [1, 1024]); keeping depth %zu",
+                   env, cfg.depth);
+    } else {
+      const long clamped = std::clamp(v, 1L, 1024L);
+      if (clamped != v)
+        POD_LOG_WARN("replay: POD_PIPELINE_DEPTH=%ld out of [1, 1024], "
+                     "clamping to %ld", v, clamped);
+      cfg.depth = static_cast<std::size_t>(clamped);
+    }
   }
   return cfg;
 }

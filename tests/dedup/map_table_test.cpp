@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 namespace pod {
 namespace {
 
@@ -57,6 +59,34 @@ TEST(MapTable, MaxBytesIsHighWatermark) {
   for (Lba l = 0; l < 90; ++l) m.clear(l);
   EXPECT_EQ(m.bytes(), 10 * MapTable::kEntryBytes);
   EXPECT_EQ(m.max_bytes(), 100 * MapTable::kEntryBytes);
+}
+
+TEST(MapTable, ResolveRunMatchesScalarResolve) {
+  // Mixed run: redirected, identity-mapped, dead, and past-end LBAs — the
+  // run variant must agree with resolve() at every position, including the
+  // out-of-table tail (kInvalidPba).
+  MapTable m;
+  m.set(2, 500);
+  m.set_identity(3);
+  m.set(5, 777);
+  m.set_identity_run(7, 2);
+
+  const Lba lba0 = 0;
+  const std::size_t n = 12;  // extends past the table's high-water mark
+  std::vector<Pba> run(n, 12345);
+  m.resolve_run(lba0, n, run.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(run[i], m.resolve(lba0 + i));
+  }
+}
+
+TEST(MapTable, ResolveRunEntirelyPastEnd) {
+  MapTable m;
+  m.set(0, 9);
+  std::vector<Pba> run(4, 0);
+  m.resolve_run(100, 4, run.data());
+  for (const Pba p : run) EXPECT_EQ(p, kInvalidPba);
 }
 
 }  // namespace

@@ -4,6 +4,9 @@
 // pipeline on or off — for every engine, and regardless of ring depth.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+
 #include "replay/parallel_runner.hpp"
 #include "replay/replayer.hpp"
 #include "synth/generator.hpp"
@@ -151,6 +154,36 @@ TEST(ReplayPipeline, IdenticalUnderParallelJobs) {
     SCOPED_TRACE(to_string(items[i].spec.engine));
     expect_identical(serial[i], piped[i]);
   }
+}
+
+// POD_PIPELINE_DEPTH parsing: out-of-range values clamp to [1, 1024],
+// malformed values are ignored (both with a logged warning, not silence),
+// and well-formed values pass through.
+TEST(ReplayPipeline, DepthFromEnvClampsAndRejectsGarbage) {
+  const char* saved = std::getenv("POD_PIPELINE_DEPTH");
+  const std::string saved_copy = saved ? saved : "";
+
+  const auto depth_for = [](const char* value) {
+    setenv("POD_PIPELINE_DEPTH", value, 1);
+    return PipelineConfig::from_env().depth;
+  };
+
+  EXPECT_EQ(depth_for("16"), 16u);
+  EXPECT_EQ(depth_for("1"), 1u);
+  EXPECT_EQ(depth_for("1024"), 1024u);
+  EXPECT_EQ(depth_for("0"), 1u);        // clamped up
+  EXPECT_EQ(depth_for("-5"), 1u);       // clamped up
+  EXPECT_EQ(depth_for("99999"), 1024u); // clamped down
+  // Malformed: keep the default depth instead of clamping garbage.
+  const std::size_t def = PipelineConfig{}.depth;
+  EXPECT_EQ(depth_for("fast"), def);
+  EXPECT_EQ(depth_for("12abc"), def);
+  EXPECT_EQ(depth_for(""), def);
+
+  if (saved)
+    setenv("POD_PIPELINE_DEPTH", saved_copy.c_str(), 1);
+  else
+    unsetenv("POD_PIPELINE_DEPTH");
 }
 
 }  // namespace

@@ -20,6 +20,17 @@
 // index-table loads only — no dependent cache miss into slots_ per probed
 // bucket. The home bucket is recoverable from the tag (home = tag & mask),
 // which keeps backward-shift deletion entirely inside the index table.
+// A parallel control-byte array (ctrl_: 0 = empty, else the tag's top 7
+// bits) is group-scanned 16 lanes at a time (common/ctrl_group.hpp), so a
+// probe reads one cache line of control bytes before it touches even the
+// {slot, tag} buckets; candidate order and stop condition are identical to
+// the scalar linear probe.
+//
+// Tags are pure functions of the key (no table state), so the tagged API
+// below (hash_tag / get_tagged / take_tagged / put_tagged / get_chained)
+// lets fused callers hash each key once and reuse the tag across this map
+// and any sibling map sharing the same Hash — precomputed tags stay valid
+// across rehashes and erasures.
 //
 // Erasures use backward-shift deletion on the index table (only the 8-byte
 // table entries move; slot entries stay put), so steady LRU churn leaves no
@@ -41,6 +52,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/ctrl_group.hpp"
 #include "common/prefetch.hpp"
 
 namespace pod {
@@ -84,7 +96,86 @@ class FlatLruMap {
   /// be precomputed (e.g. ghost probes, whose erasures shift the table).
   void prefetch(const K& key) const {
     if (table_.empty()) return;
-    prefetch_read(&table_[tag_of(key) & mask_]);
+    const std::size_t h = tag_of(key) & mask_;
+    prefetch_read(&ctrl_[h]);
+    prefetch_read(&table_[h]);
+  }
+
+  // --- tagged API (fused lookup passes) ---
+  //
+  // A fused caller hashes each key ONCE via hash_tag(), prefetches the
+  // home groups of every structure it will probe, then resolves probes
+  // with the *_tagged calls — no second hashing pass, no cold home
+  // buckets. Tags depend only on the key and the Hash functor, so two
+  // maps with the same Hash (e.g. an entry map and its ghost list) share
+  // one tag per key.
+
+  using Tag = std::uint32_t;
+
+  /// The scrambled-hash tag for `key` (pure function of the key).
+  Tag hash_tag(const K& key) const { return tag_of(key); }
+
+  /// Prefetches the home control-byte group and index bucket for a tag.
+  void prefetch_tag(Tag tag) const {
+    if (table_.empty()) return;
+    const std::size_t h = tag & mask_;
+    prefetch_read(&ctrl_[h]);
+    prefetch_read(&table_[h]);
+  }
+
+  /// Prefetches the slot entry the tag's home bucket names, if the tag
+  /// matches there — the second pipeline stage after prefetch_tag().
+  void prefetch_slot_of(Tag tag) const {
+    if (table_.empty()) return;
+    const Bucket b = table_[tag & mask_];
+    if (b.slot != kEmpty && b.tag == tag) prefetch_read(&slots_[b.slot]);
+  }
+
+  /// get() with a precomputed tag (promotes to MRU on hit).
+  V* get_tagged(Tag tag, const K& key) {
+    if (table_.empty()) return nullptr;
+    const std::uint32_t s = find_slot_tagged(tag, key);
+    if (s == kNil) return nullptr;
+    promote(s);
+    return &slots_[s].value;
+  }
+
+  /// take() with a precomputed tag.
+  std::optional<V> take_tagged(Tag tag, const K& key) {
+    if (table_.empty()) return std::nullopt;
+    const std::uint32_t s = find_slot_tagged(tag, key);
+    if (s == kNil) return std::nullopt;
+    std::optional<V> out{std::move(slots_[s].value)};
+    remove_slot(s);
+    return out;
+  }
+
+  /// Detached recency chain handle for a fused pass's grouped promotions;
+  /// see get_chained()/splice(). Default-constructed = empty.
+  struct Chain {
+    std::uint32_t front = 0xFFFFFFFFu;  // kNil
+    std::uint32_t back = 0xFFFFFFFFu;
+  };
+
+  /// get() with a precomputed tag, collecting the promotion onto `chain`
+  /// instead of touching the LRU head — the fused-pass equivalent of
+  /// get_batch's phase 3. The caller publishes all promotions with one
+  /// splice(chain) after its last probe; until then the chained entries
+  /// are off the main list, so eviction-free probe sequences stay
+  /// identical to the scalar loop's.
+  V* get_chained(Tag tag, const K& key, Chain& chain) {
+    if (table_.empty()) return nullptr;
+    const std::uint32_t s = find_slot_tagged(tag, key);
+    if (s == kNil) return nullptr;
+    chain_promote(s, chain.front, chain.back);
+    return &slots_[s].value;
+  }
+
+  /// Publishes a fused pass's recency chain at MRU (one head update) and
+  /// resets the handle. A no-op for an empty chain.
+  void splice(Chain& chain) {
+    splice_chain_front(chain.front, chain.back);
+    chain = Chain{};
   }
 
   /// Two-phase batched lookup: equivalent to `out[i] = get(keys[i])` for
@@ -111,6 +202,7 @@ class FlatLruMap {
       for (std::size_t j = 0; j < m; ++j) {
         const std::uint32_t tag = tag_of(keys[done + j]);
         tags[j] = tag;
+        prefetch_read(&ctrl_[tag & mask_]);
         prefetch_read(&table_[tag & mask_]);
       }
       for (std::size_t j = 0; j < m; ++j) {
@@ -119,7 +211,7 @@ class FlatLruMap {
       }
       for (std::size_t j = 0; j < m; ++j) {
         const std::uint32_t s =
-            find_slot_from(tags[j] & mask_, tags[j], keys[done + j]);
+            find_slot_tagged(tags[j], keys[done + j]);
         if (s == kNil) {
           out[done + j] = nullptr;
         } else {
@@ -152,33 +244,35 @@ class FlatLruMap {
   /// rules the key out ends exactly at the bucket a new entry belongs in.
   template <typename EvictFn>
   void put(const K& key, V value, EvictFn&& on_evict) {
+    put_tagged(tag_of(key), key, std::move(value),
+               std::forward<EvictFn>(on_evict));
+  }
+
+  void put(const K& key, V value) {
+    put(key, std::move(value), [](const K&, V&&) {});
+  }
+
+  /// put() with a precomputed tag.
+  template <typename EvictFn>
+  void put_tagged(Tag tag, const K& key, V value, EvictFn&& on_evict) {
     if (capacity_ == 0) {
       on_evict(key, std::move(value));
       return;
     }
     ensure_table_space();
-    const std::uint32_t tag = tag_of(key);
-    std::size_t i = tag & mask_;
-    for (;;) {
-      const Bucket b = table_[i];
-      if (b.slot == kEmpty) break;
-      if (b.tag == tag && slots_[b.slot].key == key) {
-        slots_[b.slot].value = std::move(value);
-        promote(b.slot);
-        return;
-      }
-      i = (i + 1) & mask_;
+    const CtrlProbeResult r = probe(tag, key);
+    if (r.found) {
+      const std::uint32_t hit = table_[r.pos].slot;
+      slots_[hit].value = std::move(value);
+      promote(hit);
+      return;
     }
     const std::uint32_t s = alloc_slot(key, std::move(value));
-    table_[i] = Bucket{s, tag};
-    slots_[s].tpos = static_cast<std::uint32_t>(i);
+    set_bucket(r.pos, Bucket{s, tag});
+    slots_[s].tpos = static_cast<std::uint32_t>(r.pos);
     push_front(s);
     ++size_;
     while (size_ > capacity_) evict_lru(on_evict);
-  }
-
-  void put(const K& key, V value) {
-    put(key, std::move(value), [](const K&, V&&) {});
   }
 
   /// Request-scoped bulk insert: equivalent to `put(keys[i], values[i],
@@ -207,30 +301,22 @@ class FlatLruMap {
     for (std::size_t i = 0; i < n; ++i) {
       const std::uint32_t tag = tag_of(keys[i]);
       tag_scratch_[i] = tag;
+      prefetch_read(&ctrl_[tag & mask_]);
       prefetch_read(&table_[tag & mask_]);
     }
     if (size_ + n > capacity_ && tail_ != kNil) prefetch_read(&slots_[tail_]);
     for (std::size_t i = 0; i < n; ++i) {
       const std::uint32_t tag = tag_scratch_[i];
-      std::size_t b_i = tag & mask_;
-      std::uint32_t hit = kNil;
-      for (;;) {
-        const Bucket b = table_[b_i];
-        if (b.slot == kEmpty) break;
-        if (b.tag == tag && slots_[b.slot].key == keys[i]) {
-          hit = b.slot;
-          break;
-        }
-        b_i = (b_i + 1) & mask_;
-      }
-      if (hit != kNil) {  // overwrite + promote; size unchanged, no evict
+      const CtrlProbeResult r = probe(tag, keys[i]);
+      if (r.found) {  // overwrite + promote; size unchanged, no evict
+        const std::uint32_t hit = table_[r.pos].slot;
         slots_[hit].value = values[i];
         chain_promote(hit, chain_front, chain_back);
         continue;
       }
       const std::uint32_t s = alloc_slot(keys[i], V(values[i]));
-      table_[b_i] = Bucket{s, tag};
-      slots_[s].tpos = static_cast<std::uint32_t>(b_i);
+      set_bucket(r.pos, Bucket{s, tag});
+      slots_[s].tpos = static_cast<std::uint32_t>(r.pos);
       chain_push_front(s, chain_front, chain_back);
       ++size_;
       while (size_ > capacity_) {
@@ -318,6 +404,7 @@ class FlatLruMap {
 
   void clear() {
     table_.clear();
+    ctrl_.clear();
     slots_.clear();
     free_.clear();
     mask_ = 0;
@@ -365,21 +452,39 @@ class FlatLruMap {
         32);
   }
 
-  std::uint32_t find_slot(const K& key) const {
-    if (table_.empty()) return kNil;
-    const std::uint32_t tag = tag_of(key);
-    return find_slot_from(tag & mask_, tag, key);
+  /// Control byte for a tag: its top 7 bits, remapped off 0 (= empty).
+  static std::uint8_t ctrl_of(std::uint32_t tag) {
+    const std::uint8_t c = static_cast<std::uint8_t>(tag >> 25);
+    return c == 0 ? std::uint8_t{0x7F} : c;
   }
 
-  std::uint32_t find_slot_from(std::size_t home, std::uint32_t tag,
-                               const K& key) const {
-    std::size_t i = home;
-    for (;;) {
-      const Bucket b = table_[i];
-      if (b.slot == kEmpty) return kNil;
-      if (b.tag == tag && slots_[b.slot].key == key) return b.slot;
-      i = (i + 1) & mask_;
-    }
+  /// Writes an index bucket and its control byte, maintaining the
+  /// wraparound mirror of the first kCtrlPad control bytes.
+  void set_bucket(std::size_t i, Bucket b) {
+    table_[i] = b;
+    const std::uint8_t c = b.slot == kEmpty ? std::uint8_t{0} : ctrl_of(b.tag);
+    ctrl_[i] = c;
+    if (i < kCtrlPad) ctrl_[mask_ + 1 + i] = c;
+  }
+
+  /// Group-probes for `key`: found -> its bucket, else the first empty
+  /// bucket (exactly where a scalar insert probe would land).
+  CtrlProbeResult probe(std::uint32_t tag, const K& key) const {
+    return ctrl_probe(ctrl_.data(), mask_, tag & mask_, ctrl_of(tag), wide_,
+                      [&](std::size_t j) {
+                        const Bucket b = table_[j];
+                        return b.tag == tag && slots_[b.slot].key == key;
+                      });
+  }
+
+  std::uint32_t find_slot(const K& key) const {
+    if (table_.empty()) return kNil;
+    return find_slot_tagged(tag_of(key), key);
+  }
+
+  std::uint32_t find_slot_tagged(std::uint32_t tag, const K& key) const {
+    const CtrlProbeResult r = probe(tag, key);
+    return r.found ? table_[r.pos].slot : kNil;
   }
 
   void unlink(std::uint32_t s) {
@@ -468,15 +573,18 @@ class FlatLruMap {
   /// Places slot `s` (whose key is known absent) into the index table.
   void place(std::uint32_t s) {
     const std::uint32_t tag = tag_of(slots_[s].key);
-    std::size_t i = tag & mask_;
-    while (table_[i].slot != kEmpty) i = (i + 1) & mask_;
-    table_[i] = Bucket{s, tag};
-    slots_[s].tpos = static_cast<std::uint32_t>(i);
+    const CtrlProbeResult r =
+        ctrl_probe(ctrl_.data(), mask_, tag & mask_, ctrl_of(tag), wide_,
+                   [](std::size_t) { return false; });
+    set_bucket(r.pos, Bucket{s, tag});
+    slots_[s].tpos = static_cast<std::uint32_t>(r.pos);
   }
 
   void rebuild_table(std::size_t new_size) {
     table_.assign(new_size, Bucket{kEmpty, 0});
+    ctrl_.assign(new_size + kCtrlPad, 0);
     mask_ = new_size - 1;
+    wide_ = wide_ctrl_groups();
     for (std::uint32_t s = head_; s != kNil; s = slots_[s].next) place(s);
   }
 
@@ -520,7 +628,7 @@ class FlatLruMap {
     // the stored tags, so the scan never leaves the index table.
     bool shifting = true;
     while (shifting) {
-      table_[i].slot = kEmpty;
+      set_bucket(i, Bucket{kEmpty, 0});
       shifting = false;
       std::size_t j = i;
       for (;;) {
@@ -529,7 +637,7 @@ class FlatLruMap {
         if (b.slot == kEmpty) break;
         const std::size_t h = b.tag & mask_;
         if (((i - h) & mask_) < ((j - h) & mask_)) {
-          table_[i] = b;
+          set_bucket(i, b);
           slots_[b.slot].tpos = static_cast<std::uint32_t>(i);
           i = j;
           shifting = true;
@@ -550,12 +658,18 @@ class FlatLruMap {
 
   std::size_t capacity_;
   std::vector<Bucket> table_;
+  /// One control byte per bucket (0 = empty, else ctrl_of(tag)), plus
+  /// kCtrlPad wraparound mirror bytes; group-scanned by probe().
+  std::vector<std::uint8_t> ctrl_;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_;
   std::size_t mask_ = 0;
   std::size_t size_ = 0;
   std::uint32_t head_ = kNil;
   std::uint32_t tail_ = kNil;
+  /// AVX2 continuation groups enabled (cached from the SIMD dispatch at
+  /// rebuild time so probes never touch dispatch state).
+  bool wide_ = false;
   // put_batch staging (kept across calls so steady state allocates nothing).
   std::vector<std::uint32_t> tag_scratch_;
   std::vector<std::pair<K, V>> evicted_scratch_;

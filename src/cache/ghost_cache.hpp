@@ -46,16 +46,43 @@ class GhostCache {
   /// the entry was remembered — i.e. the access would have been an actual
   /// hit had the cache been near_threshold entries larger (exact for LRU).
   bool probe_and_consume(const K& key) {
-    const std::optional<std::uint64_t> stored = entries_.take(key);
+    return probe_and_consume_tagged(entries_.hash_tag(key), key);
+  }
+
+  /// Prefetches `key`'s home bucket ahead of a probe_and_consume.
+  void prefetch(const K& key) const { entries_.prefetch(key); }
+
+  // --- tagged API (fused lookup passes; see FlatLruMap) ---
+  //
+  // The ghost list shares its Hash functor with the actual cache it
+  // shadows, so a fused caller reuses ONE precomputed tag per key across
+  // both structures. Tags are pure functions of the key: they stay valid
+  // across the table shifts probe_and_consume's erasures cause.
+
+  using Tag = typename FlatLruMap<K, std::uint64_t, Hash>::Tag;
+
+  Tag hash_tag(const K& key) const { return entries_.hash_tag(key); }
+
+  void prefetch_tag(Tag tag) const { entries_.prefetch_tag(tag); }
+
+  /// Prefetches the slot entry the tag's home bucket names (second
+  /// pipeline stage, after prefetch_tag's line has landed). Erasures
+  /// between this hint and the probe can shift slots; a stale prefetch is
+  /// only a wasted line, never a correctness issue.
+  void prefetch_slot_of(Tag tag) const { entries_.prefetch_slot_of(tag); }
+
+  /// probe_and_consume() with a precomputed tag.
+  bool probe_and_consume_tagged(Tag tag, const K& key) {
+    // Consumption can drain the list entirely between refills; skip the
+    // table walk (one ctrl line per probe) when there is nothing to find.
+    if (entries_.size() == 0) return false;
+    const std::optional<std::uint64_t> stored = entries_.take_tagged(tag, key);
     if (!stored.has_value()) return false;
     const std::uint64_t age = seq_ - *stored;
     if (age <= near_threshold_) ++near_hits_;
     ++hits_;
     return true;
   }
-
-  /// Prefetches `key`'s home bucket ahead of a probe_and_consume.
-  void prefetch(const K& key) const { entries_.prefetch(key); }
 
   /// Batched probe_and_consume: equivalent to calling it for every key in
   /// order. Phase 1 prefetches every home bucket; phase 2 consumes

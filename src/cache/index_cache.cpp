@@ -50,6 +50,84 @@ void IndexCache::lookup_batch(std::span<const Fingerprint> fps,
     ghost_.probe_and_consume_batch(miss_scratch_.data(), miss_scratch_.size());
 }
 
+void IndexCache::lookup_fused(std::span<const Fingerprint> fps,
+                              const IndexEntry** out) {
+  const std::size_t n = fps.size();
+  batch_probes_ += n;
+  tag_scratch_.resize(n);
+  // Three-stage software pipeline with bounded lookahead. Whole-span
+  // prefetch phases look tidy but issue 4 lines/key in one burst — far
+  // beyond the core's line-fill buffers at DRAM-resident table sizes, so
+  // most hints get dropped exactly when they matter. Instead each stage
+  // runs a fixed distance ahead of the resolve point:
+  //   stage A (i + 2*kD): hash the fingerprint once; prefetch entry-map
+  //     and ghost home groups (one tag serves both maps — identical Hash
+  //     functor, identical scramble);
+  //   stage B (i + kD): prefetch the slot entries the (now warm) home
+  //     buckets name, on BOTH maps. Prefetching the ghost slot is the
+  //     structural win over lookup_batch: its ghost pass warms only home
+  //     buckets, so every consumed miss eats the slot's memory latency
+  //     serially. (Ghost erasures during resolve can shift slots; a stale
+  //     hint costs one line, never correctness.)
+  //   stage C (i): resolve with the already-computed tag. Entry probe,
+  //     then ghost probe_and_consume on miss — the scalar engine's exact
+  //     per-chunk interleaving; promotions collect on a detached chain
+  //     and publish with one splice. Ghost erasures shift only the ghost
+  //     table, and tags are pure functions of the key, so neither loop
+  //     invalidates the other.
+  constexpr std::size_t kD = 2;  // per-stage lookahead (lines in flight
+                                 // stay within one core's fill buffers)
+  // Prefetch hints are speculation; don't speculate into a table known to
+  // be empty (long consume-only stretches drain the ghost completely).
+  const bool ghost_live = ghost_.size() != 0;
+  const auto stage_a = [&](std::size_t i) {
+    const Tag tag = entries_.hash_tag(fps[i]);
+    tag_scratch_[i] = tag;
+    entries_.prefetch_tag(tag);
+    if (ghost_live) ghost_.prefetch_tag(tag);
+  };
+  const auto stage_b = [&](std::size_t i) {
+    entries_.prefetch_slot_of(tag_scratch_[i]);
+    if (ghost_live) ghost_.prefetch_slot_of(tag_scratch_[i]);
+  };
+  for (std::size_t i = 0; i < std::min(2 * kD, n); ++i) stage_a(i);
+  for (std::size_t i = 0; i < std::min(kD, n); ++i) stage_b(i);
+  FlatLruMap<Fingerprint, IndexEntry, FingerprintHash>::Chain chain;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 2 * kD < n) stage_a(i + 2 * kD);
+    if (i + kD < n) stage_b(i + kD);
+    IndexEntry* e = entries_.get_chained(tag_scratch_[i], fps[i], chain);
+    out[i] = e;
+    if (e != nullptr) {
+      ++hits_;
+      ++e->count;
+    } else {
+      ++misses_;
+      ghost_.probe_and_consume_tagged(tag_scratch_[i], fps[i]);
+    }
+  }
+  entries_.splice(chain);
+}
+
+const IndexEntry* IndexCache::lookup_tagged(Tag tag, const Fingerprint& fp) {
+  IndexEntry* e = entries_.get_tagged(tag, fp);
+  if (e != nullptr) {
+    ++hits_;
+    ++e->count;
+    return e;
+  }
+  ++misses_;
+  return nullptr;
+}
+
+void IndexCache::insert_tagged(Tag tag, const Fingerprint& fp, Pba pba) {
+  entries_.put_tagged(tag, fp, IndexEntry{pba, 0},
+                      [this](const Fingerprint& evicted, IndexEntry&& entry) {
+                        ghost_.remember(evicted);
+                        if (evict_hook) evict_hook(evicted, entry);
+                      });
+}
+
 void IndexCache::insert(const Fingerprint& fp, Pba pba) {
   entries_.put(fp, IndexEntry{pba, 0},
                [this](const Fingerprint& evicted, IndexEntry&& entry) {

@@ -52,6 +52,51 @@ class IndexCache {
   /// next insert.
   void lookup_batch(std::span<const Fingerprint> fps, const IndexEntry** out);
 
+  /// Fused single-pass variant of lookup_batch: state- and counter-
+  /// identical (same dups, same hit/miss/ghost accounting, same entry-map
+  /// LRU order and ghost consumption order), but each fingerprint is
+  /// hashed ONCE — the entry map and the ghost list share FingerprintHash,
+  /// so one tag serves both — and the span runs as a bounded-lookahead
+  /// software pipeline: home-group prefetch (entry map AND ghost) a fixed
+  /// distance ahead of slot prefetch, itself ahead of the resolve point,
+  /// which runs entry probe → miss → ghost probe_and_consume per
+  /// fingerprint (the scalar engine interleaving; equivalent to
+  /// lookup_batch's phase-separated order because lookups touch only the
+  /// entry map and ghost consumes touch only the ghost list). Recency
+  /// updates collect on a detached chain published with one splice.
+  /// Returned pointers are valid until the next insert.
+  void lookup_fused(std::span<const Fingerprint> fps, const IndexEntry** out);
+
+  // --- tagged API (sequential fused loops) ---
+  //
+  // For probe loops that cannot reorder into a span-wide pass (Full-Dedupe
+  // promotes on-disk hits into the cache mid-request): hash each
+  // fingerprint once up front, prefetch both home groups, then resolve
+  // strictly sequentially with the precomputed tags. Tags are pure
+  // functions of the fingerprint and stay valid across inserts, erasures
+  // and rehashes.
+
+  using Tag = std::uint32_t;
+
+  Tag hash_tag(const Fingerprint& fp) const { return entries_.hash_tag(fp); }
+
+  /// Prefetches the home groups `fp`'s tag probes (entry map and ghost).
+  void prefetch_tag(Tag tag) const {
+    entries_.prefetch_tag(tag);
+    ghost_.prefetch_tag(tag);
+  }
+
+  /// lookup() with a precomputed tag.
+  const IndexEntry* lookup_tagged(Tag tag, const Fingerprint& fp);
+
+  /// ghost_probe() with a precomputed tag.
+  bool ghost_probe_tagged(Tag tag, const Fingerprint& fp) {
+    return ghost_.probe_and_consume_tagged(tag, fp);
+  }
+
+  /// insert() with a precomputed tag.
+  void insert_tagged(Tag tag, const Fingerprint& fp, Pba pba);
+
   /// Prefetches the home buckets `fp` would probe (entry map and ghost
   /// list). For callers whose probe loop interleaves inserts with lookups
   /// (Full-Dedupe promotes on-disk hits mid-request) and therefore cannot
@@ -123,6 +168,8 @@ class IndexCache {
   // lookup_batch scratch (capacity reaches the largest request and stays).
   std::vector<IndexEntry*> probe_scratch_;
   std::vector<Fingerprint> miss_scratch_;
+  // lookup_fused scratch: one tag per fingerprint of the span.
+  std::vector<Tag> tag_scratch_;
   // insert_batch staging (evictions deferred past the put_batch).
   std::vector<IndexEntry> value_scratch_;
   std::vector<Fingerprint> evicted_fp_scratch_;

@@ -17,7 +17,11 @@ ReadCache::ReadCache(std::uint64_t capacity_bytes, std::uint64_t ghost_capacity_
 }
 
 bool ReadCache::lookup(Pba block) {
-  if (entries_.get(block) != nullptr) {
+  return lookup_tagged(entries_.hash_tag(block), block);
+}
+
+bool ReadCache::lookup_tagged(Tag tag, Pba block) {
+  if (entries_.get_tagged(tag, block) != nullptr) {
     ++hits_;
     return true;
   }
@@ -26,7 +30,11 @@ bool ReadCache::lookup(Pba block) {
 }
 
 void ReadCache::insert(Pba block) {
-  entries_.put(block, Unit{}, [this](const Pba& evicted, Unit&&) {
+  insert_tagged(entries_.hash_tag(block), block);
+}
+
+void ReadCache::insert_tagged(Tag tag, Pba block) {
+  entries_.put_tagged(tag, block, Unit{}, [this](const Pba& evicted, Unit&&) {
     ghost_.remember(evicted);
   });
 }

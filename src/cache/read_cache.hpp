@@ -34,6 +34,33 @@ class ReadCache {
     ghost_.prefetch(block);
   }
 
+  // --- tagged API (fused read plans; see FlatLruMap) ---
+  //
+  // The cache and its ghost list share std::hash<Pba>, so the fused read
+  // path hashes each resolved PBA once, prefetches both home groups for
+  // the whole request, then resolves the (necessarily sequential) per-
+  // block probe loop with precomputed tags.
+
+  using Tag = std::uint32_t;
+
+  Tag hash_tag(Pba block) const { return entries_.hash_tag(block); }
+
+  void prefetch_tag(Tag tag) const {
+    entries_.prefetch_tag(tag);
+    ghost_.prefetch_tag(tag);
+  }
+
+  /// lookup() with a precomputed tag.
+  bool lookup_tagged(Tag tag, Pba block);
+
+  /// ghost_probe() with a precomputed tag.
+  bool ghost_probe_tagged(Tag tag, Pba block) {
+    return ghost_.probe_and_consume_tagged(tag, block);
+  }
+
+  /// insert() with a precomputed tag.
+  void insert_tagged(Tag tag, Pba block);
+
   /// Admits a block (after a disk read, or a write when write-allocate is
   /// desired). Evictions flow into the ghost list.
   void insert(Pba block);

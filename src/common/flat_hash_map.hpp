@@ -1,14 +1,16 @@
 // Minimal open-addressing hash map for trivially-small key/value pairs.
 //
 // Backs the on-disk fingerprint index's in-memory table (and similar flat
-// maps) without std::unordered_map's per-node allocation. Linear probing
-// over a power-of-two table with one state byte per slot; the state byte
-// doubles as a 7-bit hash tag (0 = empty), so probe mismatches are ruled
-// out by the sequential state scan alone and the slot array is only
-// touched on a tag match. Erasures use backward-shift deletion, so the
-// table carries no tombstones and never needs compaction rebuilds under
-// steady insert/erase churn. Keys are scrambled with a Fibonacci
-// multiplier so identity hashes do not cluster.
+// maps) without std::unordered_map's per-node allocation. Probing is
+// Swiss-table style: one control byte per bucket (0 = empty, else a 7-bit
+// hash tag) lives in a contiguous array scanned a 16-lane group at a time
+// (common/ctrl_group.hpp), so a probe touches one cache line of tags
+// before any slot and a clean miss touches no slot at all. The group scan
+// visits candidates in scalar probe order and stops at the first empty, so
+// results are bit-identical to the linear probe it replaces. Erasures use
+// backward-shift deletion, so the table carries no tombstones and never
+// needs compaction rebuilds under steady insert/erase churn. Keys are
+// scrambled with a Fibonacci multiplier so identity hashes do not cluster.
 #pragma once
 
 #include <algorithm>
@@ -16,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/ctrl_group.hpp"
 #include "common/prefetch.hpp"
 
 namespace pod {
@@ -40,8 +43,8 @@ class FlatHashMap {
 
   bool contains(const K& key) const { return find_index(key) != kNpos; }
 
-  /// Issues a software prefetch for `key`'s home bucket (state byte and
-  /// slot line). Purely a hint; see lookup_batch.
+  /// Issues a software prefetch for `key`'s home bucket (control-byte
+  /// group and slot line). Purely a hint; see lookup_batch.
   void prefetch(const K& key) const {
     if (state_.empty()) return;
     const std::size_t h = home_of(key);
@@ -82,7 +85,7 @@ class FlatHashMap {
   void reserve(std::size_t expected) {
     std::size_t required = 16;
     while (required < 2 * (expected + 1)) required <<= 1;
-    if (state_.size() < required) rebuild(required);
+    if (buckets() < required) rebuild(required);
   }
 
   /// Inserts or overwrites. One probe pass: the scan that rules the key
@@ -90,18 +93,15 @@ class FlatHashMap {
   void insert_or_assign(const K& key, V value) {
     ensure_space();
     const std::uint8_t tag = tag_of(key);
-    std::size_t i = home_of(key);
-    for (;;) {
-      const std::uint8_t st = state_[i];
-      if (st == kEmpty) break;
-      if (st == tag && slots_[i].first == key) {
-        slots_[i].second = std::move(value);
-        return;
-      }
-      i = (i + 1) & mask_;
+    const CtrlProbeResult r =
+        ctrl_probe(state_.data(), mask_, home_of(key), tag, wide_,
+                   [&](std::size_t j) { return slots_[j].first == key; });
+    if (r.found) {
+      slots_[r.pos].second = std::move(value);
+      return;
     }
-    state_[i] = tag;
-    slots_[i] = {key, std::move(value)};
+    set_state(r.pos, tag);
+    slots_[r.pos] = {key, std::move(value)};
     ++size_;
   }
 
@@ -113,7 +113,7 @@ class FlatHashMap {
     if (i == kNpos) return false;
     --size_;
     for (;;) {
-      state_[i] = kEmpty;
+      set_state(i, kEmpty);
       std::size_t j = i;
       for (;;) {
         j = (j + 1) & mask_;
@@ -122,7 +122,7 @@ class FlatHashMap {
         // Move j back only if its probe path from h passes through i.
         if (((i - h) & mask_) < ((j - h) & mask_)) {
           slots_[i] = std::move(slots_[j]);
-          state_[i] = state_[j];
+          set_state(i, state_[j]);
           i = j;
           break;
         }
@@ -140,7 +140,7 @@ class FlatHashMap {
   /// Iterates all entries (unspecified order).
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (std::size_t i = 0; i < state_.size(); ++i)
+    for (std::size_t i = 0; i < buckets(); ++i)
       if (state_[i] != kEmpty) fn(slots_[i].first, slots_[i].second);
   }
 
@@ -150,6 +150,16 @@ class FlatHashMap {
   /// Batch window: enough probes in flight to cover DRAM latency, small
   /// enough for the home array to live on the stack.
   static constexpr std::size_t kBatchWindow = 16;
+
+  /// Bucket count; state_ additionally carries kCtrlPad mirror bytes so
+  /// group loads starting at any bucket stay in bounds.
+  std::size_t buckets() const { return state_.empty() ? 0 : mask_ + 1; }
+
+  /// Writes a control byte, maintaining the wraparound mirror.
+  void set_state(std::size_t i, std::uint8_t v) {
+    state_[i] = v;
+    if (i < kCtrlPad) state_[mask_ + 1 + i] = v;
+  }
 
   std::uint64_t scramble(const K& key) const {
     return static_cast<std::uint64_t>(Hash{}(key)) * 0x9E3779B97F4A7C15ull;
@@ -173,34 +183,34 @@ class FlatHashMap {
   }
 
   std::size_t find_index_from(std::size_t home, const K& key) const {
-    const std::uint8_t tag = tag_of(key);
-    std::size_t i = home;
-    for (;;) {
-      const std::uint8_t st = state_[i];
-      if (st == kEmpty) return kNpos;
-      if (st == tag && slots_[i].first == key) return i;
-      i = (i + 1) & mask_;
-    }
+    const CtrlProbeResult r =
+        ctrl_probe(state_.data(), mask_, home, tag_of(key), wide_,
+                   [&](std::size_t j) { return slots_[j].first == key; });
+    return r.found ? r.pos : kNpos;
   }
 
   void ensure_space() {
     std::size_t required = 16;
     while (required < 2 * (size_ + 1)) required <<= 1;
-    if (state_.size() < required) rebuild(required);
+    if (buckets() < required) rebuild(required);
   }
 
   void rebuild(std::size_t new_size) {
     std::vector<std::pair<K, V>> old_slots = std::move(slots_);
     std::vector<std::uint8_t> old_state = std::move(state_);
+    const std::size_t old_buckets =
+        old_state.empty() ? 0 : old_state.size() - kCtrlPad;
     slots_.assign(new_size, {});
-    state_.assign(new_size, kEmpty);
+    state_.assign(new_size + kCtrlPad, kEmpty);
     mask_ = new_size - 1;
-    for (std::size_t i = 0; i < old_state.size(); ++i) {
+    wide_ = wide_ctrl_groups();
+    for (std::size_t i = 0; i < old_buckets; ++i) {
       if (old_state[i] == kEmpty) continue;
-      std::size_t j = home_of(old_slots[i].first);
-      while (state_[j] != kEmpty) j = (j + 1) & mask_;
-      state_[j] = old_state[i];
-      slots_[j] = std::move(old_slots[i]);
+      const CtrlProbeResult r =
+          ctrl_probe(state_.data(), mask_, home_of(old_slots[i].first),
+                     old_state[i], wide_, [](std::size_t) { return false; });
+      set_state(r.pos, old_state[i]);
+      slots_[r.pos] = std::move(old_slots[i]);
     }
   }
 
@@ -208,6 +218,9 @@ class FlatHashMap {
   std::vector<std::uint8_t> state_;
   std::size_t mask_ = 0;
   std::size_t size_ = 0;
+  /// AVX2 continuation groups enabled (cached from the SIMD dispatch at
+  /// rebuild time so probes never touch dispatch state).
+  bool wide_ = false;
 };
 
 }  // namespace pod

@@ -42,7 +42,10 @@ bool CdcStore::ingest(std::span<const std::uint8_t> object) {
   // same lookup + miss-ghost-probe sequence one chunk at a time.
   if (!cfg_.scalar_probes) {
     hit_scratch_.resize(n);
-    index_.lookup_batch({fp_scratch_.data(), n}, hit_scratch_.data());
+    if (cfg_.fused_probes)
+      index_.lookup_fused({fp_scratch_.data(), n}, hit_scratch_.data());
+    else
+      index_.lookup_batch({fp_scratch_.data(), n}, hit_scratch_.data());
   }
 
   // Phase 2: place or dedup every chunk. No index mutations happen here,

@@ -40,6 +40,10 @@ struct CdcConfig {
   std::uint64_t ghost_bytes = 1 * kMiB;
   /// Use the per-chunk scalar cache API instead of the bulk ops.
   bool scalar_probes = false;
+  /// Bulk path flavor: fused single-pass lookup (default) vs the two-phase
+  /// batch pass. Ignored when scalar_probes is set. All three modes are
+  /// state-identical (see IndexCache::lookup_fused).
+  bool fused_probes = true;
 };
 
 /// Point-in-time ingest accounting (all byte figures are payload bytes

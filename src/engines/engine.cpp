@@ -14,6 +14,11 @@ bool scalar_probes_from_env() {
   return env != nullptr && std::strcmp(env, "0") != 0;
 }
 
+bool fused_probes_from_env() {
+  const char* env = std::getenv("POD_FUSED_PROBES");
+  return env == nullptr || std::strcmp(env, "0") != 0;
+}
+
 std::uint64_t required_volume_blocks(const EngineConfig& cfg) {
   const std::uint64_t pool = std::max<std::uint64_t>(
       1024, static_cast<std::uint64_t>(static_cast<double>(cfg.logical_blocks) *
@@ -136,22 +141,42 @@ DedupEngine::IoPlan DedupEngine::build_read_plan(const IoRequest& req) {
   // resolution ahead of the probe loop cannot change either one's outcome.
   s.read_pbas.resize(req.nblocks);
   store_.resolve_run(req.lba, req.nblocks, s.read_pbas.data());
+  const bool fused = !cfg_.scalar_probes && cfg_.fused_probes;
+  if (fused) s.pba_tags.resize(req.nblocks);
   for (std::uint32_t i = 0; i < req.nblocks; ++i) {
     if (s.read_pbas[i] == kInvalidPba) {
       // Read of never-written data: served from the home location (the
       // device returns whatever is there), no cache involvement skew.
       s.read_pbas[i] = static_cast<Pba>(req.lba + i);
     }
-    read_cache_.prefetch(s.read_pbas[i]);
+    if (fused) {
+      // Fused variant: hash each resolved PBA once, prefetch cache + ghost
+      // home groups, and carry the tag into the probe loop.
+      const ReadCache::Tag tag = read_cache_.hash_tag(s.read_pbas[i]);
+      s.pba_tags[i] = tag;
+      read_cache_.prefetch_tag(tag);
+    } else {
+      read_cache_.prefetch(s.read_pbas[i]);
+    }
   }
   // Pass 2: per-block cache probes, in request order (inserts must be
   // visible to later duplicate targets, so this loop stays sequential).
   s.aux_runs.clear();
   for (std::uint32_t i = 0; i < req.nblocks; ++i) {
     const Pba pba = s.read_pbas[i];
-    if (read_cache_.lookup(pba)) continue;
-    read_cache_.ghost_probe(pba);
-    read_cache_.insert(pba);
+    if (fused) {
+      // Tags are pure functions of the PBA, so the inserts and ghost
+      // erasures this loop performs never invalidate them — the probe
+      // sequence is identical to the untagged loop below.
+      const ReadCache::Tag tag = s.pba_tags[i];
+      if (read_cache_.lookup_tagged(tag, pba)) continue;
+      read_cache_.ghost_probe_tagged(tag, pba);
+      read_cache_.insert_tagged(tag, pba);
+    } else {
+      if (read_cache_.lookup(pba)) continue;
+      read_cache_.ghost_probe(pba);
+      read_cache_.insert(pba);
+    }
     s.aux_runs.emplace_back(pba, 1);
   }
   coalesce_into(s.aux_runs, OpType::kRead, plan.stage1);
@@ -217,7 +242,10 @@ void DedupEngine::probe_dups(const IoRequest& req, WriteScratch& s) {
     return;
   }
   if (s.probes.size() < req.nblocks) s.probes.resize(req.nblocks);
-  index_cache_->lookup_batch(req.chunks, s.probes.data());
+  if (cfg_.fused_probes)
+    index_cache_->lookup_fused(req.chunks, s.probes.data());
+  else
+    index_cache_->lookup_batch(req.chunks, s.probes.data());
   for (std::uint32_t i = 0; i < req.nblocks; ++i) {
     const IndexEntry* e = s.probes[i];
     if (e != nullptr && candidate_valid(req.chunks[i], e->pba))

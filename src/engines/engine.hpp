@@ -50,6 +50,10 @@ class MetricCounter;
 /// "0" → false, anything else → true.
 bool scalar_probes_from_env();
 
+/// POD_FUSED_PROBES env default for EngineConfig::fused_probes: unset or
+/// anything but "0" → true, "0" → false (selects the two-phase batch path).
+bool fused_probes_from_env();
+
 struct EngineConfig {
   /// Total DRAM budget split between index cache and read cache.
   std::uint64_t memory_bytes = 64 * kMiB;
@@ -90,6 +94,15 @@ struct EngineConfig {
   /// reference to compare against. Defaults to POD_SCALAR_PROBES when set
   /// (so CI can force whole suites onto the reference path), else false.
   bool scalar_probes = scalar_probes_from_env();
+
+  /// Selects the fused single-pass lookup (IndexCache::lookup_fused and the
+  /// tagged read-plan loop) over the PR7 two-phase batch path. All three
+  /// probe modes — scalar (scalar_probes), batch (fused_probes = false) and
+  /// fused (default) — produce byte-identical replay output
+  /// (batch_equivalence_test asserts it per engine). Defaults to off when
+  /// POD_FUSED_PROBES=0 so CI can A/B whole suites. Ignored while
+  /// scalar_probes is set.
+  bool fused_probes = fused_probes_from_env();
 
   /// Record every dedup-metadata mutation (Map-table binds/unbinds, index
   /// puts/dels) in a write-ahead journal for crash-recovery simulation.
@@ -246,6 +259,8 @@ class DedupEngine {
     std::vector<std::pair<Pba, std::uint64_t>> write_runs;  // stage2 coalescing
     std::vector<std::pair<Pba, std::uint64_t>> aux_runs;    // stage1 coalescing
     std::vector<Pba> read_pbas;         // resolved targets of a read request
+    std::vector<std::uint32_t> pba_tags;  // fused read plan: per-PBA cache tags
+    std::vector<std::uint32_t> fp_tags;   // fused sequential classify: per-fp tags
     // Request-scoped index-insert staging: the write tail loops collect
     // (fingerprint, pba) pairs here and flush_index_inserts() hands them to
     // IndexCache::insert_batch — one LRU splice and one eviction sweep per
@@ -289,6 +304,8 @@ class DedupEngine {
              write_runs.capacity() * sizeof(std::pair<Pba, std::uint64_t>) +
              aux_runs.capacity() * sizeof(std::pair<Pba, std::uint64_t>) +
              read_pbas.capacity() * sizeof(Pba) +
+             pba_tags.capacity() * sizeof(std::uint32_t) +
+             fp_tags.capacity() * sizeof(std::uint32_t) +
              stage_fps.capacity() * sizeof(Fingerprint) +
              stage_pbas.capacity() * sizeof(Pba);
     }
@@ -305,10 +322,11 @@ class DedupEngine {
   /// cache per block and coalesce misses into contiguous volume reads.
   IoPlan build_read_plan(const IoRequest& req);
 
-  /// Fills s.dups with the request's index-probe results: one batched
-  /// two-phase IndexCache::lookup_batch over the fingerprint span, or the
-  /// scalar per-chunk loop when cfg_.scalar_probes is set. Both paths
-  /// produce identical dups, cache state and counters (see lookup_batch).
+  /// Fills s.dups with the request's index-probe results: one fused
+  /// single-pass IndexCache::lookup_fused over the fingerprint span (the
+  /// default), the two-phase lookup_batch when cfg_.fused_probes is off, or
+  /// the scalar per-chunk loop when cfg_.scalar_probes is set. All three
+  /// produce identical dups, cache state and counters (see lookup_fused).
   void probe_dups(const IoRequest& req, WriteScratch& s);
 
   /// Writes the non-deduplicated chunks of a request: walks the maximal

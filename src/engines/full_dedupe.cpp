@@ -53,23 +53,41 @@ DedupEngine::IoPlan FullDedupeEngine::process_write(const IoRequest& req) {
   // Full-Dedupe's probe loop interleaves inserts with lookups (on-disk
   // hits promote into the index cache mid-request), so intra-request
   // duplicate fingerprints must see earlier promotions — the loop cannot
-  // reorder into lookup_batch. Instead, warm every home bucket the loop
-  // will probe up front and keep the resolution strictly sequential.
-  if (!cfg_.scalar_probes)
+  // reorder into lookup_fused/lookup_batch. Instead, hash every
+  // fingerprint once up front (tags survive the mid-loop inserts: they are
+  // pure functions of the key), warm every home group the loop will probe,
+  // and keep the resolution strictly sequential on the tagged API.
+  const bool fused = !cfg_.scalar_probes && cfg_.fused_probes;
+  if (fused) {
+    s.fp_tags.resize(req.nblocks);
+    for (std::uint32_t i = 0; i < req.nblocks; ++i) {
+      const IndexCache::Tag tag = index_cache_->hash_tag(req.chunks[i]);
+      s.fp_tags[i] = tag;
+      index_cache_->prefetch_tag(tag);
+    }
+  } else if (!cfg_.scalar_probes) {
     for (std::uint32_t i = 0; i < req.nblocks; ++i)
       index_cache_->prefetch(req.chunks[i]);
+  }
 
   for (std::uint32_t i = 0; i < req.nblocks; ++i) {
     const Fingerprint& fp = req.chunks[i];
+    const IndexCache::Tag tag =
+        fused ? s.fp_tags[i] : IndexCache::Tag{0};
     // Hot path: in-memory index cache.
-    if (const IndexEntry* e = index_cache_->lookup(fp)) {
+    const IndexEntry* e =
+        fused ? index_cache_->lookup_tagged(tag, fp) : index_cache_->lookup(fp);
+    if (e != nullptr) {
       if (candidate_valid(fp, e->pba)) {
         s.dups[i] = ChunkDup{true, e->pba};
         s.set_mask(i);
       }
       continue;
     }
-    index_cache_->ghost_probe(fp);
+    if (fused)
+      index_cache_->ghost_probe_tagged(tag, fp);
+    else
+      index_cache_->ghost_probe(fp);
     // Cold path: the on-disk full index (Bloom-guarded).
     const OnDiskIndex::Lookup l = ondisk_.lookup(fp);
     if (l.needs_disk_read) {
@@ -79,7 +97,11 @@ DedupEngine::IoPlan FullDedupeEngine::process_write(const IoRequest& req) {
     if (l.found && candidate_valid(fp, l.pba)) {
       s.dups[i] = ChunkDup{true, l.pba};
       s.set_mask(i);
-      index_cache_->insert(fp, l.pba);  // promote to hot
+      // Promote to hot (immediately — later duplicates must see it).
+      if (fused)
+        index_cache_->insert_tagged(tag, fp, l.pba);
+      else
+        index_cache_->insert(fp, l.pba);
     }
   }
 

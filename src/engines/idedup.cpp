@@ -26,6 +26,7 @@ DedupEngine::IoPlan IDedupEngine::process_write(const IoRequest& req) {
   plan.cpu = hash_.latency_for_chunks(req.nblocks);
   hash_.note_chunks_hashed(req.nblocks);
 
+  // Index-table lookups (fused single pass; see probe_dups).
   probe_dups(req, s);
 
   // Deduplicate only sequential duplicate runs long enough to keep later

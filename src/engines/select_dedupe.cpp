@@ -22,7 +22,7 @@ DedupEngine::IoPlan SelectDedupeEngine::select_dedupe_write(const IoRequest& req
   WriteScratch& s = scratch_;
   s.reset_write(req.nblocks);
 
-  // Index-table lookups (batched; see probe_dups): hits bump the entry's
+  // Index-table lookups (fused single pass; see probe_dups): hits bump the
   // Count (popularity / pin-against-modification signal); misses probe the
   // ghost list so iCache can tell when a larger index cache would have
   // found the dup.

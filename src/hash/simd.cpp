@@ -4,6 +4,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/logging.hpp"
 #include "hash/xx64.hpp"
 
 namespace pod {
@@ -49,6 +50,15 @@ RabinScanResult rabin_scan_scalar(const std::uint8_t* data, std::size_t pos,
     h = (h - pop[data[pos - window]]) * poly + push[data[pos]];
     ++pos;
   }
+}
+
+CtrlMatch32 ctrl_match32_scalar(const std::uint8_t* ctrl, std::uint8_t tag) {
+  CtrlMatch32 m;
+  for (std::size_t b = 0; b < 32; ++b) {
+    if (ctrl[b] == tag) m.eq |= std::uint32_t{1} << b;
+    if (ctrl[b] == 0) m.empty |= std::uint32_t{1} << b;
+  }
+  return m;
 }
 
 }  // namespace detail
@@ -110,27 +120,51 @@ bool self_check(SimdTier tier) {
       }
     }
   }
+
+  // Control-byte group scan: a synthetic ctrl array with empties, the probed
+  // tag, and near-miss tags at every alignment, scanned from several offsets.
+  if (tier == SimdTier::kAvx2) {
+    std::uint8_t ctrl[96];
+    for (std::size_t i = 0; i < sizeof(ctrl); ++i) {
+      const std::uint8_t r = static_cast<std::uint8_t>(i * 37 + 11);
+      ctrl[i] = (r % 5 == 0) ? 0 : static_cast<std::uint8_t>((r & 0x7F) | 1);
+    }
+    for (std::uint8_t tag : {std::uint8_t{0x51}, std::uint8_t{0x7F}, ctrl[3]}) {
+      for (std::size_t off : {std::size_t{0}, std::size_t{1}, std::size_t{17},
+                              std::size_t{33}}) {
+        const CtrlMatch32 ref = detail::ctrl_match32_scalar(ctrl + off, tag);
+        const CtrlMatch32 got = ctrl_match32_tier(tier, ctrl + off, tag);
+        if (ref.eq != got.eq || ref.empty != got.empty) return false;
+      }
+    }
+  }
   return true;
 }
 
-SimdTier resolve_active_tier() {
+}  // namespace
+
+SimdTier resolve_simd_tier_from_env() {
   SimdTier tier = max_hw_simd_tier();
   if (const char* env = std::getenv("POD_SIMD")) {
     const std::string v(env);
     if (v == "scalar") tier = SimdTier::kScalar;
     else if (v == "sse") tier = clamp_to_hw(SimdTier::kSse42);
     else if (v == "avx2") tier = clamp_to_hw(SimdTier::kAvx2);
-    // Unknown values keep the hardware default.
+    else
+      // Same contract as the POD_PIPELINE_DEPTH clamp: a malformed override
+      // is reported, then ignored — auto-detection proceeds.
+      POD_LOG_WARN(
+          "simd: ignoring unrecognized POD_SIMD=\"%s\" "
+          "(want scalar | sse | avx2), using hardware default %s",
+          env, to_string(tier));
   }
   if (tier != SimdTier::kScalar && !self_check(tier))
     tier = SimdTier::kScalar;  // never run a kernel that diverges from scalar
   return tier;
 }
 
-}  // namespace
-
 SimdTier active_simd_tier() {
-  static const SimdTier tier = resolve_active_tier();
+  static const SimdTier tier = resolve_simd_tier_from_env();
   return tier;
 }
 
@@ -183,5 +217,22 @@ RabinScanResult rabin_scan(const std::uint8_t* data, std::size_t pos,
   return rabin_scan_tier(active_simd_tier(), data, pos, limit, window, h, mask,
                          poly, push, pop);
 }
+
+CtrlMatch32 ctrl_match32_tier(SimdTier tier, const std::uint8_t* ctrl,
+                              std::uint8_t tag) {
+  // No SSE 32-lane variant: two 16-byte scans would need the same mask
+  // stitching as the scalar loop for no latency win, so sub-AVX2 tiers use
+  // the scalar reference (the 16-lane first group stays vectorized either
+  // way — see common/ctrl_group.hpp).
+  if (clamp_to_hw(tier) == SimdTier::kAvx2)
+    return detail::ctrl_match32_avx2(ctrl, tag);
+  return detail::ctrl_match32_scalar(ctrl, tag);
+}
+
+CtrlMatch32 ctrl_match32(const std::uint8_t* ctrl, std::uint8_t tag) {
+  return ctrl_match32_tier(active_simd_tier(), ctrl, tag);
+}
+
+bool wide_ctrl_groups() { return active_simd_tier() == SimdTier::kAvx2; }
 
 }  // namespace pod

@@ -31,6 +31,13 @@ SimdTier max_hw_simd_tier();
 /// (scalar | sse | avx2), self-checked against scalar on first call.
 SimdTier active_simd_tier();
 
+/// Re-parses POD_SIMD from the current environment and re-runs the
+/// self-check — the uncached computation behind active_simd_tier(). Test
+/// hook for the env-override contract (unrecognized values warn and fall
+/// back to hardware auto-detection); production callers want the cached
+/// active_simd_tier().
+SimdTier resolve_simd_tier_from_env();
+
 // ---- xx64 bulk fingerprinting ----------------------------------------
 //
 // Hashes `n` equal-length buffers: buffer i is data + i * stride, `len`
@@ -79,6 +86,32 @@ RabinScanResult rabin_scan_tier(SimdTier tier, const std::uint8_t* data,
                                 const std::uint64_t* push,
                                 const std::uint64_t* pop);
 
+// ---- control-byte group scan (Swiss-table probing) --------------------
+//
+// Scans 32 consecutive control bytes of an open-addressing table for a
+// 7-bit tag and for empties, returning one bit per lane. Used by the flat
+// maps' group probes as the wide continuation after the first (inline,
+// SSE2-baseline) 16-lane group finds neither the tag nor an empty. Like
+// every other kernel here it is runtime-dispatched, POD_SIMD-clamped, and
+// first-use self-checked against the scalar reference; a divergence
+// demotes the process to scalar, which also disables the wide groups.
+
+struct CtrlMatch32 {
+  std::uint32_t eq = 0;     ///< bit i set: ctrl[i] == tag
+  std::uint32_t empty = 0;  ///< bit i set: ctrl[i] == 0 (empty bucket)
+};
+
+CtrlMatch32 ctrl_match32(const std::uint8_t* ctrl, std::uint8_t tag);
+
+/// Test/bench hook (see xx64_bulk_tier).
+CtrlMatch32 ctrl_match32_tier(SimdTier tier, const std::uint8_t* ctrl,
+                              std::uint8_t tag);
+
+/// True when probe loops should use the 32-lane continuation: the active
+/// (clamped, self-checked) tier is AVX2. Cached by the flat maps at table
+/// (re)build time so the probe hot path never touches dispatch state.
+bool wide_ctrl_groups();
+
 namespace detail {
 // Per-tier entry points (defined in their own TUs; null-function-pointer
 // style indirection is avoided — the dispatchers switch on tier).
@@ -107,6 +140,8 @@ RabinScanResult rabin_scan_avx2(const std::uint8_t* data, std::size_t pos,
                                 std::uint64_t h, std::uint64_t mask,
                                 std::uint64_t poly, const std::uint64_t* push,
                                 const std::uint64_t* pop);
+CtrlMatch32 ctrl_match32_scalar(const std::uint8_t* ctrl, std::uint8_t tag);
+CtrlMatch32 ctrl_match32_avx2(const std::uint8_t* ctrl, std::uint8_t tag);
 }  // namespace detail
 
 }  // namespace pod

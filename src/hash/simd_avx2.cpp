@@ -229,6 +229,19 @@ __attribute__((target("avx2"))) RabinScanResult rabin_scan_avx2(
   }
 }
 
+__attribute__((target("avx2"))) CtrlMatch32 ctrl_match32_avx2(
+    const std::uint8_t* ctrl, std::uint8_t tag) {
+  const __m256i g =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ctrl));
+  const __m256i t = _mm256_set1_epi8(static_cast<char>(tag));
+  CtrlMatch32 m;
+  m.eq = static_cast<std::uint32_t>(
+      _mm256_movemask_epi8(_mm256_cmpeq_epi8(g, t)));
+  m.empty = static_cast<std::uint32_t>(
+      _mm256_movemask_epi8(_mm256_cmpeq_epi8(g, _mm256_setzero_si256())));
+  return m;
+}
+
 #undef POD_AVX2
 
 }  // namespace pod::detail
@@ -249,6 +262,10 @@ RabinScanResult rabin_scan_avx2(const std::uint8_t* data, std::size_t pos,
                                 std::uint64_t poly, const std::uint64_t* push,
                                 const std::uint64_t* pop) {
   return rabin_scan_scalar(data, pos, limit, window, h, mask, poly, push, pop);
+}
+
+CtrlMatch32 ctrl_match32_avx2(const std::uint8_t* ctrl, std::uint8_t tag) {
+  return ctrl_match32_scalar(ctrl, tag);
 }
 
 }  // namespace pod::detail

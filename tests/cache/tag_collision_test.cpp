@@ -1,0 +1,222 @@
+// Adversarial tag-collision storms for the group-probing tables.
+//
+// The Swiss-table ctrl arrays compare 7-bit tags 16/32 lanes at a time; a
+// probe only touches a slot when its tag matches. These tests construct key
+// sets that all share the SAME tag AND the SAME home bucket, so every probe
+// walks a maximal candidate chain: multiple full groups of false-positive
+// lanes (exercising the wide AVX2 continuation when active), wraparound on
+// the ring, and backward-shift deletes that slide colliding entries across
+// group boundaries. Everything is cross-checked against ground truth (a
+// mirror of expected contents) and, for the fused path, a scalar twin.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/flat_lru_map.hpp"
+#include "cache/index_cache.hpp"
+#include "common/flat_hash_map.hpp"
+#include "common/rng.hpp"
+#include "hash/fingerprint.hpp"
+
+namespace pod {
+namespace {
+
+// Brute-forces `n` uint64 keys whose scrambled tags agree in the ctrl byte
+// (tag >> 25) and the low `home_bits` bits — i.e. identical 7-bit group
+// tag and identical home bucket for any table of <= 2^home_bits buckets.
+// Uses the map's own public hash_tag so the test tracks the real tag
+// derivation. FlatHashMap shares the same scramble (its state byte is the
+// same bits), so one key set storms both containers.
+std::vector<std::uint64_t> colliding_keys(std::size_t n, int home_bits) {
+  const FlatLruMap<std::uint64_t, int> probe(1);
+  const std::uint32_t want = probe.hash_tag(0x1234567);
+  const std::uint32_t home_mask = (1u << home_bits) - 1;
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t k = 1; keys.size() < n; ++k) {
+    const std::uint32_t tag = probe.hash_tag(k);
+    if ((tag >> 25) == (want >> 25) && (tag & home_mask) == (want & home_mask))
+      keys.push_back(k);
+  }
+  return keys;
+}
+
+TEST(TagCollisionStorm, FlatHashMapInsertFindEraseChurn) {
+  // 96 same-tag same-home keys in a table that sizes to 256 buckets: every
+  // probe scans 6+ full groups of tag-positive lanes.
+  const std::vector<std::uint64_t> keys = colliding_keys(96, 9);
+  FlatHashMap<std::uint64_t, std::uint64_t> m;
+  std::unordered_map<std::uint64_t, std::uint64_t> truth;
+
+  for (std::uint64_t k : keys) {
+    m.insert_or_assign(k, k * 3);
+    truth[k] = k * 3;
+  }
+  for (std::uint64_t k : keys) {
+    const std::uint64_t* v = m.find(k);
+    ASSERT_NE(v, nullptr) << k;
+    EXPECT_EQ(*v, k * 3);
+  }
+
+  // Backward-shift delete every other colliding key, then overwrite and
+  // re-probe the survivors. Deleting from the middle of a same-tag chain
+  // shifts later same-home entries down across group boundaries.
+  for (std::size_t i = 0; i < keys.size(); i += 2) {
+    EXPECT_TRUE(m.erase(keys[i]));
+    truth.erase(keys[i]);
+  }
+  for (std::size_t i = 1; i < keys.size(); i += 2) {
+    m.insert_or_assign(keys[i], keys[i] + 7);
+    truth[keys[i]] = keys[i] + 7;
+  }
+  for (std::uint64_t k : keys) {
+    const std::uint64_t* v = m.find(k);
+    const auto it = truth.find(k);
+    ASSERT_EQ(v == nullptr, it == truth.end()) << k;
+    if (v != nullptr) EXPECT_EQ(*v, it->second);
+  }
+  EXPECT_EQ(m.size(), truth.size());
+
+  // Random churn across the colliding set, mirrored into the truth map.
+  Rng rng(0xC0111DE);
+  for (int round = 0; round < 2000; ++round) {
+    const std::uint64_t k = keys[rng.uniform(0, keys.size() - 1)];
+    switch (rng.uniform(0, 2)) {
+      case 0:
+        m.insert_or_assign(k, k ^ round);
+        truth[k] = k ^ static_cast<std::uint64_t>(round);
+        break;
+      case 1:
+        EXPECT_EQ(m.erase(k), truth.erase(k) > 0) << k;
+        break;
+      default: {
+        const std::uint64_t* v = m.find(k);
+        const auto it = truth.find(k);
+        ASSERT_EQ(v == nullptr, it == truth.end()) << k;
+        if (v != nullptr) EXPECT_EQ(*v, it->second);
+      }
+    }
+  }
+  EXPECT_EQ(m.size(), truth.size());
+}
+
+TEST(TagCollisionStorm, FlatLruMapProbeEvictTakeChurn) {
+  const std::vector<std::uint64_t> keys = colliding_keys(96, 9);
+  constexpr std::size_t kCap = 64;
+  FlatLruMap<std::uint64_t, std::uint64_t> m(kCap);
+
+  // Fill past capacity: the 32 oldest colliding keys must evict, in insert
+  // order, leaving exactly the 64 newest resident.
+  std::vector<std::uint64_t> evicted;
+  for (std::uint64_t k : keys)
+    m.put(k, k + 1, [&](const std::uint64_t& key, std::uint64_t&&) {
+      evicted.push_back(key);
+    });
+  ASSERT_EQ(evicted.size(), keys.size() - kCap);
+  for (std::size_t i = 0; i < evicted.size(); ++i) EXPECT_EQ(evicted[i], keys[i]);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    std::uint64_t* v = m.get(keys[i]);
+    if (i < keys.size() - kCap) {
+      EXPECT_EQ(v, nullptr) << keys[i];
+    } else {
+      ASSERT_NE(v, nullptr) << keys[i];
+      EXPECT_EQ(*v, keys[i] + 1);
+    }
+  }
+
+  // take() consumes from the middle of the same-tag chain (erase +
+  // backward shift); the tagged getters must agree with the untagged ones
+  // throughout.
+  std::size_t taken = 0;
+  for (std::size_t i = keys.size() - kCap; i < keys.size(); i += 3) {
+    const std::uint64_t k = keys[i];
+    const auto got = m.take(k);
+    ASSERT_TRUE(got.has_value()) << k;
+    EXPECT_EQ(*got, k + 1);
+    ++taken;
+    EXPECT_FALSE(m.take(k).has_value());  // consumed
+  }
+  EXPECT_EQ(m.size(), kCap - taken);
+  for (std::size_t i = keys.size() - kCap; i < keys.size(); ++i) {
+    const std::uint64_t k = keys[i];
+    const bool expect_live = (i - (keys.size() - kCap)) % 3 != 0;
+    const std::uint32_t tag = m.hash_tag(k);
+    std::uint64_t* v = m.get_tagged(tag, k);
+    ASSERT_EQ(v != nullptr, expect_live) << k;
+    if (v != nullptr) EXPECT_EQ(*v, k + 1);
+  }
+}
+
+Fingerprint fp(std::uint64_t id) { return Fingerprint::of_content_id(id); }
+
+// Content ids whose *fingerprint* tags all collide (same ctrl byte, same
+// home for tables <= 2^home_bits buckets), via IndexCache's public
+// hash_tag.
+std::vector<std::uint64_t> colliding_content_ids(std::size_t n,
+                                                 int home_bits) {
+  const IndexCache probe(IndexCache::kEntryBytes, IndexCache::kEntryBytes);
+  const std::uint32_t want = probe.hash_tag(fp(1));
+  const std::uint32_t home_mask = (1u << home_bits) - 1;
+  std::vector<std::uint64_t> ids;
+  for (std::uint64_t k = 1; ids.size() < n; ++k) {
+    const std::uint32_t tag = probe.hash_tag(fp(k));
+    if ((tag >> 25) == (want >> 25) && (tag & home_mask) == (want & home_mask))
+      ids.push_back(k);
+  }
+  return ids;
+}
+
+TEST(TagCollisionStorm, FusedLookupMatchesScalarUnderCollisions) {
+  // The fused pass's probe chains are at their worst when every key of the
+  // span lands in one group chain — including the ghost consumption order
+  // on duplicate misses (a consumed ghost entry backward-shifts its
+  // colliding neighbours mid-span).
+  const std::vector<std::uint64_t> ids = colliding_content_ids(48, 9);
+  constexpr std::uint64_t kEntries = 16;
+  IndexCache fused(kEntries * IndexCache::kEntryBytes,
+                   kEntries * IndexCache::kEntryBytes);
+  IndexCache scalar(kEntries * IndexCache::kEntryBytes,
+                    kEntries * IndexCache::kEntryBytes);
+  // Insert all 48: 32 spill to the ghost list, 16 stay resident — all in
+  // one collision chain in both tables.
+  for (std::uint64_t id : ids) {
+    fused.insert(fp(id), id);
+    scalar.insert(fp(id), id);
+  }
+
+  Rng rng(0x57083);
+  for (int round = 0; round < 30; ++round) {
+    std::vector<Fingerprint> request;
+    const std::size_t len = 1 + rng.next() % 24;
+    for (std::size_t i = 0; i < len; ++i)
+      request.push_back(fp(ids[rng.uniform(0, ids.size() - 1)]));
+
+    std::vector<const IndexEntry*> out_f(request.size());
+    fused.lookup_fused(request, out_f.data());
+    for (std::size_t i = 0; i < request.size(); ++i) {
+      const IndexEntry* e = scalar.lookup(request[i]);
+      ASSERT_EQ(out_f[i] == nullptr, e == nullptr) << "round " << round;
+      if (e == nullptr) (void)scalar.ghost_probe(request[i]);
+      else EXPECT_EQ(out_f[i]->pba, e->pba);
+    }
+    // Keep churn flowing through the chain.
+    const std::uint64_t id = ids[rng.uniform(0, ids.size() - 1)];
+    fused.insert(fp(id), id + 1000);
+    scalar.insert(fp(id), id + 1000);
+  }
+  EXPECT_EQ(fused.hits(), scalar.hits());
+  EXPECT_EQ(fused.misses(), scalar.misses());
+  EXPECT_EQ(fused.ghost_hits(), scalar.ghost_hits());
+  EXPECT_EQ(fused.size_entries(), scalar.size_entries());
+  for (std::uint64_t id : ids) {
+    const IndexEntry* ef = fused.peek(fp(id));
+    const IndexEntry* es = scalar.peek(fp(id));
+    ASSERT_EQ(ef == nullptr, es == nullptr) << id;
+    if (ef != nullptr) EXPECT_EQ(ef->pba, es->pba);
+  }
+}
+
+}  // namespace
+}  // namespace pod

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -38,6 +40,79 @@ TEST(SimdDispatch, TierNamesRoundTrip) {
   EXPECT_STREQ(to_string(SimdTier::kScalar), "scalar");
   EXPECT_STREQ(to_string(SimdTier::kSse42), "sse");
   EXPECT_STREQ(to_string(SimdTier::kAvx2), "avx2");
+}
+
+// POD_SIMD contract (parity with the POD_PIPELINE_DEPTH clamp): recognized
+// values select (hardware-clamped) tiers; anything else warns and falls
+// back to auto-detection, exactly as if the variable were unset.
+TEST(SimdDispatch, EnvOverrideParsesAndRejectsGarbage) {
+  const char* saved = std::getenv("POD_SIMD");
+  const std::string saved_copy = saved ? saved : "";
+
+  const auto tier_for = [](const char* value) {
+    setenv("POD_SIMD", value, 1);
+    return resolve_simd_tier_from_env();
+  };
+
+  unsetenv("POD_SIMD");
+  const SimdTier auto_tier = resolve_simd_tier_from_env();
+
+  EXPECT_EQ(tier_for("scalar"), SimdTier::kScalar);
+  const SimdTier hw = max_hw_simd_tier();
+  EXPECT_EQ(tier_for("sse"),
+            hw >= SimdTier::kSse42 ? SimdTier::kSse42 : SimdTier::kScalar);
+  EXPECT_LE(static_cast<int>(tier_for("avx2")), static_cast<int>(hw));
+  // Malformed: warn, then behave exactly like an unset variable.
+  EXPECT_EQ(tier_for("fast"), auto_tier);
+  EXPECT_EQ(tier_for("AVX2"), auto_tier);  // values are case-sensitive
+  EXPECT_EQ(tier_for("sse42"), auto_tier);
+  EXPECT_EQ(tier_for(""), auto_tier);
+  EXPECT_EQ(tier_for("2"), auto_tier);
+
+  if (saved)
+    setenv("POD_SIMD", saved_copy.c_str(), 1);
+  else
+    unsetenv("POD_SIMD");
+}
+
+// 32-lane control-byte scan: the AVX2 kernel must agree bit-for-bit with
+// the scalar reference on randomized ctrl arrays (empties, near-miss tags,
+// exact tags) at every alignment.
+TEST(CtrlMatch32, MatchesScalarOnRandomCtrlArrays) {
+  Rng rng(0x5EED);
+  std::uint8_t ctrl[256];
+  for (int round = 0; round < 64; ++round) {
+    for (auto& b : ctrl) {
+      const std::uint64_t r = rng.next();
+      // ~1/4 empty lanes; tags land in the nonzero 7-bit range like the
+      // tables' ctrl_of mapping.
+      b = (r & 3) == 0 ? std::uint8_t{0}
+                       : static_cast<std::uint8_t>((r & 0x7F) | 1);
+    }
+    // Probe with an in-array tag (guaranteed eq bits when nonzero), a fixed
+    // tag, and 0x7F (the zero-scramble escape value).
+    const std::uint8_t tags[] = {ctrl[rng.uniform(0, 255)], std::uint8_t{0x2A},
+                                 std::uint8_t{0x7F}};
+    for (const std::uint8_t tag : tags) {
+      if (tag == 0) continue;  // empty marker is never probed as a tag
+      for (std::size_t off = 0; off + 32 <= sizeof(ctrl); off += 7) {
+        const CtrlMatch32 ref = detail::ctrl_match32_scalar(ctrl + off, tag);
+        const CtrlMatch32 got = ctrl_match32(ctrl + off, tag);
+        ASSERT_EQ(ref.eq, got.eq) << "off=" << off << " tag=" << int(tag);
+        ASSERT_EQ(ref.empty, got.empty) << "off=" << off;
+        if (max_hw_simd_tier() >= SimdTier::kAvx2) {
+          const CtrlMatch32 wide =
+              ctrl_match32_tier(SimdTier::kAvx2, ctrl + off, tag);
+          ASSERT_EQ(ref.eq, wide.eq) << "off=" << off;
+          ASSERT_EQ(ref.empty, wide.empty) << "off=" << off;
+        }
+      }
+    }
+  }
+}
+
+TEST(CtrlMatch32, WideGroupsTrackActiveTier) {
+  EXPECT_EQ(wide_ctrl_groups(), active_simd_tier() == SimdTier::kAvx2);
 }
 
 // Lengths 0..3x the widest lane group (3 * 32-byte stripe), plus chunk-size

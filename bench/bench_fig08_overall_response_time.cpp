@@ -58,6 +58,10 @@ int main() {
                         r.volume_counters.rebuild_rows));
       }
     }
+
+    // Latency anatomy (POD_ANATOMY / POD_TAIL_ANATOMY set): per-component
+    // breakdown and the slowest-request forensics table.
+    print_anatomy_tables(profile.name, results);
   }
   std::printf("\npaper: Select-Dedupe improvement 53.9%% (web-vm), 21.2%% "
               "(homes), 88.6%% (mail); Full-Dedupe degrades homes; iDedup "

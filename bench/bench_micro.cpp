@@ -536,6 +536,8 @@ BENCHMARK(BM_EventQueuePushPop)->Arg(16)->Arg(1024);
 void BM_ReplayTelemetryOff(benchmark::State& state) {
   unsetenv("POD_TRACE_EVENTS");
   unsetenv("POD_TELEMETRY_CSV");
+  unsetenv("POD_ANATOMY");
+  unsetenv("POD_TAIL_ANATOMY");
   WorkloadProfile p = tiny_test_profile();
   p.warmup_requests = 500;
   p.measured_requests = 2000;
@@ -570,6 +572,43 @@ void BM_ReplayTelemetryOn(benchmark::State& state) {
   std::filesystem::remove_all(dir);
 }
 BENCHMARK(BM_ReplayTelemetryOn);
+
+// Latency-anatomy overhead pair: attribution inherits the telemetry
+// contract, so the off path must again be one null-pointer branch per
+// charge site. Compare Off vs On for the enabled attribution cost.
+void BM_ReplayAnatomyOff(benchmark::State& state) {
+  unsetenv("POD_ANATOMY");
+  unsetenv("POD_TAIL_ANATOMY");
+  WorkloadProfile p = tiny_test_profile();
+  p.warmup_requests = 500;
+  p.measured_requests = 2000;
+  const Trace t = TraceGenerator(p).generate();
+  RunSpec spec;
+  spec.engine = EngineKind::kPod;
+  spec.engine_cfg.logical_blocks = p.volume_blocks;
+  spec.engine_cfg.memory_bytes = 2 * kMiB;
+  for (auto _ : state) benchmark::DoNotOptimize(run_replay(spec, t));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2000);
+}
+BENCHMARK(BM_ReplayAnatomyOff);
+
+void BM_ReplayAnatomyOn(benchmark::State& state) {
+  setenv("POD_ANATOMY", "1", 1);
+  setenv("POD_TAIL_ANATOMY", "64", 1);
+  WorkloadProfile p = tiny_test_profile();
+  p.warmup_requests = 500;
+  p.measured_requests = 2000;
+  const Trace t = TraceGenerator(p).generate();
+  RunSpec spec;
+  spec.engine = EngineKind::kPod;
+  spec.engine_cfg.logical_blocks = p.volume_blocks;
+  spec.engine_cfg.memory_bytes = 2 * kMiB;
+  for (auto _ : state) benchmark::DoNotOptimize(run_replay(spec, t));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2000);
+  unsetenv("POD_ANATOMY");
+  unsetenv("POD_TAIL_ANATOMY");
+}
+BENCHMARK(BM_ReplayAnatomyOn);
 
 void BM_SimulatorEventThroughput(benchmark::State& state) {
   for (auto _ : state) {

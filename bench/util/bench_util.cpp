@@ -1,5 +1,6 @@
 #include "bench_util.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdio>
 #include <cstdlib>
@@ -170,6 +171,72 @@ std::map<EngineKind, ReplayResult> run_engine_set(
   return results;
 }
 
+namespace {
+
+/// Appends the `"anatomy":{...}` member (leading comma included) for one
+/// run's attribution summary: per-component totals/distributions, the
+/// per-stream accounting table, and the retained tail decompositions.
+void emit_anatomy_json(std::FILE* f, const AnatomyResult& a) {
+  std::fprintf(f,
+               ",\"anatomy\":{\"requests\":%llu,\"sum_mismatches\":%llu,"
+               "\"tail_k\":%llu,\"components\":{",
+               static_cast<unsigned long long>(a.requests),
+               static_cast<unsigned long long>(a.sum_mismatches),
+               static_cast<unsigned long long>(a.tail_k));
+  for (std::size_t c = 0; c < kNumLatComps; ++c) {
+    const LatencyRecorder& rec = a.comp[c];
+    std::fprintf(f,
+                 "%s\"%s\":{\"total_ms\":%.6f,\"mean_ms\":%.6f,"
+                 "\"p50_ms\":%.6f,\"p95_ms\":%.6f,\"p99_ms\":%.6f,"
+                 "\"max_ms\":%.6f}",
+                 c == 0 ? "" : ",", to_string(static_cast<LatComp>(c)),
+                 static_cast<double>(a.total[c]) / kMillisecond, rec.mean_ms(),
+                 rec.percentile_ms(0.50), rec.percentile_ms(0.95),
+                 rec.percentile_ms(0.99), rec.max_ms());
+  }
+  std::fprintf(f, "},\"streams\":[");
+  for (std::size_t i = 0; i < a.streams.size(); ++i) {
+    const AnatomyResult::StreamStats& s = a.streams[i];
+    std::fprintf(f,
+                 "%s{\"stream\":%u,\"reads\":%llu,\"writes\":%llu,"
+                 "\"read_blocks\":%llu,\"write_blocks\":%llu,"
+                 "\"dedup_hits\":%llu,\"failed_requests\":%llu,"
+                 "\"mean_ms\":%.6f,\"p50_ms\":%.6f,\"p95_ms\":%.6f,"
+                 "\"p99_ms\":%.6f,\"max_ms\":%.6f}",
+                 i == 0 ? "" : ",", s.stream,
+                 static_cast<unsigned long long>(s.reads),
+                 static_cast<unsigned long long>(s.writes),
+                 static_cast<unsigned long long>(s.read_blocks),
+                 static_cast<unsigned long long>(s.write_blocks),
+                 static_cast<unsigned long long>(s.dedup_hits),
+                 static_cast<unsigned long long>(s.failed_requests),
+                 s.latency.mean_ms(), s.latency.percentile_ms(0.50),
+                 s.latency.percentile_ms(0.95), s.latency.percentile_ms(0.99),
+                 s.latency.max_ms());
+  }
+  std::fprintf(f, "],\"tail\":[");
+  for (std::size_t i = 0; i < a.tail.size(); ++i) {
+    const AnatomyResult::TailEntry& t = a.tail[i];
+    std::fprintf(f,
+                 "%s{\"req_id\":%llu,\"stream\":%u,\"type\":\"%s\","
+                 "\"nblocks\":%u,\"submit_ms\":%.6f,\"latency_ms\":%.6f,"
+                 "\"components\":{",
+                 i == 0 ? "" : ",", static_cast<unsigned long long>(t.req_id),
+                 t.stream, t.type == OpType::kWrite ? "W" : "R", t.nblocks,
+                 static_cast<double>(t.submit) / kMillisecond,
+                 static_cast<double>(t.latency) / kMillisecond);
+    for (std::size_t c = 0; c < kNumLatComps; ++c) {
+      std::fprintf(f, "%s\"%s\":%.6f", c == 0 ? "" : ",",
+                   to_string(static_cast<LatComp>(c)),
+                   static_cast<double>(t.breakdown.comp[c]) / kMillisecond);
+    }
+    std::fprintf(f, "}}");
+  }
+  std::fprintf(f, "]}");
+}
+
+}  // namespace
+
 void emit_replay_counters_json(
     const std::map<EngineKind, ReplayResult>& results) {
   const char* path = std::getenv("POD_BENCH_JSON");
@@ -243,9 +310,62 @@ void emit_replay_counters_json(
       }
       std::fprintf(f, "}");
     }
+    if (r.anatomy.enabled) emit_anatomy_json(f, r.anatomy);
     std::fprintf(f, "}\n");
   }
   std::fclose(f);
+}
+
+void print_anatomy_tables(const std::string& trace_name,
+                          const std::map<EngineKind, ReplayResult>& results) {
+  const bool any_enabled =
+      std::any_of(results.begin(), results.end(),
+                  [](const auto& kv) { return kv.second.anatomy.enabled; });
+  if (!any_enabled) return;
+
+  // Component breakdown: mean milliseconds a request spends in each
+  // component (rows sum to the engine's mean response time).
+  std::printf("  latency anatomy (%s): mean ms per request by component\n",
+              trace_name.c_str());
+  std::printf("  %-14s", "engine");
+  for (std::size_t c = 0; c < kNumLatComps; ++c)
+    std::printf(" %11s", to_string(static_cast<LatComp>(c)));
+  std::printf("\n");
+  for (const auto& [kind, r] : results) {
+    if (!r.anatomy.enabled) continue;
+    std::printf("  %-14s", to_string(kind));
+    for (std::size_t c = 0; c < kNumLatComps; ++c)
+      std::printf(" %11.3f", r.anatomy.comp[c].mean_ms());
+    std::printf("\n");
+  }
+
+  // Tail anatomy: opt-in via POD_TAIL_ANATOMY — the forensic view of the
+  // slowest retained requests, decomposed.
+  if (std::getenv("POD_TAIL_ANATOMY") == nullptr) return;
+  constexpr std::size_t kPrintTail = 5;
+  for (const auto& [kind, r] : results) {
+    const AnatomyResult& a = r.anatomy;
+    if (!a.enabled || a.tail.empty()) continue;
+    std::printf("  tail anatomy (%s x %s): slowest %zu of %zu retained\n",
+                trace_name.c_str(), to_string(kind),
+                std::min(kPrintTail, a.tail.size()), a.tail.size());
+    std::printf("  %10s %2s %6s %6s %10s |", "req_id", "op", "blocks",
+                "stream", "lat_ms");
+    for (std::size_t c = 0; c < kNumLatComps; ++c)
+      std::printf(" %9s", to_string(static_cast<LatComp>(c)));
+    std::printf("\n");
+    for (std::size_t i = 0; i < std::min(kPrintTail, a.tail.size()); ++i) {
+      const AnatomyResult::TailEntry& t = a.tail[i];
+      std::printf("  %10llu %2s %6u %6u %10.3f |",
+                  static_cast<unsigned long long>(t.req_id),
+                  t.type == OpType::kWrite ? "W" : "R", t.nblocks, t.stream,
+                  static_cast<double>(t.latency) / kMillisecond);
+      for (std::size_t c = 0; c < kNumLatComps; ++c)
+        std::printf(" %9.3f",
+                    static_cast<double>(t.breakdown.comp[c]) / kMillisecond);
+      std::printf("\n");
+    }
+  }
 }
 
 void print_header(const std::string& title, const std::string& what) {

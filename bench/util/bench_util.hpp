@@ -19,10 +19,14 @@
 //                (hardware threads, active SIMD tier, pipeline state),
 //                per-disk breakdowns, RAID5 parity write modes, iCache
 //                adaptation state, and — when telemetry is on — the
-//                metrics-registry snapshot).
+//                metrics-registry snapshot; when latency anatomy is on,
+//                an "anatomy" object with per-component latency
+//                distributions, per-stream accounting, and the tail ring).
 //   POD_TRACE_EVENTS / POD_TELEMETRY_CSV / POD_TELEMETRY_INTERVAL_MS /
 //   POD_TRACE_LIMIT — sim-time telemetry sinks; see
 //                src/telemetry/telemetry.hpp.
+//   POD_ANATOMY / POD_TAIL_ANATOMY / POD_ANATOMY_BUCKETS — per-request
+//                latency attribution; see src/replay/anatomy.hpp.
 #pragma once
 
 #include <cstddef>
@@ -81,6 +85,12 @@ std::map<EngineKind, ReplayResult> run_engine_set(
 /// Appends one JSON line per run to POD_BENCH_JSON (no-op when unset).
 void emit_replay_counters_json(
     const std::map<EngineKind, ReplayResult>& results);
+
+/// Prints the per-engine latency-component breakdown and — when
+/// POD_TAIL_ANATOMY is set — the tail-anatomy table (slowest requests with
+/// their full decompositions). No-op when attribution was off.
+void print_anatomy_tables(const std::string& trace_name,
+                          const std::map<EngineKind, ReplayResult>& results);
 
 /// Table formatting helpers.
 void print_header(const std::string& title, const std::string& what);

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "replay/anatomy.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace pod {
@@ -68,6 +69,14 @@ void Disk::dispatch_next() {
     sim_.schedule_after(us(50), [this]() {
       DiskOp dead = std::move(in_service_);
       busy_ = false;
+      if (LatencyAnatomy* a = sim_.anatomy()) {
+        // The controller error-return is pure fault overhead: no mechanics
+        // were exercised, the rest of the op's life was queueing.
+        LatBreakdown b;
+        b[LatComp::kQueueWait] = (sim_.now() - us(50)) - dead.enqueue_time;
+        b[LatComp::kFaultRetry] = us(50);
+        a->publish_disk_op(b);
+      }
       if (dead.done) dead.done(IoStatus::kFailedDevice);
       if (!busy_) dispatch_next();
     });
@@ -175,6 +184,20 @@ void Disk::complete(const HddModel::Service& svc, Duration service,
   }
 
   busy_ = false;
+  if (LatencyAnatomy* a = sim_.anatomy()) {
+    // Publish this op's exact decomposition into the hand-off register
+    // right before firing `done` — the volume layer reads it synchronously
+    // inside the callback when this op completes a phase. The retry ladder
+    // (`service` beyond the mechanical split) is fault time; controller
+    // overhead is folded into transfer.
+    LatBreakdown b;
+    b[LatComp::kQueueWait] = (sim_.now() - service) - op.enqueue_time;
+    b[LatComp::kSeek] = svc.seek;
+    b[LatComp::kRotation] = svc.rotation;
+    b[LatComp::kTransfer] = svc.transfer + svc.overhead;
+    b[LatComp::kFaultRetry] = service - svc.total();
+    a->publish_disk_op(b);
+  }
   if (op.done) op.done(status);
   // The completion callback may have submitted more work already (in which
   // case submit() found busy_ == false and dispatched); only dispatch here

@@ -341,6 +341,15 @@ void DedupEngine::release_state(RequestState* st) {
 
 void DedupEngine::finish_request(RequestState* st) {
   if (st->status != IoStatus::kOk) ++stats_.failed_requests;
+  if (LatencyAnatomy* a = sim_.anatomy()) {
+    // The engine observes the same completion instant the replayer records
+    // (both run inside this event), so the accumulated components must sum
+    // to the replayer-visible latency exactly.
+    a->record_request(st->req_id, st->stream, st->type, st->nblocks,
+                      st->submit_time, sim_.now() - st->submit_time,
+                      st->dedup_hits, st->status != IoStatus::kOk,
+                      st->anatomy);
+  }
   IoDoneFn done = std::move(st->done);
   const IoStatus status = st->status;
   release_state(st);  // before `done`: a resubmitting callback reuses the slot
@@ -377,6 +386,16 @@ void DedupEngine::stage_op_done(RequestState* st, const OpSpec& op, IoStatus s,
   st->status = combine(st->status, s);
   POD_CHECK(st->outstanding > 0);
   if (--st->outstanding != 0) return;
+  if (LatencyAnatomy* a = sim_.anatomy()) {
+    // Critical volume op of this stage: all of the stage's ops were issued
+    // at the same instant, so the stage span is this op's span — published
+    // into the register by finish_two_phase just before this callback.
+    // Ops addressed to the metadata regions (on-disk index, iCache swap)
+    // are dedup bookkeeping, not user data: charge them wholesale.
+    LatBreakdown vb = a->volume_op();
+    if (op.block >= index_region_start()) vb.fold_into(LatComp::kDedupMeta);
+    st->anatomy.add(vb);
+  }
   if (st->trace != nullptr)
     st->trace->async_end(kTraceCatRequest, st->req_id,
                          stage1 ? "stage1-io" : "stage2-io", sim_.now());
@@ -389,13 +408,23 @@ void DedupEngine::stage_op_done(RequestState* st, const OpSpec& op, IoStatus s,
 void DedupEngine::start_io(RequestState* st) { issue_stage(st, /*stage1=*/true); }
 
 void DedupEngine::execute_plan(const IoRequest& req, IoPlan plan,
-                               IoDoneFn done) {
+                               IoDoneFn done, std::uint64_t dedup_hits) {
   RequestState* st = acquire_state();
   st->stage1 = std::move(plan.stage1);
   st->stage2 = std::move(plan.stage2);
   st->done = std::move(done);
   st->trace = telem_.init ? telem_.trace : nullptr;
   st->req_id = req.id;
+  if (sim_.anatomy() != nullptr) {
+    st->anatomy.clear();
+    // The classify/hash CPU span is dedup bookkeeping by definition.
+    st->anatomy[LatComp::kDedupMeta] = plan.cpu;
+    st->submit_time = sim_.now();
+    st->dedup_hits = dedup_hits;
+    st->stream = req.stream;
+    st->nblocks = req.nblocks;
+    st->type = req.type;
+  }
 
   // CPU delay (hashing) precedes all disk activity for this request.
   if (plan.cpu > 0) {
@@ -420,6 +449,10 @@ void DedupEngine::submit(const IoRequest& req, IoDoneFn done) {
     if (!telem_.init) init_telemetry(*t);
   }
   IoPlan plan;
+  // Per-request dedup-hit delta for per-stream accounting (one counter
+  // load/subtract, gated like every other attribution site).
+  const bool anatomy_on = sim_.anatomy() != nullptr;
+  const std::uint64_t deduped_before = anatomy_on ? stats_.chunks_deduped : 0;
   if (req.is_write()) {
     ++stats_.write_requests;
     stats_.write_blocks += req.nblocks;
@@ -433,7 +466,8 @@ void DedupEngine::submit(const IoRequest& req, IoDoneFn done) {
     plan = process_read(req);
     stats_.read_ops_issued += plan.stage1.size() + plan.stage2.size();
   }
-  execute_plan(req, std::move(plan), std::move(done));
+  execute_plan(req, std::move(plan), std::move(done),
+               anatomy_on ? stats_.chunks_deduped - deduped_before : 0);
 }
 
 void DedupEngine::warm(const IoRequest& req) {

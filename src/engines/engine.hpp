@@ -36,6 +36,7 @@
 #include "fault/journal.hpp"
 #include "hash/hash_engine.hpp"
 #include "raid/volume.hpp"
+#include "replay/anatomy.hpp"
 #include "sim/simulator.hpp"
 #include "trace/request.hpp"
 
@@ -427,9 +428,20 @@ class DedupEngine {
     TraceEventWriter* trace = nullptr;
     std::uint64_t req_id = 0;
     RequestState* next_free = nullptr;
+    // ---- latency-anatomy fields, written only while a collector is
+    // attached to the simulator (see replay/anatomy.hpp) ----------------
+    /// Component accumulator: CPU at execute_plan, each stage's critical
+    /// volume-op breakdown at stage_op_done.
+    LatBreakdown anatomy;
+    SimTime submit_time = 0;
+    std::uint64_t dedup_hits = 0;
+    std::uint32_t stream = 0;
+    std::uint32_t nblocks = 0;
+    OpType type = OpType::kRead;
   };
 
-  void execute_plan(const IoRequest& req, IoPlan plan, IoDoneFn done);
+  void execute_plan(const IoRequest& req, IoPlan plan, IoDoneFn done,
+                    std::uint64_t dedup_hits = 0);
 
   RequestState* acquire_state();
   void release_state(RequestState* st);

@@ -115,13 +115,19 @@ void Raid5::submit(VolumeIo io) {
   if (fault_ != nullptr && fault_->disk_failure_due(sim_.now()))
     trigger_injected_failure();
   if (io.type == OpType::kRead) {
-    if (degraded())
+    bool reconstruct = false;
+    if (degraded()) {
+      // The planner counts each lost-column fragment it reconstructs; a
+      // delta marks this op as parity-served for attribution.
+      const std::uint64_t recon_before = reconstruction_reads_;
       split_read_degraded_into(io.block, io.nblocks, scratch_frags_);
-    else
+      reconstruct = reconstruction_reads_ != recon_before;
+    } else {
       split_read_into(io.block, io.nblocks, scratch_frags_);
+    }
     run_two_phase({}, OpType::kRead,
                   {scratch_frags_.data(), scratch_frags_.size()}, OpType::kRead,
-                  std::move(io.done));
+                  std::move(io.done), reconstruct);
     return;
   }
   WritePlan& plan = scratch_plan_;
@@ -147,7 +153,7 @@ void Raid5::submit(VolumeIo io) {
   }
   run_two_phase({plan.pre_reads.data(), plan.pre_reads.size()}, OpType::kRead,
                 {plan.writes.data(), plan.writes.size()}, OpType::kWrite,
-                std::move(io.done));
+                std::move(io.done), plan.reconstruct);
 }
 
 void Raid5::fail_disk(std::size_t disk) {
@@ -249,6 +255,7 @@ void Raid5::plan_write_degraded_into(Pba block, std::uint64_t nblocks,
       // absorb the lost block's new data, which requires the *entire*
       // surviving row range [pmin, pmax] as input.
       ++plan.rmw_rows;
+      plan.reconstruct = true;
       for (std::size_t d = 0; d < cfg_.num_disks; ++d) {
         if (d == fd || d == pd) continue;
         plan.pre_reads.push_back(

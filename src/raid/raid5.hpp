@@ -35,12 +35,16 @@ class Raid5 : public DiskArray {
     FragList writes;
     std::uint64_t full_stripes = 0;
     std::uint64_t rmw_rows = 0;
+    /// True when the plan reconstruct-writes a lost column (degraded mode):
+    /// attribution charges the whole op to raid_reconstruct.
+    bool reconstruct = false;
 
     void clear() {
       pre_reads.clear();
       writes.clear();
       full_stripes = 0;
       rmw_rows = 0;
+      reconstruct = false;
     }
   };
   /// Computes the pre-read / write fragment sets for a write (exposed for

@@ -91,6 +91,11 @@ void DiskArray::fragment_done(TwoPhaseState* st, IoStatus s, bool phase1) {
   POD_CHECK(st->outstanding > 0);
   st->status = combine(st->status, s);
   if (--st->outstanding != 0) return;
+  // Critical fragment: every fragment of a phase was enqueued at the same
+  // instant, so the phase's span equals the latency of this last completion
+  // — whose breakdown the disk published into the register just before
+  // invoking us.
+  if (LatencyAnatomy* a = sim_.anatomy()) st->anatomy.add(a->disk_op());
   if (phase1) {
     start_phase2(st);
   } else {
@@ -111,6 +116,14 @@ void DiskArray::start_phase2(TwoPhaseState* st) {
 }
 
 void DiskArray::finish_two_phase(TwoPhaseState* st) {
+  if (LatencyAnatomy* a = sim_.anatomy()) {
+    // Phase 2 starts synchronously inside the last phase-1 completion, so
+    // the accumulated phase spans cover the op's whole life. Degraded ops
+    // are reclassified wholesale: their extra fragments exist only because
+    // of the failure, so splitting them mechanically would be a lie.
+    if (st->reconstruct) st->anatomy.fold_into(LatComp::kRaidReconstruct);
+    a->publish_volume_op(st->anatomy);
+  }
   IoDoneFn done = std::move(st->done);
   const IoStatus status = st->status;
   release_state(st);  // before `done`: a resubmitting callback reuses the slot
@@ -134,11 +147,14 @@ DiskArray::DiskArray(Simulator& sim, const ArrayConfig& cfg) : sim_(sim), cfg_(c
 void DiskArray::run_two_phase(std::span<const DiskFragment> phase1,
                               OpType phase1_type,
                               std::span<const DiskFragment> phase2,
-                              OpType phase2_type, IoDoneFn done) {
+                              OpType phase2_type, IoDoneFn done,
+                              bool reconstruct) {
   TwoPhaseState* st = acquire_state();
   st->phase2.assign(phase2.data(), phase2.size());
   st->phase2_type = phase2_type;
   st->done = std::move(done);
+  st->reconstruct = reconstruct;
+  if (sim_.anatomy() != nullptr) st->anatomy.clear();
 
   if (phase1.empty()) {
     start_phase2(st);

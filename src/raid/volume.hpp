@@ -17,6 +17,7 @@
 #include "common/types.hpp"
 #include "disk/disk.hpp"
 #include "fault/fault.hpp"
+#include "replay/anatomy.hpp"
 #include "sim/simulator.hpp"
 
 namespace pod {
@@ -145,9 +146,11 @@ class DiskArray : public Volume {
   /// across both phases' fragments. The spans need only stay valid for the
   /// duration of the call (phase2 is staged into a pooled state slot), so
   /// callers may pass reused scratch lists; steady state allocates nothing.
+  /// `reconstruct` marks ops RAID5 serves degraded: when attribution is on,
+  /// their whole span is charged to raid_reconstruct.
   void run_two_phase(std::span<const DiskFragment> phase1, OpType phase1_type,
                      std::span<const DiskFragment> phase2, OpType phase2_type,
-                     IoDoneFn done);
+                     IoDoneFn done, bool reconstruct = false);
 
   Simulator& sim_;
   ArrayConfig cfg_;
@@ -166,6 +169,12 @@ class DiskArray : public Volume {
     FragList phase2;
     OpType phase2_type = OpType::kRead;
     IoDoneFn done;
+    /// Attribution accumulator: each phase's critical-fragment breakdown is
+    /// added here (phase spans are disjoint, so the sum is the op's span).
+    /// Touched only when a collector is attached.
+    LatBreakdown anatomy;
+    /// Degraded-mode op (see run_two_phase).
+    bool reconstruct = false;
     TwoPhaseState* next_free = nullptr;
   };
 

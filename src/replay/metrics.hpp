@@ -11,6 +11,7 @@
 #include "engines/engine.hpp"
 #include "icache/icache.hpp"
 #include "raid/volume.hpp"
+#include "replay/anatomy.hpp"
 
 namespace pod {
 
@@ -78,6 +79,10 @@ struct ReplayResult {
   /// Snapshot of the telemetry metrics registry at end of run, sorted by
   /// name (empty when telemetry is off).
   std::vector<std::pair<std::string, double>> telemetry_counters;
+
+  /// Latency-anatomy summary (enabled == false when attribution was off).
+  /// Per-component recorders, per-stream accounting, and the top-K tail.
+  AnatomyResult anatomy;
 
   /// Simulated completion time of the last request.
   SimTime makespan = 0;

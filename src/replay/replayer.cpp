@@ -411,6 +411,10 @@ ReplayResult run_replay(const RunSpec& spec, const Trace& trace,
   std::unique_ptr<Telemetry> telemetry =
       Telemetry::from_env(trace.name + "-" + to_string(spec.engine));
   sim.set_telemetry(telemetry.get());
+  // Latency attribution (POD_ANATOMY / POD_TAIL_ANATOMY): per-run like
+  // telemetry, so ParallelRunner workers never share a collector.
+  std::unique_ptr<LatencyAnatomy> anatomy = LatencyAnatomy::from_env();
+  sim.set_anatomy(anatomy.get());
   std::unique_ptr<Volume> volume = make_volume(sim, spec);
   std::unique_ptr<DedupEngine> engine = make_engine(sim, *volume, spec);
   if (telemetry && telemetry->sampler() != nullptr)
@@ -455,6 +459,7 @@ ReplayResult run_replay(const RunSpec& spec, const Trace& trace,
     telemetry->finish(sim.now());
     result.telemetry_counters = telemetry->metrics().snapshot();
   }
+  if (anatomy) result.anatomy = anatomy->take_result();
   return result;
 }
 

@@ -13,6 +13,7 @@
 namespace pod {
 
 class Telemetry;
+class LatencyAnatomy;
 
 class Simulator {
  public:
@@ -58,11 +59,18 @@ class Simulator {
   Telemetry* telemetry() const { return telemetry_; }
   void set_telemetry(Telemetry* t) { telemetry_ = t; }
 
+  /// Latency-anatomy collector for this run (null = attribution off). Same
+  /// rendezvous pattern as telemetry: not owned, one null-pointer branch
+  /// per charge site when off.
+  LatencyAnatomy* anatomy() const { return anatomy_; }
+  void set_anatomy(LatencyAnatomy* a) { anatomy_ = a; }
+
  private:
   SimTime now_ = 0;
   EventQueue events_;
   std::uint64_t events_executed_ = 0;
   Telemetry* telemetry_ = nullptr;
+  LatencyAnatomy* anatomy_ = nullptr;
 };
 
 }  // namespace pod

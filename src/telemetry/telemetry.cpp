@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/logging.hpp"
+
 namespace pod {
 
 namespace {
@@ -71,6 +73,25 @@ std::string telemetry_run_path(const std::string& base, std::uint64_t seq,
   return base.substr(0, dot) + infix + base.substr(dot);
 }
 
+namespace {
+
+/// Warn-once gate for sink-open failures: the writers warn per file, which
+/// under ParallelRunner repeats for every run. The facade adds one summary
+/// line per process and counts the rest silently
+/// (telemetry.sink_open_failures in the metrics snapshot).
+void warn_sink_open_failure_once(const char* what) {
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true, std::memory_order_relaxed)) {
+    POD_LOG_WARN(
+        "telemetry: %s sink failed to open; its output for this and any "
+        "later run is missing (per-run counts in "
+        "telemetry.sink_open_failures; further failures not re-reported)",
+        what);
+  }
+}
+
+}  // namespace
+
 Telemetry::Telemetry(const TelemetryConfig& cfg, const std::string& run_label)
     : run_label_(run_label) {
   const std::uint64_t seq = g_run_seq.fetch_add(1, std::memory_order_relaxed);
@@ -78,13 +99,21 @@ Telemetry::Telemetry(const TelemetryConfig& cfg, const std::string& run_label)
     trace_ = std::make_unique<TraceEventWriter>(
         telemetry_run_path(cfg.trace_events_path, seq, run_label),
         cfg.trace_event_limit);
-    if (!trace_->ok()) trace_.reset();
+    if (!trace_->ok()) {
+      trace_.reset();
+      warn_sink_open_failure_once("trace-event");
+      metrics_.counter("telemetry.sink_open_failures").inc();
+    }
   }
   if (!cfg.timeseries_path.empty()) {
     sampler_ = std::make_unique<TimeSeriesSampler>(
         telemetry_run_path(cfg.timeseries_path, seq, run_label),
         cfg.sample_interval);
-    if (!sampler_->ok()) sampler_.reset();
+    if (!sampler_->ok()) {
+      sampler_.reset();
+      warn_sink_open_failure_once("time-series");
+      metrics_.counter("telemetry.sink_open_failures").inc();
+    }
   }
   if (trace_) {
     const std::string req_lane = "requests (" + run_label + ")";
@@ -100,7 +129,15 @@ void Telemetry::finish(SimTime now) {
     sampler_->sample_now(now);
     sampler_->close();
   }
-  if (trace_) trace_->close();
+  if (trace_) {
+    // Export the writer's tallies before closing so the snapshot taken
+    // after finish() (run_replay -> ReplayResult::telemetry_counters, and
+    // from there POD_BENCH_JSON) records whether the event cap truncated
+    // the trace.
+    metrics_.counter("trace.events_written").inc(trace_->events_written());
+    metrics_.counter("trace.events_dropped").inc(trace_->events_dropped());
+    trace_->close();
+  }
 }
 
 std::unique_ptr<Telemetry> Telemetry::from_env(const std::string& run_label) {

@@ -28,6 +28,10 @@ struct IoRequest {
   OpType type = OpType::kRead;
   Lba lba = 0;
   std::uint32_t nblocks = 1;
+  /// Stream / tenant id the request belongs to (0 = the default stream).
+  /// Carried through replay for per-stream accounting (latency anatomy,
+  /// HPDedup-style multi-tenant policies); engines ignore it.
+  std::uint32_t stream = 0;
   /// One fingerprint per chunk for writes; empty for reads. A borrowed view:
   /// the bytes live in the owning Trace's arena (or an OwnedRequest's
   /// storage) and must outlive the request.

@@ -25,6 +25,9 @@ constexpr char kBinaryMagicV2[8] = {'P', 'O', 'D', 'T', 'R', 'C', '0', '2'};
 // after the checksum field. Detects silent cache-file corruption (the trace
 // cache falls back to regeneration on mismatch). v1/v2 stay readable.
 constexpr char kBinaryMagicV3[8] = {'P', 'O', 'D', 'T', 'R', 'C', '0', '3'};
+// v4: v3 plus a u32 stream (tenant) id per request record. Older files
+// (v1-v3) stay readable and load with stream 0.
+constexpr char kBinaryMagicV4[8] = {'P', 'O', 'D', 'T', 'R', 'C', '0', '4'};
 
 /// Streaming FNV-1a accumulator: both the writer and the reader feed the
 /// body byte sequences through this in identical order, so the stored and
@@ -40,7 +43,7 @@ struct BodyChecksum {
   }
 };
 
-/// Fixed-size on-disk request record of the v2 format.
+/// Fixed-size on-disk request record of the v2/v3 formats.
 #pragma pack(push, 1)
 struct DiskRecord {
   SimTime arrival;
@@ -49,8 +52,18 @@ struct DiskRecord {
   std::uint32_t nblocks;
   std::uint32_t nfp;
 };
+/// v4 record: v2/v3 plus the stream id.
+struct DiskRecordV4 {
+  SimTime arrival;
+  std::uint8_t type;
+  Lba lba;
+  std::uint32_t nblocks;
+  std::uint32_t stream;
+  std::uint32_t nfp;
+};
 #pragma pack(pop)
 static_assert(sizeof(DiskRecord) == 25);
+static_assert(sizeof(DiskRecordV4) == 29);
 
 std::string hex16(std::uint64_t v) {
   static constexpr char kHex[] = "0123456789abcdef";
@@ -141,9 +154,11 @@ Trace read_trace_binary_v1(std::istream& in) {
   return trace;
 }
 
-/// v2/v3 body: bulk-read request records, then the fingerprint arena in one
-/// contiguous read; spans are assigned by walking per-request counts. When
-/// `ck` is non-null (v3), every body byte is fed through it in read order.
+/// v2/v3/v4 body: bulk-read request records (`Record` selects the layout),
+/// then the fingerprint arena in one contiguous read; spans are assigned by
+/// walking per-request counts. When `ck` is non-null (v3/v4), every body
+/// byte is fed through it in read order.
+template <typename Record>
 Trace read_trace_binary_v2(std::istream& in, BodyChecksum* ck = nullptr) {
   Trace trace;
   const auto name_len = read_pod<std::uint32_t>(in);
@@ -174,17 +189,17 @@ Trace read_trace_binary_v2(std::istream& in, BodyChecksum* ck = nullptr) {
     if (end_pos != std::istream::pos_type(-1)) {
       const auto remaining =
           static_cast<std::uint64_t>(end_pos - body_pos);
-      if (count > remaining / sizeof(DiskRecord) ||
+      if (count > remaining / sizeof(Record) ||
           total_fps > remaining / sizeof(Fingerprint))
         throw std::runtime_error("truncated binary trace");
     }
   }
 
-  std::vector<DiskRecord> records(count);
+  std::vector<Record> records(count);
   in.read(reinterpret_cast<char*>(records.data()),
-          static_cast<std::streamsize>(count * sizeof(DiskRecord)));
+          static_cast<std::streamsize>(count * sizeof(Record)));
   if (!in) throw std::runtime_error("truncated binary trace");
-  if (ck != nullptr) ck->feed(records.data(), count * sizeof(DiskRecord));
+  if (ck != nullptr) ck->feed(records.data(), count * sizeof(Record));
 
   trace.arena().reserve(total_fps);
   const std::span<Fingerprint> arena = trace.arena().alloc(total_fps);
@@ -196,13 +211,14 @@ Trace read_trace_binary_v2(std::istream& in, BodyChecksum* ck = nullptr) {
   trace.requests.reserve(count);
   std::uint64_t offset = 0;
   for (std::uint64_t i = 0; i < count; ++i) {
-    const DiskRecord& rec = records[i];
+    const Record& rec = records[i];
     IoRequest r;
     r.id = i;
     r.arrival = rec.arrival;
     r.type = op_from_byte(rec.type);
     r.lba = rec.lba;
     r.nblocks = rec.nblocks;
+    if constexpr (requires { rec.stream; }) r.stream = rec.stream;
     if (r.nblocks == 0) throw std::runtime_error("zero-length request");
     if (r.is_write() && rec.nfp != rec.nblocks)
       throw std::runtime_error("write fingerprint count != nblocks");
@@ -228,6 +244,10 @@ void write_trace_csv(std::ostream& out, const Trace& trace) {
   for (const IoRequest& r : trace.requests) {
     out << r.arrival << ',' << (r.is_write() ? 'W' : 'R') << ',' << r.lba << ','
         << r.nblocks;
+    // Optional stream token: `s<id>`, unambiguous against the 16-hex-digit
+    // fingerprint tokens ('s' is not a hex digit). Omitted for the default
+    // stream so pre-existing traces round-trip byte-identically.
+    if (r.stream != 0) out << ",s" << r.stream;
     for (const Fingerprint& fp : r.chunks) out << ',' << hex16(fp.prefix64());
     out << '\n';
   }
@@ -270,7 +290,14 @@ Trace read_trace_csv(std::istream& in, std::string name) {
     r.nblocks = parse_uint<std::uint32_t>(field);
     if (r.nblocks == 0) throw std::runtime_error("zero-length request");
     scratch.clear();
+    bool first_tail_field = true;
     while (std::getline(ss, field, ',')) {
+      if (first_tail_field && field.size() > 1 && field[0] == 's') {
+        r.stream = parse_uint<std::uint32_t>(field.substr(1));
+        first_tail_field = false;
+        continue;
+      }
+      first_tail_field = false;
       scratch.push_back(Fingerprint::of_prefix(parse_hex16(field)));
     }
     if (r.is_write() && scratch.size() != r.nblocks)
@@ -291,12 +318,12 @@ void write_trace_binary(std::ostream& out, const Trace& trace) {
   std::uint64_t total_fps = 0;
   for (const IoRequest& r : trace.requests) total_fps += r.chunks.size();
 
-  std::vector<DiskRecord> records;
+  std::vector<DiskRecordV4> records;
   records.reserve(trace.requests.size());
   for (const IoRequest& r : trace.requests) {
-    records.push_back(DiskRecord{r.arrival, static_cast<std::uint8_t>(r.type),
-                                 r.lba, r.nblocks,
-                                 static_cast<std::uint32_t>(r.chunks.size())});
+    records.push_back(DiskRecordV4{r.arrival, static_cast<std::uint8_t>(r.type),
+                                   r.lba, r.nblocks, r.stream,
+                                   static_cast<std::uint32_t>(r.chunks.size())});
   }
 
   // Checksum the body without buffering it: feed exactly the byte sequence
@@ -307,11 +334,11 @@ void write_trace_binary(std::ostream& out, const Trace& trace) {
   ck.feed_pod(count);
   ck.feed_pod(warmup);
   ck.feed_pod(total_fps);
-  ck.feed(records.data(), records.size() * sizeof(DiskRecord));
+  ck.feed(records.data(), records.size() * sizeof(DiskRecordV4));
   for (const IoRequest& r : trace.requests)
     ck.feed(r.chunks.data(), r.chunks.size_bytes());
 
-  out.write(kBinaryMagicV3, sizeof(kBinaryMagicV3));
+  out.write(kBinaryMagicV4, sizeof(kBinaryMagicV4));
   write_pod(out, ck.h);
   write_pod(out, name_len);
   out.write(trace.name.data(), name_len);
@@ -319,7 +346,8 @@ void write_trace_binary(std::ostream& out, const Trace& trace) {
   write_pod(out, warmup);
   write_pod(out, total_fps);
   out.write(reinterpret_cast<const char*>(records.data()),
-            static_cast<std::streamsize>(records.size() * sizeof(DiskRecord)));
+            static_cast<std::streamsize>(records.size() *
+                                         sizeof(DiskRecordV4)));
   // Fingerprint blob, in request order (== arena order for traces built
   // append-only, but written from the spans so any layout serializes
   // correctly).
@@ -333,16 +361,24 @@ Trace read_trace_binary(std::istream& in) {
   char magic[8];
   in.read(magic, sizeof(magic));
   if (!in) throw std::runtime_error("not a pod binary trace");
+  if (std::memcmp(magic, kBinaryMagicV4, sizeof(magic)) == 0) {
+    const auto stored = read_pod<std::uint64_t>(in);
+    BodyChecksum ck;
+    Trace trace = read_trace_binary_v2<DiskRecordV4>(in, &ck);
+    if (ck.h != stored)
+      throw std::runtime_error("binary trace checksum mismatch");
+    return trace;
+  }
   if (std::memcmp(magic, kBinaryMagicV3, sizeof(magic)) == 0) {
     const auto stored = read_pod<std::uint64_t>(in);
     BodyChecksum ck;
-    Trace trace = read_trace_binary_v2(in, &ck);
+    Trace trace = read_trace_binary_v2<DiskRecord>(in, &ck);
     if (ck.h != stored)
       throw std::runtime_error("binary trace checksum mismatch");
     return trace;
   }
   if (std::memcmp(magic, kBinaryMagicV2, sizeof(magic)) == 0)
-    return read_trace_binary_v2(in);
+    return read_trace_binary_v2<DiskRecord>(in);
   if (std::memcmp(magic, kBinaryMagicV1, sizeof(magic)) == 0)
     return read_trace_binary_v1(in);
   throw std::runtime_error("not a pod binary trace");

@@ -4,6 +4,8 @@
 
 #include <sstream>
 
+#include "hash/fnv.hpp"
+
 namespace pod {
 namespace {
 
@@ -41,6 +43,7 @@ void expect_equal(const Trace& a, const Trace& b) {
     EXPECT_EQ(x.type, y.type);
     EXPECT_EQ(x.lba, y.lba);
     EXPECT_EQ(x.nblocks, y.nblocks);
+    EXPECT_EQ(x.stream, y.stream);
     ASSERT_EQ(x.chunks.size(), y.chunks.size());
     for (std::size_t c = 0; c < x.chunks.size(); ++c)
       EXPECT_EQ(x.chunks[c], y.chunks[c]);
@@ -118,10 +121,10 @@ TEST(TraceIo, BinaryRejectsTruncation) {
   EXPECT_THROW(read_trace_binary(truncated), std::runtime_error);
 }
 
-TEST(TraceIo, BinaryWritesChecksummedV3) {
+TEST(TraceIo, BinaryWritesChecksummedV4) {
   std::stringstream ss;
   write_trace_binary(ss, sample_trace());
-  EXPECT_EQ(ss.str().substr(0, 8), "PODTRC03");
+  EXPECT_EQ(ss.str().substr(0, 8), "PODTRC04");
 }
 
 TEST(TraceIo, BinaryDetectsSingleFlippedByte) {
@@ -140,17 +143,84 @@ TEST(TraceIo, BinaryDetectsSingleFlippedByte) {
   }
 }
 
+// Serializes `t` in the legacy v2/v3 body layout — 25-byte packed records
+// with no stream field — so the legacy readers stay covered now that the
+// writer emits v4 records.
+std::string legacy_v2_body(const Trace& t) {
+  std::string out;
+  const auto put = [&out](const void* p, std::size_t n) {
+    out.append(static_cast<const char*>(p), n);
+  };
+  const auto name_len = static_cast<std::uint32_t>(t.name.size());
+  put(&name_len, sizeof(name_len));
+  out.append(t.name);
+  const std::uint64_t count = t.requests.size();
+  put(&count, sizeof(count));
+  const std::uint64_t warmup = t.warmup_count;
+  put(&warmup, sizeof(warmup));
+  std::uint64_t total_fps = 0;
+  for (const IoRequest& r : t.requests) total_fps += r.chunks.size();
+  put(&total_fps, sizeof(total_fps));
+  for (const IoRequest& r : t.requests) {
+    put(&r.arrival, sizeof(r.arrival));
+    const auto type = static_cast<std::uint8_t>(r.type);
+    put(&type, sizeof(type));
+    put(&r.lba, sizeof(r.lba));
+    put(&r.nblocks, sizeof(r.nblocks));
+    const auto nfp = static_cast<std::uint32_t>(r.chunks.size());
+    put(&nfp, sizeof(nfp));
+  }
+  for (const IoRequest& r : t.requests)
+    put(r.chunks.data(), r.chunks.size_bytes());
+  return out;
+}
+
 TEST(TraceIo, BinaryStillReadsLegacyV2) {
-  // A hand-built v2 stream (no checksum) must keep loading.
+  // A hand-built v2 stream (no checksum, no stream ids) must keep loading.
   const Trace t = sample_trace();
-  std::stringstream v3;
-  write_trace_binary(v3, t);
-  std::string bytes = v3.str();
-  // v3 = magic(8) + checksum(8) + v2 body; rewrite as v2 magic + body.
-  std::string v2bytes = std::string("PODTRC02") + bytes.substr(16);
-  std::stringstream in(v2bytes);
+  std::stringstream in(std::string("PODTRC02") + legacy_v2_body(t));
   const Trace back = read_trace_binary(in);
   expect_equal(t, back);
+}
+
+TEST(TraceIo, BinaryStillReadsLegacyV3) {
+  // A hand-built v3 stream (checksummed v2 body) must keep loading, with
+  // every request on the default stream 0.
+  const Trace t = sample_trace();
+  const std::string body = legacy_v2_body(t);
+  const std::uint64_t ck = fnv1a64(
+      reinterpret_cast<const std::uint8_t*>(body.data()), body.size());
+  std::string bytes = "PODTRC03";
+  bytes.append(reinterpret_cast<const char*>(&ck), sizeof(ck));
+  bytes += body;
+  std::stringstream in(bytes);
+  const Trace back = read_trace_binary(in);
+  expect_equal(t, back);
+  for (const IoRequest& r : back.requests) EXPECT_EQ(r.stream, 0u);
+}
+
+TEST(TraceIo, StreamIdRoundTripsBinaryAndCsv) {
+  Trace t = sample_trace();
+  t.requests[0].stream = 7;
+  t.requests[1].stream = 42;
+
+  std::stringstream bin;
+  write_trace_binary(bin, t);
+  expect_equal(t, read_trace_binary(bin));
+
+  std::stringstream csv;
+  write_trace_csv(csv, t);
+  const std::string text = csv.str();
+  // The stream token sits between nblocks and the fingerprints.
+  EXPECT_NE(text.find("1000,W,64,2,s7,"), std::string::npos);
+  EXPECT_NE(text.find("2000,R,64,2,s42"), std::string::npos);
+  expect_equal(t, read_trace_csv(csv));
+}
+
+TEST(TraceIo, DefaultStreamOmittedFromCsv) {
+  std::stringstream csv;
+  write_trace_csv(csv, sample_trace());
+  EXPECT_EQ(csv.str().find(",s"), std::string::npos);
 }
 
 TEST(TraceIo, FileRoundTrip) {

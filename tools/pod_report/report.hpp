@@ -1,0 +1,41 @@
+// pod_report: renders POD_BENCH_JSON output (one JSON object per line, as
+// appended by the benches) into a markdown report — per-engine
+// component-stacked latency breakdowns, per-stream accounting tables, tail
+// forensics, and paired-median deltas between two capture files.
+//
+// Split library/main so the golden test drives render()/render_compare()
+// directly on in-memory captures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace pod::report {
+
+/// One POD_BENCH_JSON line: the parsed object plus its identity keys.
+struct BenchRun {
+  std::string trace;
+  std::string engine;
+  minjson::Value json;
+};
+
+/// Parses JSON-lines bench output. Blank lines are skipped; a malformed
+/// line throws std::runtime_error naming its line number.
+std::vector<BenchRun> load_jsonl(std::istream& in);
+std::vector<BenchRun> load_jsonl_file(const std::string& path);
+
+/// Renders the full markdown report for one capture: a response-time table
+/// per trace, component-stacked anatomy breakdowns, per-stream tables and
+/// tail forensics when the capture carries an "anatomy" object.
+void render(std::ostream& out, const std::vector<BenchRun>& runs);
+
+/// Renders the "delta vs baseline" section: runs are grouped by
+/// (trace, engine), i-th occurrences are paired, and the median of the
+/// per-pair mean_ms deltas is reported per group.
+void render_compare(std::ostream& out, const std::vector<BenchRun>& baseline,
+                    const std::vector<BenchRun>& current);
+
+}  // namespace pod::report
